@@ -1,0 +1,83 @@
+/// \file bench_ablation_bitrate.cpp
+/// The paper's final future-work question (§6): can the loss reduction
+/// "allow to increment the bit rate used by the APs"? We sweep the AP PHY
+/// mode while keeping the channel duty cycle constant (faster modes send
+/// proportionally more packets per second), and compare no cooperation,
+/// C-ARQ, and C-ARQ with Frame Combining (the authors' PIMRC'07 companion
+/// scheme, ref [12] — corrupt copies soft-combine until they decode).
+///
+/// Faster modes need more SNR: the decode radius shrinks (e.g. at CCK-11M
+/// the window-mounted AP only covers the middle of the street), so losses
+/// rise steeply — exactly the regime cooperation and combining repair.
+/// The delivered column answers the paper's question: with C-ARQ the
+/// best operating point moves to a faster mode than without.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "mac/airtime.h"
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+  bench::printHeader("Ablation: AP bit-rate sweep with C-ARQ and C-ARQ/FC",
+                     "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
+
+  const channel::PhyMode modes[] = {
+      channel::PhyMode::kDsss1Mbps, channel::PhyMode::kDsss2Mbps,
+      channel::PhyMode::kCck5_5Mbps, channel::PhyMode::kCck11Mbps};
+
+  // Match the paper's channel duty: 15 frames/s of 1000 B at 1 Mbps.
+  const double referenceDuty =
+      15.0 * mac::frameAirtime(channel::PhyMode::kDsss1Mbps, 1000).toSeconds();
+
+  std::cout << std::left << std::setw(10) << "mode" << std::setw(10)
+            << "pkt/s" << std::right << std::setw(13) << "variant"
+            << std::setw(12) << "offered" << std::setw(11) << "loss"
+            << std::setw(12) << "delivered" << "\n";
+
+  for (const channel::PhyMode mode : modes) {
+    const double perFlowRate =
+        referenceDuty / (3.0 * mac::frameAirtime(mode, 1000).toSeconds()) ;
+    struct Variant {
+      const char* name;
+      bool coop;
+      bool combining;
+    };
+    for (const Variant variant : {Variant{"plain", false, false},
+                                  Variant{"c-arq", true, false},
+                                  Variant{"c-arq/fc", true, true}}) {
+      analysis::UrbanExperimentConfig config =
+          bench::urbanConfigFromFlags(flags);
+      config.rounds = flags.getInt("rounds", 10);
+      config.packetsPerSecondPerFlow = perFlowRate;
+      config.carq.phyMode = mode;
+      config.carq.cooperationEnabled = variant.coop;
+      config.carq.frameCombining = variant.combining;
+      analysis::UrbanExperiment experiment(config);
+      const auto result = experiment.run();
+      double offered = 0.0;
+      double loss = 0.0;
+      double delivered = 0.0;
+      for (const auto& row : result.table1.rows) {
+        offered += row.txByAp.mean();
+        loss += row.pctLostAfter.mean();
+        delivered += row.txByAp.mean() - row.lostAfter.mean();
+      }
+      const auto cars = static_cast<double>(result.table1.rows.size());
+      std::cout << std::left << std::setw(10) << channel::modeName(mode)
+                << std::setw(10) << std::fixed << std::setprecision(1)
+                << perFlowRate << std::right << std::setw(13) << variant.name
+                << std::setw(12) << offered / cars << std::setw(10)
+                << loss / cars << "%" << std::setw(12) << delivered / cars
+                << "\n";
+    }
+  }
+  std::cout << "\nexpected shape: faster modes offer more packets but decode"
+               " over a smaller radius;\ncooperation recovers enough of the"
+               " shortfall that the delivered optimum sits at a\nfaster mode"
+               " than without it, and frame combining adds a further margin"
+               " at the\nfast end (corrupt copies become useful energy)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_ablation_cooperator_selection.cpp
+/// Future-work study (paper §6): "an algorithm for selecting the optimal
+/// cooperators has not been addressed". Compares the announcement policies
+/// on a 5-car platoon where the cooperator cap bites: all one-hop
+/// neighbours (the paper's prototype), strongest-K by smoothed HELLO RSSI,
+/// and random-K. Finding: strongest-RSSI favours the *adjacent* cars,
+/// whose receptions correlate most with the requester's, so capping by
+/// RSSI costs recovery; random-K preserves more diversity. Optimal
+/// selection should weigh reception diversity, not link strength.
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+  bench::printHeader("Ablation: cooperator selection policy",
+                     "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
+
+  struct Policy {
+    std::string name;
+    carq::SelectionPolicy policy;
+    int cap;
+  };
+  const Policy policies[] = {
+      {"all-one-hop", carq::SelectionPolicy::kAllOneHop, 8},
+      {"best-rssi k=2", carq::SelectionPolicy::kBestRssi, 2},
+      {"random k=2", carq::SelectionPolicy::kRandomK, 2}};
+
+  std::cout << std::left << std::setw(16) << "policy" << std::right
+            << std::setw(12) << "loss bef." << std::setw(12) << "loss aft."
+            << std::setw(12) << "joint" << std::setw(16) << "CoopData/round"
+            << "\n";
+
+  for (const Policy& entry : policies) {
+    analysis::UrbanExperimentConfig config =
+        bench::urbanConfigFromFlags(flags);
+    config.rounds = flags.getInt("rounds", 15);
+    config.scenario.carCount = flags.getInt("cars", 5);
+    config.carq.selection = entry.policy;
+    config.carq.maxCooperators = entry.cap;
+    analysis::UrbanExperiment experiment(config);
+    const auto result = experiment.run();
+    double before = 0.0;
+    double after = 0.0;
+    double joint = 0.0;
+    for (const auto& row : result.table1.rows) {
+      before += row.pctLostBefore.mean();
+      after += row.pctLostAfter.mean();
+      joint += row.pctLostJoint.mean();
+    }
+    const auto cars = static_cast<double>(result.table1.rows.size());
+    std::cout << std::left << std::setw(16) << entry.name << std::right
+              << std::fixed << std::setprecision(1) << std::setw(11)
+              << before / cars << "%" << std::setw(11) << after / cars << "%"
+              << std::setw(11) << joint / cars << "%" << std::setw(16)
+              << result.totals.coopDataPerRound.mean() << "\n";
+  }
+  std::cout << "\nexpected shape: all-one-hop recovers the most; the capped"
+               " policies trade recovery\nfor response traffic, and best-rssi"
+               " trails random-k because the strongest\nneighbours are the"
+               " closest, most-correlated ones -- selection should optimise"
+               "\ndiversity, not RSSI (the paper's open question)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file bench_ablation_speed.cpp
+/// Drive-thru speed sweep, connecting to Ott & Kutscher (the paper's [1]):
+/// a platoon passes a single highway AP at 20..120 km/h. Higher speed
+/// means a shorter coverage window (fewer packets offered) and a coarser
+/// chance to recover, but the relative C-ARQ gain persists. Prints per-
+/// speed packets offered, losses before/after cooperation and the joint
+/// bound, averaged over the platoon.
+
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+  bench::printHeader("Ablation: drive-thru speed sweep (single highway AP)",
+                     "Morillo-Pozo et al., ICDCS'08 W, §1/§4 via ref [1]");
+
+  std::cout << std::left << std::setw(10) << "km/h" << std::right
+            << std::setw(12) << "tx by AP" << std::setw(12) << "loss bef."
+            << std::setw(12) << "loss aft." << std::setw(12) << "joint"
+            << "\n";
+
+  for (const double kmh : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
+    analysis::HighwayExperimentConfig config;
+    config.rounds = flags.getInt("rounds", 15);
+    config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
+    config.scenario.carCount = flags.getInt("cars", 3);
+    config.scenario.speedMps = kmh / 3.6;
+    config.scenario.apCount = 1;
+    config.scenario.roadLengthMetres = 2400.0;
+    config.scenario.firstApArc = 1200.0;
+    config.scenario.gapSeconds = 1.2;
+    analysis::HighwayExperiment experiment(config);
+    const auto result = experiment.run();
+    double tx = 0.0;
+    double before = 0.0;
+    double after = 0.0;
+    double joint = 0.0;
+    for (const auto& row : result.table1.rows) {
+      tx += row.txByAp.mean();
+      before += row.pctLostBefore.mean();
+      after += row.pctLostAfter.mean();
+      joint += row.pctLostJoint.mean();
+    }
+    const auto cars = static_cast<double>(result.table1.rows.size());
+    std::cout << std::left << std::setw(10) << kmh << std::right << std::fixed
+              << std::setprecision(1) << std::setw(12) << tx / cars
+              << std::setw(11) << before / cars << "%" << std::setw(11)
+              << after / cars << "%" << std::setw(11) << joint / cars
+              << "%\n";
+  }
+  std::cout << "\nexpected shape: offered packets fall ~1/speed (the"
+               " drive-thru window shrinks);\nloss percentages stay roughly"
+               " speed-invariant without rate adaptation, and the\nafter-coop"
+               " column hugs the joint bound. The bound is looser than in the"
+               " urban\nscenario: a tight platoon crosses the same coverage"
+               " edges together, so open-road\ndiversity is limited -- the"
+               " staggered urban entries/exits are where C-ARQ shines\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file bench_ablation_window_gossip.cpp
+/// Our window-gossip extension, in the spirit of the paper's §3.3
+/// message-enrichment optimisation. The paper's recovery window is
+/// [first, last] *received* packet: the first car to leave coverage never
+/// learns about the packets the AP addressed to it afterwards, even
+/// though trailing cars buffered them — the visible tail gap between the
+/// after-coop and joint curves of Figure 6. With gossip, HELLOs advertise
+/// the highest buffered seq per flow and the destination extends its
+/// request window. Expected: car 1's after-coop loss drops towards its
+/// joint bound; cars 2 and 3 (already near-optimal) barely change.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+  bench::printHeader(
+      "Ablation: request-window gossip (extension closing Figure 6's tail)",
+      "Morillo-Pozo et al., ICDCS'08 W, §3.3 direction + Figure 6");
+
+  std::cout << std::left << std::setw(10) << "gossip" << std::right
+            << std::setw(14) << "car1 aft/joint" << std::setw(16)
+            << "car2 aft/joint" << std::setw(16) << "car3 aft/joint" << "\n";
+
+  for (const bool gossip : {false, true}) {
+    analysis::UrbanExperimentConfig config =
+        bench::urbanConfigFromFlags(flags);
+    config.carq.gossipWindowExtension = gossip;
+    analysis::UrbanExperiment experiment(config);
+    const auto result = experiment.run();
+    std::cout << std::left << std::setw(10) << (gossip ? "on" : "off")
+              << std::right << std::fixed << std::setprecision(1);
+    for (const auto& row : result.table1.rows) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(1)
+           << row.pctLostAfter.mean() << "/" << row.pctLostJoint.mean()
+           << "%";
+      std::cout << std::setw(row.car == 1 ? 14 : 16) << cell.str();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nexpected shape: with gossip on, each car's after-coop loss"
+               " sits on its joint\nbound; the largest win is the lead car"
+               " (it leaves coverage first)\n";
+  return 0;
+}

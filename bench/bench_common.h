@@ -1,0 +1,81 @@
+#pragma once
+
+/// Shared plumbing for the bench harnesses: flag-driven experiment
+/// configuration so every bench can be re-run with different rounds,
+/// seeds, or scenario tweaks, plus small printing helpers.
+///
+/// Common flags (all benches):
+///   --rounds=N    experiment rounds (default: the paper's 30)
+///   --seed=S      master seed (default 2008)
+///   --cars=N      platoon size (default 3)
+///   --csv=DIR     also write CSV outputs into DIR
+
+#include <iostream>
+#include <string>
+
+#include "analysis/csv.h"
+#include "analysis/experiment.h"
+#include "analysis/figures.h"
+#include "analysis/table1.h"
+#include "util/flags.h"
+
+namespace vanet::bench {
+
+inline analysis::UrbanExperimentConfig urbanConfigFromFlags(
+    const Flags& flags) {
+  analysis::UrbanExperimentConfig config;
+  config.rounds = flags.getInt("rounds", 30);
+  config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
+  config.scenario.carCount = flags.getInt("cars", 3);
+  config.scenario.baseSpeedMps =
+      flags.getDouble("speed-kmh", 20.0) / 3.6;
+  config.repeatCount = flags.getInt("repeat", 1);
+  if (flags.getBool("no-coop", false)) {
+    config.carq.cooperationEnabled = false;
+  }
+  if (flags.getBool("batched", false)) {
+    config.carq.requestMode = carq::RequestMode::kBatched;
+  }
+  if (flags.getBool("gossip", false)) {
+    config.carq.gossipWindowExtension = true;
+  }
+  if (flags.getBool("fc", false)) {
+    config.carq.frameCombining = true;
+  }
+  if (flags.has("nakagami")) {
+    config.channel.nakagamiM = flags.getDouble("nakagami", 0.0);
+  }
+  return config;
+}
+
+inline void printHeader(const std::string& title, const std::string& paperRef) {
+  std::cout << "==============================================================="
+               "=========\n";
+  std::cout << title << "\n";
+  std::cout << "reproduces: " << paperRef << "\n";
+  std::cout << "==============================================================="
+               "=========\n";
+}
+
+/// Writes the figure series of `flow` as CSV when --csv is given.
+inline void maybeWriteFigureCsv(const Flags& flags, const std::string& name,
+                                const trace::FlowFigure& figure) {
+  const std::string dir = flags.getString("csv", "");
+  if (dir.empty()) return;
+  std::vector<std::string> headers;
+  std::vector<std::vector<double>> columns;
+  for (const auto& [car, acc] : figure.rxByCar) {
+    headers.push_back("rx_car_" + std::to_string(car));
+    columns.push_back(acc.means());
+  }
+  headers.push_back("after_coop");
+  columns.push_back(figure.afterCoop.means());
+  headers.push_back("joint");
+  columns.push_back(figure.joint.means());
+  const std::string path = dir + "/" + name + ".csv";
+  if (analysis::writeSeriesCsv(path, "packet", headers, columns)) {
+    std::cout << "wrote " << path << "\n";
+  }
+}
+
+}  // namespace vanet::bench

@@ -1,0 +1,15 @@
+/// \file bench_fig4_rx_car2.cpp
+/// Regenerates Figure 4: probability of reception, per packet number, of
+/// the packets addressed to car 2 at each of the three cars. Paper shape:
+/// car 1 receives car 2's early packets better (it is deeper inside the
+/// coverage area); near the end cars 2 and 3 have almost identical curves
+/// (corner-C convergence).
+
+#include "bench_fig_common.h"
+
+int main(int argc, char** argv) {
+  return vanet::bench::runFigureBench(
+      argc, argv, /*flow=*/2, vanet::bench::FigureKind::kReception,
+      "Figure 4: P(reception) of car 2's packets at cars 1/2/3",
+      "Morillo-Pozo et al., ICDCS'08 W, Figure 4");
+}

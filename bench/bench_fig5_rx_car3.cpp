@@ -1,0 +1,15 @@
+/// \file bench_fig5_rx_car3.cpp
+/// Regenerates Figure 5: probability of reception, per packet number, of
+/// the packets addressed to car 3 at each of the three cars. Paper shape:
+/// while car 3 enters the coverage area (Region I) cars 1 and 2 hear its
+/// packets better; when car 3 leaves (Region III) car 1 is already almost
+/// out of coverage and helps little.
+
+#include "bench_fig_common.h"
+
+int main(int argc, char** argv) {
+  return vanet::bench::runFigureBench(
+      argc, argv, /*flow=*/3, vanet::bench::FigureKind::kReception,
+      "Figure 5: P(reception) of car 3's packets at cars 1/2/3",
+      "Morillo-Pozo et al., ICDCS'08 W, Figure 5");
+}

@@ -1,0 +1,14 @@
+/// \file bench_fig7_coop_car2.cpp
+/// Regenerates Figure 7: probability of reception in car 2 after
+/// Cooperative ARQ versus the joint probability. Paper shape: car 2's
+/// early packets are repaired by car 1 (Region I of Figure 4), and the
+/// after-coop curve tracks the joint curve closely.
+
+#include "bench_fig_common.h"
+
+int main(int argc, char** argv) {
+  return vanet::bench::runFigureBench(
+      argc, argv, /*flow=*/2, vanet::bench::FigureKind::kCooperation,
+      "Figure 7: P(reception) with C-ARQ in car 2 vs joint reception",
+      "Morillo-Pozo et al., ICDCS'08 W, Figure 7");
+}

@@ -1,0 +1,15 @@
+/// \file bench_fig8_coop_car3.cpp
+/// Regenerates Figure 8: probability of reception in car 3 after
+/// Cooperative ARQ versus the joint probability. Paper shape: car 3
+/// benefits from cooperation on its first packets (cars 1 and 2 were
+/// already in coverage); for the last packets little cooperation is
+/// available since car 3 is the last to leave the coverage area.
+
+#include "bench_fig_common.h"
+
+int main(int argc, char** argv) {
+  return vanet::bench::runFigureBench(
+      argc, argv, /*flow=*/3, vanet::bench::FigureKind::kCooperation,
+      "Figure 8: P(reception) with C-ARQ in car 3 vs joint reception",
+      "Morillo-Pozo et al., ICDCS'08 W, Figure 8");
+}

@@ -1,0 +1,39 @@
+#pragma once
+
+/// Shared driver for the six figure benches (Figures 3-8): run the urban
+/// experiment and print one flow's reception or cooperation figure.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace vanet::bench {
+
+enum class FigureKind { kReception, kCooperation };
+
+inline int runFigureBench(int argc, char** argv, FlowId flow,
+                          FigureKind kind, const std::string& title,
+                          const std::string& paperRef) {
+  const Flags flags(argc, argv);
+  printHeader(title, paperRef);
+
+  analysis::UrbanExperimentConfig config = urbanConfigFromFlags(flags);
+  analysis::UrbanExperiment experiment(config);
+  const analysis::UrbanExperimentResult result = experiment.run();
+
+  const auto it = result.figures.find(flow);
+  if (it == result.figures.end()) {
+    std::cerr << "no figure data for flow " << flow
+              << " (is --cars at least " << flow << "?)\n";
+    return 1;
+  }
+  if (kind == FigureKind::kReception) {
+    std::cout << analysis::renderReceptionFigure(it->second);
+  } else {
+    std::cout << analysis::renderCoopFigure(it->second);
+  }
+  maybeWriteFigureCsv(flags, "fig_flow" + std::to_string(flow), it->second);
+  return 0;
+}
+
+}  // namespace vanet::bench

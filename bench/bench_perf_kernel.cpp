@@ -1,0 +1,103 @@
+/// \file bench_perf_kernel.cpp
+/// google-benchmark microbenchmarks for the simulation substrate: event
+/// queue throughput, channel sampling, airtime computation and a complete
+/// urban round. These guard the "30 rounds in under a second" property the
+/// experiment harnesses rely on.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment.h"
+#include "channel/link_model.h"
+#include "mac/airtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vanet;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  Rng rng{42};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.scheduleAt(sim::SimTime::micros(rng.uniform(0.0, 1e6)),
+                     [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventCancelHeavy(benchmark::State& state) {
+  // Half the scheduled events are cancelled: exercises lazy deletion.
+  const int events = 10000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(events);
+    std::uint64_t sink = 0;
+    for (int i = 0; i < events; ++i) {
+      ids.push_back(sim.scheduleAt(sim::SimTime::micros(i), [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < events; i += 2) {
+      sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+void BM_LinkModelSampling(benchmark::State& state) {
+  const geom::Polyline road{{{0.0, 0.0}, {500.0, 0.0}}};
+  analysis::ChannelConfig config;
+  auto model = analysis::buildLinkModel(road, config, Rng{7});
+  Rng rng{9};
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1.0;
+    if (x > 400.0) x = 0.0;
+    const double mean = model->meanRxPowerDbm(kFirstApId, {250.0, -8.0}, 18.0,
+                                              1, {x, 0.0});
+    const double faded = model->fadedRxPowerDbm(mean, rng);
+    benchmark::DoNotOptimize(
+        model->successProbability(channel::PhyMode::kDsss1Mbps,
+                                  faded + 94.0, 8224));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkModelSampling);
+
+void BM_FrameAirtime(benchmark::State& state) {
+  int bytes = 0;
+  for (auto _ : state) {
+    bytes = (bytes + 17) % 1500;
+    benchmark::DoNotOptimize(
+        mac::frameAirtime(channel::PhyMode::kDsss1Mbps, bytes));
+    benchmark::DoNotOptimize(
+        mac::frameAirtime(channel::PhyMode::kErpOfdm54Mbps, bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FrameAirtime);
+
+void BM_FullUrbanRound(benchmark::State& state) {
+  analysis::UrbanExperimentConfig config;
+  config.rounds = 1;
+  config.seed = 11;
+  for (auto _ : state) {
+    analysis::UrbanExperiment experiment(config);
+    benchmark::DoNotOptimize(experiment.runRound(0));
+  }
+}
+BENCHMARK(BM_FullUrbanRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

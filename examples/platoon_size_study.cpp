@@ -1,0 +1,64 @@
+/// \file platoon_size_study.cpp
+/// How much diversity does each extra platoon member buy? Runs the urban
+/// scenario with growing platoons and two cooperator-selection policies,
+/// printing the lead car's loss trajectory. Demonstrates the selection
+/// API the paper's §6 leaves as future work.
+///
+///   $ ./platoon_size_study [--max-cars=6] [--rounds=10] [--seed=5]
+
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+  const int maxCars = flags.getInt("max-cars", 6);
+  const int rounds = flags.getInt("rounds", 10);
+
+  std::cout << "Loss of the lead car vs platoon size (urban loop, " << rounds
+            << " rounds)\n\n";
+  std::cout << std::left << std::setw(7) << "cars" << std::right
+            << std::setw(12) << "before" << std::setw(22)
+            << "after (all-one-hop)" << std::setw(22)
+            << "after (best-rssi k=2)" << std::setw(12) << "joint" << "\n";
+
+  for (int cars = 1; cars <= maxCars; ++cars) {
+    double before = 0.0;
+    double joint = 0.0;
+    double afterAll = 0.0;
+    double afterBest = 0.0;
+    for (const bool bestRssi : {false, true}) {
+      analysis::UrbanExperimentConfig config;
+      config.rounds = rounds;
+      config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 5));
+      config.scenario.carCount = cars;
+      config.carq.selection = bestRssi ? carq::SelectionPolicy::kBestRssi
+                                       : carq::SelectionPolicy::kAllOneHop;
+      config.carq.maxCooperators = 2;
+      analysis::UrbanExperiment experiment(config);
+      const auto result = experiment.run();
+      const auto& car1 = result.table1.rows.front();
+      if (bestRssi) {
+        afterBest = car1.pctLostAfter.mean();
+      } else {
+        afterAll = car1.pctLostAfter.mean();
+        before = car1.pctLostBefore.mean();
+        joint = car1.pctLostJoint.mean();
+      }
+    }
+    std::cout << std::left << std::setw(7) << cars << std::right << std::fixed
+              << std::setprecision(1) << std::setw(11) << before << "%"
+              << std::setw(21) << afterAll << "%" << std::setw(21)
+              << afterBest << "%" << std::setw(11) << joint << "%\n";
+  }
+  std::cout << "\nDiversity saturates after a few cars: the joint bound"
+               " flattens. Capping\nresponders at the two RSSI-strongest"
+               " neighbours shortens response windows but\ncosts some"
+               " recovery -- the strongest neighbours are the closest, most-"
+               "correlated\nones (the paper's open cooperator-selection"
+               " problem).\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+/// \file quickstart.cpp
+/// Minimal tour of the public API: build the paper's urban scenario, run a
+/// few rounds with Cooperative ARQ, and print what cooperation bought.
+///
+///   $ ./quickstart [--rounds=5] [--seed=1]
+
+#include <iostream>
+
+#include "analysis/experiment.h"
+#include "analysis/table1.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+
+  // 1. Describe the experiment. Defaults reproduce the ICDCS'08 testbed:
+  //    three cars lapping an urban block at 20 km/h past one AP that
+  //    streams 5 x 1000-byte packets per second to each car.
+  analysis::UrbanExperimentConfig config;
+  config.rounds = flags.getInt("rounds", 5);
+  config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+
+  // 2. Run it. Everything is deterministic in (config, seed).
+  analysis::UrbanExperiment experiment(config);
+  const analysis::UrbanExperimentResult result = experiment.run();
+
+  // 3. Read the results.
+  std::cout << "Cooperative ARQ on the urban loop, " << result.rounds
+            << " rounds:\n\n";
+  std::cout << analysis::renderLossSummary(result.table1) << "\n";
+  std::cout << "The joint bound is the virtual-car optimum: packets at least"
+               " one platoon\nmember received. C-ARQ closes most of the gap"
+               " between the before-cooperation\nlosses and that bound.\n";
+  return 0;
+}

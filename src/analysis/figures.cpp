@@ -1,0 +1,190 @@
+#include "analysis/figures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace vanet::analysis {
+namespace {
+
+/// Downsamples `series` to `width` columns by averaging.
+std::vector<double> resample(const std::vector<double>& series,
+                             std::size_t width) {
+  if (series.empty() || series.size() <= width) return series;
+  std::vector<double> out(width, 0.0);
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t lo = c * series.size() / width;
+    std::size_t hi = (c + 1) * series.size() / width;
+    hi = std::max(hi, lo + 1);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += series[i];
+    out[c] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+/// First series index any round populated: earlier cells belong to packets
+/// transmitted before this flow's destination ever entered coverage. The
+/// paper's figures number packets from the window start, so the renderers
+/// drop the leading empty cells and report the offset.
+std::size_t firstActiveIndex(const trace::FlowFigure& figure) {
+  std::size_t i = 0;
+  while (i < figure.joint.size() && figure.joint.at(i).count() == 0) ++i;
+  return i;
+}
+
+/// One past the last index with solid round coverage. Window ends jitter
+/// across rounds, so tail cells fed by only a round or two would show
+/// meaningless spikes; like the paper's plots we keep the common range
+/// (cells populated by at least a quarter of the rounds).
+std::size_t lastActiveIndex(const trace::FlowFigure& figure) {
+  std::size_t maxCount = 0;
+  for (std::size_t i = 0; i < figure.joint.size(); ++i) {
+    maxCount = std::max(maxCount, figure.joint.at(i).count());
+  }
+  const std::size_t threshold = std::max<std::size_t>(1, maxCount / 4);
+  std::size_t end = figure.joint.size();
+  while (end > 0 && figure.joint.at(end - 1).count() < threshold) --end;
+  return end;
+}
+
+std::vector<double> slice(const std::vector<double>& series, std::size_t start,
+                          std::size_t end) {
+  end = std::min(end, series.size());
+  if (start >= end) return {};
+  return std::vector<double>(series.begin() + static_cast<std::ptrdiff_t>(start),
+                             series.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+void printHeaderAndRegions(std::ostringstream& out,
+                           const trace::FlowFigure& figure,
+                           std::size_t offset) {
+  out << std::fixed << std::setprecision(1);
+  if (offset > 0) {
+    out << "(packet numbers relative to the window start; absolute offset +"
+        << offset << ")\n";
+  }
+  const double shift = static_cast<double>(offset);
+  out << "Region I/II boundary ~ packet "
+      << figure.regionBoundary12.mean() - shift << "  (sd "
+      << figure.regionBoundary12.stddev() << ")\n";
+  out << "Region II/III boundary ~ packet "
+      << figure.regionBoundary23.mean() - shift << "  (sd "
+      << figure.regionBoundary23.stddev() << ")\n";
+}
+
+}  // namespace
+
+std::string asciiPlot(const std::vector<std::vector<double>>& series,
+                      const std::vector<std::string>& labels,
+                      std::size_t width, std::size_t height) {
+  static constexpr char kMarks[] = {'*', '+', 'o', 'x'};
+  std::ostringstream out;
+  std::vector<std::vector<double>> cols;
+  cols.reserve(series.size());
+  std::size_t maxLen = 0;
+  for (const auto& s : series) {
+    cols.push_back(resample(s, width));
+    maxLen = std::max(maxLen, cols.back().size());
+  }
+  for (std::size_t row = 0; row < height; ++row) {
+    const double hi = 1.0 - static_cast<double>(row) / static_cast<double>(height);
+    const double lo = hi - 1.0 / static_cast<double>(height);
+    std::string line(maxLen, ' ');
+    for (std::size_t s = 0; s < cols.size(); ++s) {
+      const char mark = kMarks[s % sizeof(kMarks)];
+      for (std::size_t c = 0; c < cols[s].size(); ++c) {
+        const double v = cols[s][c];
+        if (v > lo && v <= hi) line[c] = mark;
+      }
+    }
+    out << (row == 0 ? "1.0 |" : row == height - 1 ? "0.0 |" : "    |") << line
+        << "\n";
+  }
+  out << "    +" << std::string(maxLen, '-') << "> packet number\n";
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    out << "      " << kMarks[s % sizeof(kMarks)] << " = " << labels[s] << "\n";
+  }
+  return out.str();
+}
+
+std::string renderReceptionFigure(const trace::FlowFigure& figure,
+                                  std::size_t smoothingHalfWindow) {
+  std::ostringstream out;
+  out << "Probability of reception in packets addressed to car "
+      << figure.flow << "\n";
+  const std::size_t offset = firstActiveIndex(figure);
+  const std::size_t end = lastActiveIndex(figure);
+  printHeaderAndRegions(out, figure, offset);
+
+  std::vector<std::vector<double>> series;
+  std::vector<std::string> labels;
+  for (const auto& [car, acc] : figure.rxByCar) {
+    series.push_back(slice(acc.smoothedMeans(smoothingHalfWindow), offset, end));
+    labels.push_back("Rx in car " + std::to_string(car));
+  }
+  out << asciiPlot(series, labels);
+
+  // Column dump (the figure's underlying data).
+  out << std::setw(8) << "packet";
+  for (const auto& label : labels) out << std::setw(14) << label;
+  out << "\n" << std::setprecision(3);
+  std::size_t maxLen = 0;
+  for (const auto& s : series) maxLen = std::max(maxLen, s.size());
+  for (std::size_t i = 0; i < maxLen; ++i) {
+    out << std::setw(8) << (i + 1);
+    for (const auto& s : series) {
+      if (i < s.size()) {
+        out << std::setw(14) << s[i];
+      } else {
+        out << std::setw(14) << "-";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string renderCoopFigure(const trace::FlowFigure& figure,
+                             std::size_t smoothingHalfWindow) {
+  std::ostringstream out;
+  out << "Probability of reception with C-ARQ in car " << figure.flow << "\n";
+  const std::size_t offset = firstActiveIndex(figure);
+  const std::size_t end = lastActiveIndex(figure);
+  printHeaderAndRegions(out, figure, offset);
+
+  const std::vector<double> after =
+      slice(figure.afterCoop.smoothedMeans(smoothingHalfWindow), offset, end);
+  const std::vector<double> joint =
+      slice(figure.joint.smoothedMeans(smoothingHalfWindow), offset, end);
+  out << asciiPlot(
+      {after, joint},
+      {"Rx in car " + std::to_string(figure.flow) + " after coop.",
+       "Joint Rx in any car"});
+
+  // Coincidence metric: the paper's claim is that the two curves are
+  // "almost coincident".
+  double maxGap = 0.0;
+  double sumGap = 0.0;
+  const std::size_t n = std::min(after.size(), joint.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gap = std::abs(after[i] - joint[i]);
+    maxGap = std::max(maxGap, gap);
+    sumGap += gap;
+  }
+  out << std::setprecision(4);
+  out << "mean |after-coop - joint| = " << (n > 0 ? sumGap / static_cast<double>(n) : 0.0)
+      << ", max = " << maxGap << "\n";
+
+  out << std::setw(8) << "packet" << std::setw(14) << "after-coop"
+      << std::setw(14) << "joint" << "\n"
+      << std::setprecision(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    out << std::setw(8) << (i + 1) << std::setw(14) << after[i]
+        << std::setw(14) << joint[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vanet::analysis

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file figures.h
+/// Renderers for the paper's Figures 3-8: reception probability versus
+/// packet number series, printed as aligned columns (the exact data behind
+/// the paper's gnuplot curves) plus a coarse ASCII plot for quick visual
+/// inspection in the bench output.
+
+#include <string>
+
+#include "trace/aggregate.h"
+
+namespace vanet::analysis {
+
+/// Figures 3-5: P(reception) of `figure.flow`'s packets at every car,
+/// with the Region I/II/III boundaries.
+std::string renderReceptionFigure(const trace::FlowFigure& figure,
+                                  std::size_t smoothingHalfWindow = 2);
+
+/// Figures 6-8: after-cooperation probability vs the joint (any-car)
+/// probability for `figure.flow`.
+std::string renderCoopFigure(const trace::FlowFigure& figure,
+                             std::size_t smoothingHalfWindow = 2);
+
+/// Compact ASCII plot of up to 4 series (rows: probability 1.0 .. 0.0).
+std::string asciiPlot(const std::vector<std::vector<double>>& series,
+                      const std::vector<std::string>& labels,
+                      std::size_t width = 100, std::size_t height = 12);
+
+}  // namespace vanet::analysis

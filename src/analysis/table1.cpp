@@ -1,0 +1,63 @@
+#include "analysis/table1.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace vanet::analysis {
+
+std::string renderTable1(const trace::Table1Data& data) {
+  std::ostringstream out;
+  out << "Table 1. Average values on the number of packets received and "
+         "lost (over "
+      << data.rounds << " rounds)\n";
+  out << "-----------------------------------------------------------------"
+         "-----------------------\n";
+  out << std::left << std::setw(6) << "Car" << std::setw(10) << ""
+      << std::right << std::setw(12) << "Tx by AP" << std::setw(11)
+      << "Lost bef." << std::setw(10) << "(pct)" << std::setw(11)
+      << "Lost aft." << std::setw(10) << "(pct)" << std::setw(11)
+      << "Joint" << std::setw(10) << "(pct)" << "\n";
+  out << "-----------------------------------------------------------------"
+         "-----------------------\n";
+  out << std::fixed;
+  for (const trace::Table1Row& row : data.rows) {
+    out << std::left << std::setw(6) << row.car << std::setw(10) << "Mean"
+        << std::right << std::setprecision(1) << std::setw(12)
+        << row.txByAp.mean() << std::setw(11) << row.lostBefore.mean()
+        << std::setw(9) << row.pctLostBefore.mean() << "%" << std::setw(11)
+        << row.lostAfter.mean() << std::setw(9) << row.pctLostAfter.mean()
+        << "%" << std::setw(11) << row.lostJoint.mean() << std::setw(9)
+        << row.pctLostJoint.mean() << "%\n";
+    out << std::left << std::setw(6) << "" << std::setw(10) << "Std. Dev."
+        << std::right << std::setw(12) << row.txByAp.stddev() << std::setw(11)
+        << row.lostBefore.stddev() << std::setw(10) << "" << std::setw(11)
+        << row.lostAfter.stddev() << std::setw(10) << "" << std::setw(11)
+        << row.lostJoint.stddev() << std::setw(10) << "" << "\n";
+    out << std::left << std::setw(6) << "" << std::setw(10) << "95% CI"
+        << std::right << std::setw(11) << row.txByAp.confidence95() << " "
+        << std::setw(11) << row.lostBefore.confidence95() << std::setw(10)
+        << "" << std::setw(11) << row.lostAfter.confidence95()
+        << std::setw(10) << "" << std::setw(11)
+        << row.lostJoint.confidence95() << std::setw(10) << "" << "\n";
+  }
+  out << "-----------------------------------------------------------------"
+         "-----------------------\n";
+  return out.str();
+}
+
+std::string renderLossSummary(const trace::Table1Data& data) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  for (const trace::Table1Row& row : data.rows) {
+    const double before = row.pctLostBefore.mean();
+    const double after = row.pctLostAfter.mean();
+    const double reduction =
+        before > 0.0 ? 100.0 * (before - after) / before : 0.0;
+    out << "car " << row.car << ": losses " << before << "% -> " << after
+        << "% after cooperation (" << reduction << "% reduction; joint bound "
+        << row.pctLostJoint.mean() << "%)\n";
+  }
+  return out.str();
+}
+
+}  // namespace vanet::analysis

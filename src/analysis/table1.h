@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file table1.h
+/// Text renderer for the paper's Table 1 ("Average values on the number of
+/// packets received and lost in the three cars"), extended with the joint
+/// (virtual-car) bound so the optimality gap is visible at a glance.
+
+#include <string>
+
+#include "trace/aggregate.h"
+
+namespace vanet::analysis {
+
+/// Renders the aggregated Table 1 in the paper's layout:
+/// per car, mean and std-dev of packets transmitted by the AP, lost before
+/// cooperation and lost after cooperation (absolute and percentage).
+std::string renderTable1(const trace::Table1Data& data);
+
+/// One-line per-car summary, for quickstart-style output.
+std::string renderLossSummary(const trace::Table1Data& data);
+
+}  // namespace vanet::analysis

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file error_model.h
+/// SNR -> bit error rate -> frame success probability for the 802.11b/g
+/// PHY modes used in the paper (the testbed ran 802.11g at 1 Mbps, i.e.
+/// the DSSS DBPSK mode). The BER expressions are the standard analytic
+/// approximations (DBPSK/DQPSK exact, CCK and ERP-OFDM approximated);
+/// absolute calibration is done at the link-budget level, the role of this
+/// module is a physically shaped S-curve.
+
+#include <string_view>
+
+namespace vanet::channel {
+
+/// PHY transmission modes (a subset sufficient for the experiments).
+enum class PhyMode {
+  kDsss1Mbps,   ///< DBPSK, 11-chip Barker (the paper's mode)
+  kDsss2Mbps,   ///< DQPSK, 11-chip Barker
+  kCck5_5Mbps,  ///< CCK
+  kCck11Mbps,   ///< CCK
+  kErpOfdm6Mbps,
+  kErpOfdm12Mbps,
+  kErpOfdm24Mbps,
+  kErpOfdm54Mbps,
+};
+
+/// Data rate of a mode in Mbit/s.
+double bitrateMbps(PhyMode mode) noexcept;
+
+/// Human-readable mode name (for logs and bench output).
+std::string_view modeName(PhyMode mode) noexcept;
+
+/// Bit error probability at the given received SNR (dB over the 22 MHz
+/// channel noise bandwidth for DSSS/CCK, 20 MHz for ERP).
+double bitErrorRate(PhyMode mode, double snrDb) noexcept;
+
+/// Probability that a frame of `bits` payload+header bits is received
+/// without error: (1 - BER)^bits, with the PLCP preamble assumed robust.
+double frameSuccessProbability(PhyMode mode, double snrDb, int bits) noexcept;
+
+}  // namespace vanet::channel

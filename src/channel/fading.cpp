@@ -1,0 +1,69 @@
+#include "channel/fading.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace vanet::channel {
+
+double RayleighFading::sampleDb(Rng& rng) const {
+  // Power gain is exponential with unit mean; guard against log(0).
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  const double power = -std::log(u);
+  return 10.0 * std::log10(power);
+}
+
+RicianFading::RicianFading(double kFactor) : k_(kFactor) {
+  VANET_ASSERT(k_ >= 0.0, "Rician K-factor must be non-negative");
+}
+
+NakagamiFading::NakagamiFading(double m) : m_(m) {
+  VANET_ASSERT(m_ >= 0.5, "Nakagami m must be at least 0.5");
+}
+
+namespace {
+
+/// Marsaglia-Tsang gamma sampler for shape >= 0.5 (unit scale). For
+/// shape < 1 uses the standard boost Gamma(a) = Gamma(a+1) * U^(1/a).
+double sampleGamma(double shape, Rng& rng) {
+  if (shape < 1.0) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    return sampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+double NakagamiFading::sampleDb(Rng& rng) const {
+  // Power ~ Gamma(m, 1/m): unit mean, variance 1/m.
+  const double power = sampleGamma(m_, rng) / m_;
+  return 10.0 * std::log10(std::max(power, 1e-12));
+}
+
+double RicianFading::sampleDb(Rng& rng) const {
+  // Complex gain = sqrt(K/(K+1)) + CN(0, 1/(K+1)); power normalised to
+  // unit mean.
+  const double losAmplitude = std::sqrt(k_ / (k_ + 1.0));
+  const double scatterSigma = std::sqrt(1.0 / (2.0 * (k_ + 1.0)));
+  const double re = losAmplitude + rng.normal(0.0, scatterSigma);
+  const double im = rng.normal(0.0, scatterSigma);
+  const double power = re * re + im * im;
+  return 10.0 * std::log10(std::max(power, 1e-12));
+}
+
+}  // namespace vanet::channel

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file fading.h
+/// Small-scale fading sampled independently per frame (block fading: the
+/// channel is assumed coherent over one frame and independent across
+/// frames, reasonable at vehicular speeds where frames are ~10 ms apart).
+
+#include "util/rng.h"
+
+namespace vanet::channel {
+
+/// Per-frame fading gain in dB (0 dB mean-power reference).
+class FadingModel {
+ public:
+  virtual ~FadingModel() = default;
+
+  /// Samples the fading gain for one frame.
+  virtual double sampleDb(Rng& rng) const = 0;
+};
+
+/// No fading: always 0 dB.
+class NoFading final : public FadingModel {
+ public:
+  double sampleDb(Rng&) const override { return 0.0; }
+};
+
+/// Rayleigh fading: power gain ~ Exp(1) (unit mean).
+class RayleighFading final : public FadingModel {
+ public:
+  double sampleDb(Rng& rng) const override;
+};
+
+/// Rician fading with K-factor (ratio of line-of-sight to scattered power).
+/// K -> 0 degenerates to Rayleigh; large K approaches no fading.
+class RicianFading final : public FadingModel {
+ public:
+  explicit RicianFading(double kFactor);
+  double sampleDb(Rng& rng) const override;
+
+  double kFactor() const noexcept { return k_; }
+
+ private:
+  double k_;
+};
+
+/// Nakagami-m fading (power gain ~ Gamma(m, 1/m), unit mean). m = 1 is
+/// Rayleigh; m > 1 models milder vehicular fading; m < 1 (down to 0.5)
+/// is harsher than Rayleigh. The common choice for VANET channel studies.
+class NakagamiFading final : public FadingModel {
+ public:
+  /// Requires m >= 0.5.
+  explicit NakagamiFading(double m);
+  double sampleDb(Rng& rng) const override;
+
+  double m() const noexcept { return m_; }
+
+ private:
+  double m_;
+};
+
+}  // namespace vanet::channel

@@ -1,0 +1,46 @@
+#include "channel/gilbert_elliott.h"
+
+#include "util/assert.h"
+
+namespace vanet::channel {
+
+GilbertElliott::GilbertElliott(GilbertElliottParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  VANET_ASSERT(params_.meanGoodSeconds > 0.0 && params_.meanBadSeconds > 0.0,
+               "mean sojourn times must be positive");
+}
+
+void GilbertElliott::advanceTo(sim::SimTime now) {
+  if (!initialised_) {
+    // Start in the stationary state distribution.
+    const double pGood = params_.meanGoodSeconds /
+                         (params_.meanGoodSeconds + params_.meanBadSeconds);
+    state_ = rng_.bernoulli(pGood) ? State::kGood : State::kBad;
+    const double mean = state_ == State::kGood ? params_.meanGoodSeconds
+                                               : params_.meanBadSeconds;
+    stateUntil_ = sim::SimTime::seconds(rng_.exponential(1.0 / mean));
+    initialised_ = true;
+  }
+  while (stateUntil_ < now) {
+    state_ = state_ == State::kGood ? State::kBad : State::kGood;
+    const double mean = state_ == State::kGood ? params_.meanGoodSeconds
+                                               : params_.meanBadSeconds;
+    stateUntil_ += sim::SimTime::seconds(rng_.exponential(1.0 / mean));
+  }
+}
+
+bool GilbertElliott::loseFrame(sim::SimTime now) {
+  advanceTo(now);
+  const double p =
+      state_ == State::kGood ? params_.lossInGood : params_.lossInBad;
+  return rng_.bernoulli(p);
+}
+
+double GilbertElliott::stationaryLoss(const GilbertElliottParams& params) noexcept {
+  const double total = params.meanGoodSeconds + params.meanBadSeconds;
+  return (params.meanGoodSeconds * params.lossInGood +
+          params.meanBadSeconds * params.lossInBad) /
+         total;
+}
+
+}  // namespace vanet::channel

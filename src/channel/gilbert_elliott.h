@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file gilbert_elliott.h
+/// Two-state (Good/Bad) continuous-time burst-loss overlay. Useful to add
+/// loss burstiness beyond what block fading produces, and as a standalone
+/// channel for protocol unit tests with exactly controllable loss traces.
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace vanet::channel {
+
+/// Parameters of the continuous-time Gilbert–Elliott chain.
+struct GilbertElliottParams {
+  double meanGoodSeconds = 4.0;  ///< mean sojourn in Good
+  double meanBadSeconds = 0.6;   ///< mean sojourn in Bad
+  double lossInGood = 0.0;       ///< frame loss probability in Good
+  double lossInBad = 0.8;        ///< frame loss probability in Bad
+};
+
+/// One directed link's burst state. Frames query loseFrame() with the
+/// current simulation time; the chain advances by sampling exponential
+/// sojourns over the elapsed interval.
+class GilbertElliott {
+ public:
+  enum class State { kGood, kBad };
+
+  GilbertElliott(GilbertElliottParams params, Rng rng);
+
+  /// Advances the chain to `now` and samples whether a frame sent at `now`
+  /// is lost by the burst process.
+  bool loseFrame(sim::SimTime now);
+
+  State state() const noexcept { return state_; }
+
+  /// Long-run average frame loss probability of the chain.
+  static double stationaryLoss(const GilbertElliottParams& params) noexcept;
+
+ private:
+  void advanceTo(sim::SimTime now);
+
+  GilbertElliottParams params_;
+  Rng rng_;
+  State state_ = State::kGood;
+  sim::SimTime stateUntil_{};  // sampled end of the current sojourn
+  bool initialised_ = false;
+};
+
+}  // namespace vanet::channel

@@ -1,0 +1,63 @@
+#include "channel/link_model.h"
+
+#include "util/assert.h"
+
+namespace vanet::channel {
+
+CompositeLinkModel::CompositeLinkModel(
+    std::unique_ptr<PathLossModel> infraPathLoss,
+    std::unique_ptr<PathLossModel> carToCarPathLoss,
+    std::unique_ptr<ShadowingProvider> shadowing,
+    std::unique_ptr<FadingModel> fading, LinkBudget budget)
+    : infraPathLoss_(std::move(infraPathLoss)),
+      carToCarPathLoss_(std::move(carToCarPathLoss)),
+      shadowing_(std::move(shadowing)), fading_(std::move(fading)),
+      budget_(budget) {
+  VANET_ASSERT(infraPathLoss_ != nullptr, "infra path-loss model required");
+  VANET_ASSERT(carToCarPathLoss_ != nullptr, "c2c path-loss model required");
+  VANET_ASSERT(shadowing_ != nullptr, "shadowing provider required");
+  VANET_ASSERT(fading_ != nullptr, "fading model required");
+}
+
+void CompositeLinkModel::enableBurstOverlay(GilbertElliottParams params, Rng rng) {
+  burstParams_ = params;
+  burstRng_ = rng;
+  burstChains_.clear();
+}
+
+double CompositeLinkModel::meanRxPowerDbm(NodeId tx, geom::Vec2 txPos,
+                                          double txPowerDbm, NodeId rx,
+                                          geom::Vec2 rxPos) {
+  const double d = geom::distance(txPos, rxPos);
+  const bool infraLink = tx >= kFirstApId || rx >= kFirstApId;
+  const PathLossModel& pathLoss =
+      infraLink ? *infraPathLoss_ : *carToCarPathLoss_;
+  return txPowerDbm - pathLoss.lossDb(d) +
+         shadowing_->shadowDb(tx, txPos, rx, rxPos);
+}
+
+double CompositeLinkModel::fadedRxPowerDbm(double meanDbm, Rng& rng) {
+  return meanDbm + fading_->sampleDb(rng);
+}
+
+double CompositeLinkModel::successProbability(PhyMode mode, double sinrDb,
+                                              int bits) const {
+  return frameSuccessProbability(mode, sinrDb, bits);
+}
+
+bool CompositeLinkModel::burstLoss(NodeId tx, NodeId rx, sim::SimTime now,
+                                   int /*frameClass*/) {
+  if (!burstParams_.has_value()) return false;
+  const auto key = std::make_pair(tx, rx);
+  auto it = burstChains_.find(key);
+  if (it == burstChains_.end()) {
+    // Derive a per-link chain seed deterministically from the pair.
+    Rng chainRng = burstRng_->child(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx)) << 32) |
+        static_cast<std::uint32_t>(rx));
+    it = burstChains_.emplace(key, GilbertElliott{*burstParams_, chainRng}).first;
+  }
+  return it->second.loseFrame(now);
+}
+
+}  // namespace vanet::channel

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file link_model.h
+/// The composite link model: large-scale path loss + correlated shadowing
+/// + per-frame fading + optional Gilbert–Elliott burst overlay, with the
+/// receiver thresholds the radio environment needs (sensitivity, carrier
+/// sense, capture).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "channel/error_model.h"
+#include "channel/fading.h"
+#include "channel/gilbert_elliott.h"
+#include "channel/propagation.h"
+#include "channel/shadowing.h"
+#include "geom/vec2.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vanet::channel {
+
+/// Receiver-side constants of the link budget.
+struct LinkBudget {
+  double noiseFloorDbm = -94.0;      ///< thermal noise + NF over 22 MHz
+  double sensitivityDbm = -96.0;     ///< below this a frame is undetectable
+  double carrierSenseDbm = -92.0;    ///< energy-detect threshold for CSMA
+  double captureThresholdDb = 8.0;   ///< min SINR to attempt capture
+};
+
+/// Abstract link model consumed by the radio environment.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Mean received power in dBm (path loss + shadowing, no fading): used
+  /// for carrier sensing and as the base for per-frame fading draws.
+  virtual double meanRxPowerDbm(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                                NodeId rx, geom::Vec2 rxPos) = 0;
+
+  /// Per-frame faded received power in dBm given the mean.
+  virtual double fadedRxPowerDbm(double meanDbm, Rng& rng) = 0;
+
+  /// Frame decode probability at the given post-interference SINR.
+  virtual double successProbability(PhyMode mode, double sinrDb,
+                                    int bits) const = 0;
+
+  /// Stateful burst-loss overlay for a directed link; default: none.
+  /// `frameClass` is an opaque tag supplied by the caller (the MAC passes
+  /// its FrameKind) so overlays and test doubles can target frame types;
+  /// models are free to ignore it.
+  virtual bool burstLoss(NodeId /*tx*/, NodeId /*rx*/, sim::SimTime /*now*/,
+                         int /*frameClass*/) {
+    return false;
+  }
+
+  virtual const LinkBudget& budget() const = 0;
+};
+
+/// Standard composition used by all experiments. Owns its parts.
+///
+/// Infrastructure links (either endpoint id >= kFirstApId) and car-to-car
+/// links use distinct path-loss models: the testbed's AP sat behind an
+/// office window (large fixed penetration loss), while platoon cars keep
+/// street-level line of sight.
+class CompositeLinkModel final : public LinkModel {
+ public:
+  CompositeLinkModel(std::unique_ptr<PathLossModel> infraPathLoss,
+                     std::unique_ptr<PathLossModel> carToCarPathLoss,
+                     std::unique_ptr<ShadowingProvider> shadowing,
+                     std::unique_ptr<FadingModel> fading, LinkBudget budget);
+
+  /// Enables a Gilbert–Elliott overlay on every directed link (each link
+  /// gets an independent chain seeded from `rng`).
+  void enableBurstOverlay(GilbertElliottParams params, Rng rng);
+
+  double meanRxPowerDbm(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                        NodeId rx, geom::Vec2 rxPos) override;
+  double fadedRxPowerDbm(double meanDbm, Rng& rng) override;
+  double successProbability(PhyMode mode, double sinrDb, int bits) const override;
+  bool burstLoss(NodeId tx, NodeId rx, sim::SimTime now,
+                 int frameClass) override;
+  const LinkBudget& budget() const override { return budget_; }
+
+ private:
+  std::unique_ptr<PathLossModel> infraPathLoss_;
+  std::unique_ptr<PathLossModel> carToCarPathLoss_;
+  std::unique_ptr<ShadowingProvider> shadowing_;
+  std::unique_ptr<FadingModel> fading_;
+  LinkBudget budget_;
+  std::optional<GilbertElliottParams> burstParams_;
+  std::optional<Rng> burstRng_;
+  std::map<std::pair<NodeId, NodeId>, GilbertElliott> burstChains_;
+};
+
+}  // namespace vanet::channel

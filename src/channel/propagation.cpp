@@ -1,0 +1,62 @@
+#include "channel/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace vanet::channel {
+namespace {
+
+constexpr double kSpeedOfLight = 2.99792458e8;  // m/s
+constexpr double kMinDistance = 1.0;            // metres
+
+}  // namespace
+
+FreeSpacePathLoss::FreeSpacePathLoss(double frequencyHz) {
+  VANET_ASSERT(frequencyHz > 0.0, "carrier frequency must be positive");
+  fixedTermDb_ =
+      20.0 * std::log10(4.0 * std::numbers::pi * frequencyHz / kSpeedOfLight);
+}
+
+double FreeSpacePathLoss::lossDb(double distanceMetres) const {
+  const double d = std::max(distanceMetres, kMinDistance);
+  return fixedTermDb_ + 20.0 * std::log10(d);
+}
+
+LogDistancePathLoss::LogDistancePathLoss(double exponent, double referenceLossDb,
+                                         double referenceDistance)
+    : exponent_(exponent), referenceLossDb_(referenceLossDb),
+      referenceDistance_(referenceDistance) {
+  VANET_ASSERT(exponent_ > 0.0, "path-loss exponent must be positive");
+  VANET_ASSERT(referenceDistance_ > 0.0, "reference distance must be positive");
+}
+
+double LogDistancePathLoss::lossDb(double distanceMetres) const {
+  const double d = std::max(distanceMetres, kMinDistance);
+  return referenceLossDb_ +
+         10.0 * exponent_ * std::log10(d / referenceDistance_);
+}
+
+TwoRayGroundPathLoss::TwoRayGroundPathLoss(double txHeightMetres,
+                                           double rxHeightMetres,
+                                           double frequencyHz)
+    : txHeight_(txHeightMetres), rxHeight_(rxHeightMetres),
+      freeSpace_(frequencyHz) {
+  VANET_ASSERT(txHeight_ > 0.0 && rxHeight_ > 0.0,
+               "antenna heights must be positive");
+  const double wavelength = kSpeedOfLight / frequencyHz;
+  crossover_ = 4.0 * std::numbers::pi * txHeight_ * rxHeight_ / wavelength;
+}
+
+double TwoRayGroundPathLoss::lossDb(double distanceMetres) const {
+  const double d = std::max(distanceMetres, kMinDistance);
+  if (d < crossover_) {
+    return freeSpace_.lossDb(d);
+  }
+  // Beyond the crossover the two-ray model: PL = 40 log10(d) - 20 log10(ht hr).
+  return 40.0 * std::log10(d) - 20.0 * std::log10(txHeight_ * rxHeight_);
+}
+
+}  // namespace vanet::channel

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file propagation.h
+/// Deterministic large-scale path-loss models. All return loss in dB for a
+/// transmitter/receiver separation in metres; stochastic terms (shadowing,
+/// fading) are layered on top by the composite link model.
+
+#include <memory>
+
+namespace vanet::channel {
+
+/// Distance -> mean path loss (dB). Implementations must be monotone
+/// non-decreasing in distance.
+class PathLossModel {
+ public:
+  virtual ~PathLossModel() = default;
+
+  /// Path loss in dB at `distanceMetres` (clamped internally to >= 1 m so
+  /// co-located nodes do not produce infinities).
+  virtual double lossDb(double distanceMetres) const = 0;
+};
+
+/// Free-space (Friis) propagation at a given carrier frequency.
+class FreeSpacePathLoss final : public PathLossModel {
+ public:
+  explicit FreeSpacePathLoss(double frequencyHz = 2.4e9);
+  double lossDb(double distanceMetres) const override;
+
+ private:
+  double fixedTermDb_;  // 20 log10(4 pi f / c)
+};
+
+/// Log-distance model: loss(d) = refLoss(d0) + 10 n log10(d / d0).
+/// The workhorse for the urban scenario (exponent ~3 captures the
+/// window-mounted AP of the testbed).
+class LogDistancePathLoss final : public PathLossModel {
+ public:
+  /// `referenceLossDb` is the loss at `referenceDistance` metres.
+  LogDistancePathLoss(double exponent, double referenceLossDb,
+                      double referenceDistance = 1.0);
+  double lossDb(double distanceMetres) const override;
+
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  double exponent_;
+  double referenceLossDb_;
+  double referenceDistance_;
+};
+
+/// Two-ray ground-reflection model with free-space behaviour below the
+/// crossover distance; suits flat highway stretches.
+class TwoRayGroundPathLoss final : public PathLossModel {
+ public:
+  TwoRayGroundPathLoss(double txHeightMetres, double rxHeightMetres,
+                       double frequencyHz = 2.4e9);
+  double lossDb(double distanceMetres) const override;
+
+  double crossoverDistance() const noexcept { return crossover_; }
+
+ private:
+  double txHeight_;
+  double rxHeight_;
+  FreeSpacePathLoss freeSpace_;
+  double crossover_;
+};
+
+}  // namespace vanet::channel

@@ -1,0 +1,81 @@
+#include "channel/shadowing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace vanet::channel {
+
+ObstructedShadowing::ObstructedShadowing(
+    std::unique_ptr<ShadowingProvider> base,
+    std::function<double(geom::Vec2)> obstructionDb)
+    : base_(std::move(base)), obstructionDb_(std::move(obstructionDb)) {
+  VANET_ASSERT(base_ != nullptr, "obstruction needs a base provider");
+  VANET_ASSERT(obstructionDb_ != nullptr, "obstruction function required");
+}
+
+double ObstructedShadowing::shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
+                                     geom::Vec2 rxPos) {
+  const double base = base_->shadowDb(tx, txPos, rx, rxPos);
+  const bool txInfra = tx >= kFirstApId;
+  const bool rxInfra = rx >= kFirstApId;
+  if (txInfra == rxInfra) return base;  // car<->car: no corner blocking
+  const geom::Vec2 mobilePos = txInfra ? rxPos : txPos;
+  return base - obstructionDb_(mobilePos);
+}
+
+CorrelatedRoadShadowing::CorrelatedRoadShadowing(const geom::Polyline& road,
+                                                 ShadowingParams params, Rng rng)
+    : road_(road), params_(params), rng_(rng) {
+  VANET_ASSERT(params_.gridStepMetres > 0.0, "grid step must be positive");
+  VANET_ASSERT(params_.decorrelationMetres > 0.0,
+               "decorrelation distance must be positive");
+  const auto cells = static_cast<std::size_t>(
+                         std::ceil(road_.length() / params_.gridStepMetres)) +
+                     1;
+  field_.reserve(cells);
+  // Stationary AR(1): x[k] = rho x[k-1] + sqrt(1-rho^2) sigma n[k].
+  const double rho =
+      std::exp(-params_.gridStepMetres / params_.decorrelationMetres);
+  const double innovation =
+      params_.infraSigmaDb * std::sqrt(1.0 - rho * rho);
+  double x = rng_.normal(0.0, params_.infraSigmaDb);
+  field_.push_back(x);
+  for (std::size_t k = 1; k < cells; ++k) {
+    x = rho * x + rng_.normal(0.0, innovation);
+    field_.push_back(x);
+  }
+}
+
+double CorrelatedRoadShadowing::fieldAt(double arc) const {
+  const double clamped = std::clamp(arc, 0.0, road_.length());
+  const double pos = clamped / params_.gridStepMetres;
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, field_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return field_[lo] * (1.0 - frac) + field_[hi] * frac;
+}
+
+double CorrelatedRoadShadowing::pairConstant(NodeId a, NodeId b) {
+  const auto key = std::minmax(a, b);
+  const auto it = pairDb_.find(key);
+  if (it != pairDb_.end()) return it->second;
+  const double value = rng_.normal(0.0, params_.c2cSigmaDb);
+  pairDb_.emplace(key, value);
+  return value;
+}
+
+double CorrelatedRoadShadowing::shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
+                                         geom::Vec2 rxPos) {
+  const bool txInfra = isInfrastructure(tx);
+  const bool rxInfra = isInfrastructure(rx);
+  if (txInfra == rxInfra) {
+    // car<->car (or AP<->AP, unused): per-pair constant, symmetric.
+    return pairConstant(tx, rx);
+  }
+  const geom::Vec2 mobilePos = txInfra ? rxPos : txPos;
+  return fieldAt(road_.project(mobilePos));
+}
+
+}  // namespace vanet::channel

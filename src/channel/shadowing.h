@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file shadowing.h
+/// Log-normal shadowing with Gudmundson-style spatial correlation.
+///
+/// AP->car links read a 1-D correlated Gaussian field indexed by the car's
+/// arc position along the road: two cars close together see nearly the
+/// same shadowing (this is what correlates car 2 and car 3 after the
+/// corner-C convergence). Car->car links use a per-pair constant drawn
+/// once per round (platoon members keep line of sight, so the variance is
+/// small). The field is resampled every round.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "geom/polyline.h"
+#include "geom/vec2.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vanet::channel {
+
+/// Interface: shadowing (dB) for a directed link at given positions.
+class ShadowingProvider {
+ public:
+  virtual ~ShadowingProvider() = default;
+
+  /// Shadowing term in dB added to the link budget (may be negative).
+  virtual double shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
+                          geom::Vec2 rxPos) = 0;
+};
+
+/// Zero shadowing (for unit tests and idealised sweeps).
+class NoShadowing final : public ShadowingProvider {
+ public:
+  double shadowDb(NodeId, geom::Vec2, NodeId, geom::Vec2) override { return 0.0; }
+};
+
+/// Parameters of the correlated road-shadowing model.
+struct ShadowingParams {
+  double infraSigmaDb = 6.0;   ///< std-dev of AP->car shadowing
+  double decorrelationMetres = 18.0;  ///< Gudmundson decorrelation distance
+  double gridStepMetres = 3.0;        ///< field sampling grain
+  double c2cSigmaDb = 2.0;     ///< std-dev of car->car per-pair constant
+};
+
+/// Decorator that subtracts a deterministic obstruction loss for
+/// infrastructure links, as a function of the mobile endpoint's position.
+/// Used to model urban corner blocking: once a car turns off the covered
+/// street, buildings cut line of sight to the window-mounted AP far faster
+/// than distance alone would.
+class ObstructedShadowing final : public ShadowingProvider {
+ public:
+  /// `obstructionDb(pos)` returns extra loss (>= 0 dB) for a mobile at
+  /// `pos`; applied only when exactly one endpoint is infrastructure
+  /// (id >= kFirstApId).
+  ObstructedShadowing(std::unique_ptr<ShadowingProvider> base,
+                      std::function<double(geom::Vec2)> obstructionDb);
+
+  double shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
+                  geom::Vec2 rxPos) override;
+
+ private:
+  std::unique_ptr<ShadowingProvider> base_;
+  std::function<double(geom::Vec2)> obstructionDb_;
+};
+
+/// Correlated shadowing along a road polyline (see file comment).
+///
+/// Nodes with id >= kFirstApId are infrastructure; a link is "infra" when
+/// either endpoint is infrastructure, and reads the spatial field at the
+/// mobile endpoint's projected arc position.
+class CorrelatedRoadShadowing final : public ShadowingProvider {
+ public:
+  CorrelatedRoadShadowing(const geom::Polyline& road, ShadowingParams params,
+                          Rng rng);
+
+  double shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
+                  geom::Vec2 rxPos) override;
+
+  /// Field value at road arc `s` (linear interpolation between grid points).
+  double fieldAt(double arc) const;
+
+ private:
+  static bool isInfrastructure(NodeId id) noexcept { return id >= kFirstApId; }
+
+  double pairConstant(NodeId a, NodeId b);
+
+  const geom::Polyline& road_;
+  ShadowingParams params_;
+  Rng rng_;
+  std::vector<double> field_;  // AR(1) samples every gridStepMetres
+  std::map<std::pair<NodeId, NodeId>, double> pairDb_;  // lazily sampled
+};
+
+}  // namespace vanet::channel

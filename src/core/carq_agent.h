@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file carq_agent.h
+/// The Cooperative ARQ agent running on every car (the paper's
+/// contribution, §3). It owns the three-phase state machine:
+///
+///   Idle ──first AP packet──▶ Reception ──5 s silence──▶ Cooperative-ARQ
+///     ▲                                                        │
+///     └──────────────── new AP packet ◀───────────────────────┘
+///
+/// During Reception it buffers overheard packets for platoon members that
+/// announced it as a cooperator (HELLO exchange). In Cooperative-ARQ it
+/// cycles REQUESTs over its missing list and answers other cars' REQUESTs
+/// with an ordered fixed backoff, suppressing its response when a
+/// lower-order cooperator is overheard sending the same packet first.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/config.h"
+#include "core/cooperator_table.h"
+#include "core/packet_store.h"
+#include "core/request_scheduler.h"
+#include "core/soft_combiner.h"
+#include "net/node.h"
+
+namespace vanet::carq {
+
+/// Protocol phases (paper §3.1–§3.3; association is folded into the first
+/// packet reception exactly like the prototype).
+enum class Phase { kIdle, kReception, kCoopArq };
+
+/// Human-readable phase name.
+const char* phaseName(Phase phase) noexcept;
+
+/// Observation points used by the trace/analysis layers and tests. All
+/// callbacks are optional.
+struct CarqHooks {
+  /// Any decoded AP data frame, own flow or not (builds the Figures 3-5
+  /// reception matrix).
+  std::function<void(FlowId, SeqNo, sim::SimTime)> onOverhearData;
+  /// A new own-flow packet received directly from the AP.
+  std::function<void(SeqNo, sim::SimTime)> onDirectRx;
+  /// A new own-flow packet recovered through cooperation.
+  std::function<void(SeqNo, sim::SimTime)> onRecovered;
+  /// Entered the Reception phase; the NodeId is the AP whose packet
+  /// triggered the (re-)association.
+  std::function<void(NodeId, sim::SimTime)> onEnterReception;
+  std::function<void(sim::SimTime)> onEnterCoopArq;
+  std::function<void(int seqCount, sim::SimTime)> onRequestSent;
+  std::function<void(FlowId, SeqNo, sim::SimTime)> onCoopDataSent;
+  /// The missing list emptied during a Cooperative-ARQ phase.
+  std::function<void(sim::SimTime)> onWindowRecovered;
+  /// File-download mode only: the whole file is present.
+  std::function<void(sim::SimTime)> onFileComplete;
+};
+
+/// Protocol event counters (per run).
+struct CarqCounters {
+  std::uint64_t hellosSent = 0;
+  std::uint64_t hellosReceived = 0;
+  std::uint64_t dataDirect = 0;
+  std::uint64_t dataOverheardBuffered = 0;
+  std::uint64_t dataOverheardIgnored = 0;
+  std::uint64_t requestsSent = 0;
+  std::uint64_t requestSeqsSent = 0;
+  std::uint64_t requestsReceived = 0;
+  std::uint64_t coopDataSent = 0;
+  std::uint64_t coopDataReceived = 0;
+  std::uint64_t responsesSuppressed = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t duplicateRecoveries = 0;
+  std::uint64_t cyclesCompleted = 0;
+  std::uint64_t unproductiveCycles = 0;
+  std::uint64_t corruptCopiesHeard = 0;   ///< frame-combining inputs
+  std::uint64_t softCombinedDecodes = 0;  ///< packets decoded by combining
+};
+
+/// One car's C-ARQ protocol instance. Wire hooks, then call start().
+class CarqAgent {
+ public:
+  CarqAgent(net::Node& node, CarqConfig config, Rng rng);
+  CarqAgent(const CarqAgent&) = delete;
+  CarqAgent& operator=(const CarqAgent&) = delete;
+
+  /// Installs the MAC receive handler and begins the HELLO process.
+  void start();
+
+  NodeId id() const noexcept { return node_.id(); }
+  Phase phase() const noexcept { return phase_; }
+  const PacketStore& store() const noexcept { return store_; }
+  const CooperatorTable& table() const noexcept { return table_; }
+  const RequestScheduler& scheduler() const noexcept { return scheduler_; }
+  const CarqCounters& counters() const noexcept { return counters_; }
+  CarqHooks& hooks() noexcept { return hooks_; }
+  const CarqConfig& config() const noexcept { return config_; }
+
+  /// Highest own-flow sequence number learnt through window gossip (0
+  /// when the extension is off or nothing was gossiped yet).
+  SeqNo gossipedMaxSeq() const noexcept { return gossipedMaxSeq_; }
+
+ private:
+  struct ResponseKey {
+    FlowId flow;
+    SeqNo seq;
+    friend auto operator<=>(const ResponseKey&, const ResponseKey&) = default;
+  };
+
+  void onFrame(const mac::Frame& frame, const mac::RxInfo& info);
+  void onCorruptFrame(const mac::Frame& frame, const mac::RxInfo& info);
+  void handleData(const mac::Frame& frame);
+  void handleHello(const mac::Frame& frame, const mac::RxInfo& info);
+  void handleRequest(const mac::Frame& frame);
+  void handleCoopData(const mac::Frame& frame);
+
+  void sendHello();
+  void scheduleNextHello();
+  void restartReceptionTimer();
+  void onReceptionTimeout();
+  void enterReception(NodeId viaAp);
+  void enterCoopArq();
+  void issueNextRequest();
+  void sendCoopData(FlowId flow, SeqNo seq);
+  void checkFileComplete();
+  std::vector<SeqNo> currentMissing() const;
+
+  net::Node& node_;
+  sim::Simulator& sim_;
+  CarqConfig config_;
+  Rng rng_;
+  CooperatorTable table_;
+  PacketStore store_;
+  RequestScheduler scheduler_;
+  SoftCombiner combiner_;
+  Phase phase_ = Phase::kIdle;
+  CarqHooks hooks_;
+  CarqCounters counters_;
+  sim::EventId helloTimer_ = 0;
+  sim::EventId receptionTimer_ = 0;
+  sim::EventId requestTimer_ = 0;
+  std::map<ResponseKey, sim::EventId> pendingResponses_;
+  int recoveredDuringCycle_ = 0;
+  SeqNo gossipedMaxSeq_ = 0;  ///< highest own-flow seq learnt from HELLOs
+  bool started_ = false;
+  bool fileCompleteFired_ = false;
+};
+
+}  // namespace vanet::carq

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file config.h
+/// Tunables of the Cooperative ARQ protocol (paper §3). Defaults follow
+/// the prototype where the paper specifies a value (5 s reception timeout,
+/// ordered fixed backoff) and conservative engineering choices elsewhere.
+
+#include "channel/error_model.h"
+#include "sim/time.h"
+#include "util/types.h"
+
+namespace vanet::carq {
+
+/// How REQUEST frames enumerate missing packets.
+enum class RequestMode {
+  kPerPacket,  ///< one REQUEST per missing packet (the paper's prototype)
+  kBatched,    ///< one REQUEST lists many (paper §3.3 optimisation)
+};
+
+/// How a node picks which neighbours to announce as cooperators.
+enum class SelectionPolicy {
+  kAllOneHop,  ///< every heard neighbour, in first-heard order (the paper)
+  kBestRssi,   ///< strongest-first by smoothed HELLO RSSI, capped
+  kRandomK,    ///< random subset, capped (control for the ablation)
+};
+
+/// Protocol parameters of one car's C-ARQ agent.
+struct CarqConfig {
+  // --- HELLO / cooperator management (paper §3.2) ---
+  sim::SimTime helloPeriod = sim::SimTime::seconds(1.0);
+  double helloJitterFraction = 0.2;  ///< uniform +- jitter on the period
+  int helloBaseBytes = 32;           ///< fixed part of a HELLO
+  int helloPerCooperatorBytes = 4;   ///< per announced cooperator
+
+  // --- Reception phase (paper §3.2) ---
+  sim::SimTime receptionTimeout = sim::SimTime::seconds(5.0);  ///< paper value
+
+  // --- Cooperative-ARQ phase (paper §3.3) ---
+  /// Ordered-backoff slot; must exceed one CoopData airtime so that a
+  /// lower-order cooperator's response is overheard (and suppresses
+  /// higher-order ones) before their own timers fire.
+  sim::SimTime coopSlot = sim::SimTime::millis(12.0);
+  sim::SimTime requestGuard = sim::SimTime::millis(5.0);  ///< extra wait per request
+  int requestBaseBytes = 32;
+  int requestPerSeqBytes = 4;
+  int coopDataHeaderBytes = 16;  ///< added to the original payload size
+  RequestMode requestMode = RequestMode::kPerPacket;
+  int maxBatchSeqs = 32;  ///< cap on seqs per batched REQUEST
+  /// Pause before re-walking the missing list when a full cycle recovered
+  /// nothing (the paper loops forever; the pause avoids pure channel churn
+  /// while cooperators have nothing new).
+  sim::SimTime unproductiveCycleBackoff = sim::SimTime::seconds(1.0);
+
+  // --- Cooperator selection (paper §6 leaves the policy open) ---
+  SelectionPolicy selection = SelectionPolicy::kAllOneHop;
+  int maxCooperators = 8;
+
+  // --- Transport ---
+  channel::PhyMode phyMode = channel::PhyMode::kDsss1Mbps;
+
+  // --- Infostation file-download mode (paper §6 future work) ---
+  /// When > 0 the agent tries to complete the whole file [1, fileSizeSeqs]
+  /// rather than the per-window range, continuing across AP passes.
+  SeqNo fileSizeSeqs = 0;
+
+  /// When true, a cooperator also buffers packets it overhears in
+  /// CoopData frames addressed to nodes it cooperates for (off in the
+  /// paper's prototype).
+  bool bufferOverheardCoopData = false;
+
+  /// Window-gossip extension (ours, in the spirit of the paper's §3.3
+  /// optimisations): HELLOs advertise the highest buffered seq per flow,
+  /// and a destination extends its request window beyond the last packet
+  /// it heard itself. Closes the tail gap of Figure 6: the first car to
+  /// leave coverage otherwise never learns about the packets the AP sent
+  /// it afterwards, even though trailing cars buffered them.
+  bool gossipWindowExtension = false;
+  int helloPerGossipBytes = 6;
+
+  /// C-ARQ with Frame Combining (the authors' PIMRC'07 companion scheme,
+  /// the paper's ref [12]): detected-but-corrupt copies of a packet are
+  /// soft-combined (maximal-ratio, linear SINR sum) until the packet
+  /// decodes. Inert at 1 Mbps DSSS, whose decode cliff lies below the
+  /// detection threshold; pays at CCK/ERP rates, enabling the paper's §6
+  /// "increment the bit rate used by the APs" direction.
+  bool frameCombining = false;
+
+  /// When true, cooperation is globally disabled: the agent still tracks
+  /// losses (baseline measurement mode) but never requests nor responds.
+  bool cooperationEnabled = true;
+};
+
+}  // namespace vanet::carq

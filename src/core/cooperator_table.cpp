@@ -1,0 +1,51 @@
+#include "core/cooperator_table.h"
+
+#include <algorithm>
+
+#include "core/selection.h"
+#include "util/assert.h"
+
+namespace vanet::carq {
+
+bool CooperatorTable::onHello(NodeId sender,
+                              const std::vector<NodeId>& senderCooperators,
+                              double rssiDbm, sim::SimTime now) {
+  VANET_ASSERT(sender != self_, "a node cannot hear its own HELLO");
+  PeerInfo& peer = peers_[sender];
+  constexpr double kEmaAlpha = 0.25;
+  peer.emaRssiDbm = peer.helloCount == 0
+                        ? rssiDbm
+                        : (1.0 - kEmaAlpha) * peer.emaRssiDbm + kEmaAlpha * rssiDbm;
+  ++peer.helloCount;
+  peer.lastHeard = now;
+  peer.announced = senderCooperators;
+
+  const bool isNew =
+      std::find(cooperators_.begin(), cooperators_.end(), sender) ==
+      cooperators_.end();
+  if (isNew) {
+    cooperators_.push_back(sender);
+  }
+  return isNew;
+}
+
+std::optional<int> CooperatorTable::myOrderFor(NodeId requester) const {
+  const auto peer = peers_.find(requester);
+  if (peer == peers_.end()) return std::nullopt;
+  const auto& list = peer->second.announced;
+  const auto it = std::find(list.begin(), list.end(), self_);
+  if (it == list.end()) return std::nullopt;
+  return static_cast<int>(it - list.begin());
+}
+
+bool CooperatorTable::considersMeCooperator(NodeId other) const {
+  return myOrderFor(other).has_value();
+}
+
+void CooperatorTable::applySelection(SelectionPolicy policy, int maxCooperators,
+                                     Rng& rng) {
+  cooperators_ = selectCooperators(policy, peers_, cooperators_,
+                                   maxCooperators, rng);
+}
+
+}  // namespace vanet::carq

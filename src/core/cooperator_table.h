@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file cooperator_table.h
+/// Cooperator bookkeeping driven by HELLO messages (paper §3.2).
+///
+/// Semantics, following the paper exactly:
+///  * Hearing a HELLO from x makes x a cooperator of mine (subject to the
+///    selection policy): x goes into *my* ordered cooperator list, which I
+///    announce in my own HELLOs.
+///  * My position in *x's* announced list is the backoff order I must use
+///    when answering x's REQUESTs; if I am absent from it, x has not asked
+///    me to cooperate and I must not buffer or respond for x.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vanet::carq {
+
+/// Link-quality and announcement state for one heard neighbour.
+struct PeerInfo {
+  double emaRssiDbm = -100.0;       ///< smoothed HELLO receive power
+  int helloCount = 0;
+  sim::SimTime lastHeard{};
+  std::vector<NodeId> announced;    ///< the peer's own cooperator list
+};
+
+/// Per-node cooperator state machine (pure bookkeeping, no I/O).
+class CooperatorTable {
+ public:
+  explicit CooperatorTable(NodeId self) : self_(self) {}
+
+  /// Processes a received HELLO. Returns true when the sender was newly
+  /// added to my cooperator list.
+  bool onHello(NodeId sender, const std::vector<NodeId>& senderCooperators,
+               double rssiDbm, sim::SimTime now);
+
+  /// My ordered cooperator list (the order assigns response backoffs).
+  /// This is exactly what my HELLOs announce.
+  const std::vector<NodeId>& myCooperators() const noexcept {
+    return cooperators_;
+  }
+
+  /// My backoff order when answering `requester`, i.e. my index in the
+  /// requester's announced list; nullopt when I am not its cooperator.
+  std::optional<int> myOrderFor(NodeId requester) const;
+
+  /// True when `other` announced me as one of its cooperators (then I must
+  /// buffer packets addressed to `other`).
+  bool considersMeCooperator(NodeId other) const;
+
+  /// Re-derives my announced list according to the selection policy.
+  /// kAllOneHop keeps first-heard order (the paper's behaviour).
+  void applySelection(SelectionPolicy policy, int maxCooperators, Rng& rng);
+
+  const std::map<NodeId, PeerInfo>& peers() const noexcept { return peers_; }
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> cooperators_;  // ordered; announced in HELLOs
+  std::map<NodeId, PeerInfo> peers_;
+};
+
+}  // namespace vanet::carq

@@ -1,0 +1,74 @@
+#include "core/packet_store.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace vanet::carq {
+
+void PacketStore::noteDirect(SeqNo seq) {
+  VANET_DASSERT(seq > 0, "sequence numbers start at 1");
+  if (!direct_.insert(seq).second) {
+    ++duplicates_;
+    return;
+  }
+  if (firstSeen_ == 0 || seq < firstSeen_) firstSeen_ = seq;
+  lastSeen_ = std::max(lastSeen_, seq);
+}
+
+void PacketStore::noteRecovered(SeqNo seq) {
+  if (direct_.count(seq) > 0 || !recovered_.insert(seq).second) {
+    ++duplicates_;
+  }
+}
+
+bool PacketStore::hasOwn(SeqNo seq) const {
+  return direct_.count(seq) > 0 || recovered_.count(seq) > 0;
+}
+
+std::vector<SeqNo> PacketStore::missingInWindow() const {
+  if (firstSeen_ == 0) return {};
+  return missingInRange(firstSeen_, lastSeen_);
+}
+
+std::vector<SeqNo> PacketStore::missingInRange(SeqNo lo, SeqNo hi) const {
+  std::vector<SeqNo> missing;
+  for (SeqNo seq = lo; seq <= hi; ++seq) {
+    if (!hasOwn(seq)) missing.push_back(seq);
+  }
+  return missing;
+}
+
+void PacketStore::buffer(FlowId flow, SeqNo seq, int payloadBytes) {
+  foreign_[flow].insert(seq);
+  foreignBytes_[flow] = payloadBytes;
+}
+
+bool PacketStore::hasBuffered(FlowId flow, SeqNo seq) const {
+  const auto it = foreign_.find(flow);
+  return it != foreign_.end() && it->second.count(seq) > 0;
+}
+
+int PacketStore::bufferedPayloadBytes(FlowId flow) const {
+  const auto it = foreignBytes_.find(flow);
+  return it != foreignBytes_.end() ? it->second : 0;
+}
+
+std::size_t PacketStore::bufferedCount() const {
+  std::size_t total = 0;
+  for (const auto& [flow, seqs] : foreign_) {
+    total += seqs.size();
+  }
+  return total;
+}
+
+std::vector<std::pair<FlowId, SeqNo>> PacketStore::bufferedMaxSeqs() const {
+  std::vector<std::pair<FlowId, SeqNo>> out;
+  out.reserve(foreign_.size());
+  for (const auto& [flow, seqs] : foreign_) {
+    if (!seqs.empty()) out.emplace_back(flow, *seqs.rbegin());
+  }
+  return out;
+}
+
+}  // namespace vanet::carq

@@ -1,0 +1,53 @@
+#include "core/request_scheduler.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace vanet::carq {
+
+RequestScheduler::RequestScheduler(RequestMode mode, int maxBatchSeqs)
+    : mode_(mode), maxBatchSeqs_(maxBatchSeqs) {
+  VANET_ASSERT(maxBatchSeqs_ >= 1, "batch size must be at least 1");
+}
+
+void RequestScheduler::loadMissing(std::vector<SeqNo> missing) {
+  pending_.assign(missing.begin(), missing.end());
+  cursor_ = 0;
+  recoveredSinceWrap_ = 0;
+}
+
+std::optional<RequestScheduler::NextRequest> RequestScheduler::next() {
+  if (pending_.empty()) return std::nullopt;
+
+  NextRequest request;
+  if (cursor_ >= pending_.size()) {
+    cursor_ = 0;
+    request.wrapped = true;
+    recoveredSinceWrap_ = 0;
+  }
+  const std::size_t take =
+      mode_ == RequestMode::kPerPacket
+          ? 1
+          : std::min<std::size_t>(static_cast<std::size_t>(maxBatchSeqs_),
+                                  pending_.size() - cursor_);
+  request.seqs.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    request.seqs.push_back(pending_[cursor_ + i]);
+  }
+  cursor_ += take;
+  return request;
+}
+
+void RequestScheduler::markRecovered(SeqNo seq) {
+  const auto it = std::find(pending_.begin(), pending_.end(), seq);
+  if (it == pending_.end()) return;
+  const auto idx = static_cast<std::size_t>(it - pending_.begin());
+  pending_.erase(it);
+  if (idx < cursor_ && cursor_ > 0) {
+    --cursor_;  // keep the cursor on the same next element
+  }
+  ++recoveredSinceWrap_;
+}
+
+}  // namespace vanet::carq

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file request_scheduler.h
+/// Walks the missing-packet list the way the paper describes (§3.3): one
+/// REQUEST per missing packet, cycling back to the start of the updated
+/// (shorter) list when the end is reached, until the list empties. Batched
+/// mode packs up to maxBatchSeqs per REQUEST (the §3.3 optimisation).
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "util/types.h"
+
+namespace vanet::carq {
+
+/// Pure cursor over the missing list; the agent owns all timing.
+class RequestScheduler {
+ public:
+  RequestScheduler(RequestMode mode, int maxBatchSeqs);
+
+  /// Installs a fresh missing list (starts a new walk). Clears history.
+  void loadMissing(std::vector<SeqNo> missing);
+
+  /// Packets still missing.
+  std::size_t pendingCount() const noexcept { return pending_.size(); }
+  bool empty() const noexcept { return pending_.empty(); }
+
+  /// Content of the next REQUEST to broadcast. `wrapped` is true when this
+  /// call restarted from the head of the list (a full cycle completed).
+  /// Returns nullopt when nothing is missing.
+  struct NextRequest {
+    std::vector<SeqNo> seqs;
+    bool wrapped = false;
+  };
+  std::optional<NextRequest> next();
+
+  /// Removes a recovered packet wherever the cursor is.
+  void markRecovered(SeqNo seq);
+
+  /// Number of packets recovered since the last wrap (used by the agent to
+  /// decide whether a completed cycle was productive).
+  int recoveredSinceWrap() const noexcept { return recoveredSinceWrap_; }
+
+  const std::deque<SeqNo>& pending() const noexcept { return pending_; }
+
+ private:
+  RequestMode mode_;
+  int maxBatchSeqs_;
+  std::deque<SeqNo> pending_;
+  std::size_t cursor_ = 0;
+  int recoveredSinceWrap_ = 0;
+};
+
+}  // namespace vanet::carq

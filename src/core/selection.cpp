@@ -1,0 +1,53 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+#include "core/cooperator_table.h"
+
+namespace vanet::carq {
+namespace {
+
+std::vector<NodeId> keepKnown(const std::vector<NodeId>& current,
+                              const std::map<NodeId, PeerInfo>& peers) {
+  std::vector<NodeId> out;
+  out.reserve(current.size());
+  for (const NodeId id : current) {
+    if (peers.count(id) > 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> selectCooperators(SelectionPolicy policy,
+                                      const std::map<NodeId, PeerInfo>& peers,
+                                      const std::vector<NodeId>& current,
+                                      int maxCooperators, Rng& rng) {
+  std::vector<NodeId> known = keepKnown(current, peers);
+  const auto cap = static_cast<std::size_t>(std::max(0, maxCooperators));
+  switch (policy) {
+    case SelectionPolicy::kAllOneHop:
+      return known;  // unbounded, first-heard order (paper behaviour)
+    case SelectionPolicy::kBestRssi: {
+      std::stable_sort(known.begin(), known.end(),
+                       [&peers](NodeId a, NodeId b) {
+                         return peers.at(a).emaRssiDbm > peers.at(b).emaRssiDbm;
+                       });
+      if (known.size() > cap) known.resize(cap);
+      return known;
+    }
+    case SelectionPolicy::kRandomK: {
+      // Fisher-Yates prefix shuffle, then truncate.
+      for (std::size_t i = 0; i + 1 < known.size(); ++i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<int>(i), static_cast<int>(known.size()) - 1));
+        std::swap(known[i], known[j]);
+      }
+      if (known.size() > cap) known.resize(cap);
+      return known;
+    }
+  }
+  return known;
+}
+
+}  // namespace vanet::carq

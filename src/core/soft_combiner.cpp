@@ -1,0 +1,30 @@
+#include "core/soft_combiner.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vanet::carq {
+
+double SoftCombiner::accumulateDb(SeqNo seq, double sinrDb) {
+  Entry& entry = energy_[seq];
+  entry.linearSum += std::pow(10.0, sinrDb / 10.0);
+  ++entry.copies;
+  return 10.0 * std::log10(entry.linearSum);
+}
+
+double SoftCombiner::combinedDb(SeqNo seq) const {
+  const auto it = energy_.find(seq);
+  if (it == energy_.end() || it->second.linearSum <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(it->second.linearSum);
+}
+
+int SoftCombiner::copies(SeqNo seq) const {
+  const auto it = energy_.find(seq);
+  return it == energy_.end() ? 0 : it->second.copies;
+}
+
+void SoftCombiner::clear(SeqNo seq) { energy_.erase(seq); }
+
+}  // namespace vanet::carq

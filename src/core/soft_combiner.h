@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file soft_combiner.h
+/// Chase-combining state for C-ARQ with Frame Combining (the authors'
+/// companion protocol, Morillo & García-Vidal, PIMRC 2007 — the paper's
+/// reference [12]). Every detected-but-corrupt copy of a packet
+/// contributes its SINR; maximal-ratio combining adds SINRs in the linear
+/// domain, and a packet decodes once the combined SINR clears the frame's
+/// error curve.
+
+#include <cstddef>
+#include <map>
+
+#include "util/types.h"
+
+namespace vanet::carq {
+
+/// Accumulated soft energy per own-flow sequence number.
+class SoftCombiner {
+ public:
+  /// Adds one corrupt copy's SINR (dB); returns the combined SINR in dB
+  /// including this copy (maximal-ratio combining: linear sum).
+  double accumulateDb(SeqNo seq, double sinrDb);
+
+  /// Combined SINR in dB from previously accumulated copies only
+  /// (-infinity when none).
+  double combinedDb(SeqNo seq) const;
+
+  /// Number of corrupt copies accumulated for `seq`.
+  int copies(SeqNo seq) const;
+
+  /// Drops the soft state for a decoded (or no longer needed) packet.
+  void clear(SeqNo seq);
+
+  std::size_t trackedCount() const noexcept { return energy_.size(); }
+
+ private:
+  struct Entry {
+    double linearSum = 0.0;
+    int copies = 0;
+  };
+  std::map<SeqNo, Entry> energy_;
+};
+
+}  // namespace vanet::carq

@@ -1,0 +1,85 @@
+#include "geom/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace vanet::geom {
+
+Polyline::Polyline(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  VANET_ASSERT(vertices_.size() >= 2, "polyline needs at least two vertices");
+  cumulative_.reserve(vertices_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < vertices_.size(); ++i) {
+    const double d = distance(vertices_[i - 1], vertices_[i]);
+    VANET_ASSERT(d > 0.0, "polyline has a zero-length segment");
+    cumulative_.push_back(cumulative_.back() + d);
+  }
+}
+
+double Polyline::arcAtVertex(std::size_t i) const {
+  VANET_ASSERT(i < vertices_.size(), "vertex index out of range");
+  return cumulative_[i];
+}
+
+std::size_t Polyline::segmentIndex(double s) const noexcept {
+  // upper_bound over cumulative arc lengths; clamp to the last segment.
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, vertices_.size() - 2);
+}
+
+Vec2 Polyline::pointAt(double s) const noexcept {
+  const double clamped = std::clamp(s, 0.0, length());
+  const std::size_t seg = segmentIndex(clamped);
+  const double segStart = cumulative_[seg];
+  const double segLen = cumulative_[seg + 1] - segStart;
+  const double t = segLen > 0.0 ? (clamped - segStart) / segLen : 0.0;
+  return lerp(vertices_[seg], vertices_[seg + 1], t);
+}
+
+Vec2 Polyline::pointAtWrapped(double s) const noexcept {
+  const double len = length();
+  double wrapped = std::fmod(s, len);
+  if (wrapped < 0.0) wrapped += len;
+  return pointAt(wrapped);
+}
+
+Vec2 Polyline::tangentAt(double s) const noexcept {
+  const double clamped = std::clamp(s, 0.0, length());
+  const std::size_t seg = segmentIndex(clamped);
+  return (vertices_[seg + 1] - vertices_[seg]).normalized();
+}
+
+double Polyline::project(Vec2 p) const noexcept {
+  double bestArc = 0.0;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (std::size_t seg = 0; seg + 1 < vertices_.size(); ++seg) {
+    const Vec2 a = vertices_[seg];
+    const Vec2 b = vertices_[seg + 1];
+    const Vec2 ab = b - a;
+    const double t =
+        std::clamp((p - a).dot(ab) / ab.normSquared(), 0.0, 1.0);
+    const Vec2 q = lerp(a, b, t);
+    const double d = distance(p, q);
+    if (d < bestDist) {
+      bestDist = d;
+      bestArc = cumulative_[seg] + t * (cumulative_[seg + 1] - cumulative_[seg]);
+    }
+  }
+  return bestArc;
+}
+
+Polyline makeRectangleLoop(double width, double height) {
+  VANET_ASSERT(width > 0.0 && height > 0.0, "rectangle must be non-degenerate");
+  return Polyline{{{0.0, 0.0},
+                   {width, 0.0},
+                   {width, height},
+                   {0.0, height},
+                   {0.0, 0.0}}};
+}
+
+}  // namespace vanet::geom

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file polyline.h
+/// Piecewise-linear path with arc-length parameterisation. Roads and laps
+/// are polylines; mobility models map time -> arc length -> position.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace vanet::geom {
+
+/// An ordered sequence of at least two vertices forming a path.
+///
+/// Arc length `s` runs from 0 at the first vertex to length() at the last.
+/// For closed paths (laps) construct with the first vertex repeated at the
+/// end, and use pointAtWrapped().
+class Polyline {
+ public:
+  /// Requires at least two vertices; consecutive duplicates are rejected.
+  explicit Polyline(std::vector<Vec2> vertices);
+
+  const std::vector<Vec2>& vertices() const noexcept { return vertices_; }
+  std::size_t segmentCount() const noexcept { return vertices_.size() - 1; }
+
+  /// Total arc length, metres.
+  double length() const noexcept { return cumulative_.back(); }
+
+  /// Arc length from the start to vertex `i`.
+  double arcAtVertex(std::size_t i) const;
+
+  /// Position at arc length `s`, clamped to [0, length()].
+  Vec2 pointAt(double s) const noexcept;
+
+  /// Position at arc length `s` modulo length() (for closed laps).
+  Vec2 pointAtWrapped(double s) const noexcept;
+
+  /// Unit tangent of the segment containing arc length `s` (clamped).
+  Vec2 tangentAt(double s) const noexcept;
+
+  /// Arc length of the point on the path closest to `p` (linear scan; the
+  /// paths here have a handful of segments).
+  double project(Vec2 p) const noexcept;
+
+ private:
+  /// Index of the segment containing arc length `s` (clamped).
+  std::size_t segmentIndex(double s) const noexcept;
+
+  std::vector<Vec2> vertices_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length at vertex i
+};
+
+/// Builds an axis-aligned rectangular lap: corners (0,0), (w,0), (w,h),
+/// (0,h), closed back to (0,0). Used by the urban-loop scenario.
+Polyline makeRectangleLoop(double width, double height);
+
+}  // namespace vanet::geom

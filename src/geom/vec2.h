@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file vec2.h
+/// Two-dimensional vector used for node positions (metres).
+
+#include <cmath>
+#include <ostream>
+
+namespace vanet::geom {
+
+/// Cartesian point / vector in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) noexcept {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr Vec2 operator*(double k, Vec2 a) noexcept { return a * k; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) noexcept {
+    return {a.x / k, a.y / k};
+  }
+  constexpr Vec2& operator+=(Vec2 other) noexcept {
+    x += other.x;
+    y += other.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+
+  constexpr double dot(Vec2 other) const noexcept { return x * other.x + y * other.y; }
+  double norm() const noexcept { return std::hypot(x, y); }
+  constexpr double normSquared() const noexcept { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << "(" << v.x << ", " << v.y << ")";
+  }
+};
+
+/// Euclidean distance between two points, metres.
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+/// Linear interpolation: t=0 -> a, t=1 -> b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept { return a + (b - a) * t; }
+
+}  // namespace vanet::geom

@@ -1,0 +1,40 @@
+#include "mac/airtime.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace vanet::mac {
+
+int frameBits(int payloadBytes) noexcept {
+  return (kMacOverheadBytes + payloadBytes) * 8;
+}
+
+sim::SimTime frameAirtime(channel::PhyMode mode, int payloadBytes) noexcept {
+  VANET_DASSERT(payloadBytes >= 0, "payload size must be non-negative");
+  const int bits = frameBits(payloadBytes);
+  const double rateMbps = channel::bitrateMbps(mode);
+  switch (mode) {
+    case channel::PhyMode::kDsss1Mbps:
+    case channel::PhyMode::kDsss2Mbps:
+    case channel::PhyMode::kCck5_5Mbps:
+    case channel::PhyMode::kCck11Mbps: {
+      // Long PLCP preamble + header: 144 + 48 us at 1 Mbps.
+      const double plcpUs = 192.0;
+      return sim::SimTime::micros(plcpUs + static_cast<double>(bits) / rateMbps);
+    }
+    case channel::PhyMode::kErpOfdm6Mbps:
+    case channel::PhyMode::kErpOfdm12Mbps:
+    case channel::PhyMode::kErpOfdm24Mbps:
+    case channel::PhyMode::kErpOfdm54Mbps: {
+      // 20 us preamble+signal; SERVICE(16) + TAIL(6) bits; 4 us symbols.
+      const double bitsPerSymbol = rateMbps * 4.0;
+      const double symbols =
+          std::ceil((16.0 + 6.0 + static_cast<double>(bits)) / bitsPerSymbol);
+      return sim::SimTime::micros(20.0 + 4.0 * symbols);
+    }
+  }
+  return sim::SimTime::micros(static_cast<double>(bits) / rateMbps);
+}
+
+}  // namespace vanet::mac

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file airtime.h
+/// Frame airtime for the 802.11b/g PHY modes: PLCP preamble + header plus
+/// MAC header + payload at the data rate. Used by the radio environment to
+/// occupy the medium and by the MAC for spacing constants.
+
+#include "channel/error_model.h"
+#include "sim/time.h"
+
+namespace vanet::mac {
+
+/// Fixed MAC overhead added to every payload (header + FCS), bytes.
+inline constexpr int kMacOverheadBytes = 28;
+
+/// 802.11 DCF timing constants (long-slot 802.11b/g coexistence values,
+/// matching the testbed's 802.11g-at-1-Mbps configuration).
+inline constexpr sim::SimTime kSifs = sim::SimTime::micros(10.0);
+inline constexpr sim::SimTime kSlotTime = sim::SimTime::micros(20.0);
+inline constexpr sim::SimTime kDifs = sim::SimTime::micros(50.0);
+
+/// Time on air for a frame with `payloadBytes` of MAC payload.
+sim::SimTime frameAirtime(channel::PhyMode mode, int payloadBytes) noexcept;
+
+/// Number of bits that must decode correctly (MAC header + payload).
+int frameBits(int payloadBytes) noexcept;
+
+}  // namespace vanet::mac

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file csma.h
+/// DCF-lite broadcast MAC: carrier sense, DIFS, slotted random backoff
+/// with freeze-and-resume, no RTS/CTS, no ACKs and no retransmissions
+/// (the testbed explicitly disabled them). Contention is light in the
+/// target scenarios, so this simplified DCF captures what matters: frames
+/// never start while the medium is sensed busy, and simultaneous backoff
+/// expiry produces real collisions in the environment.
+
+#include <cstdint>
+#include <deque>
+
+#include "mac/airtime.h"
+#include "mac/frame.h"
+#include "mac/radio.h"
+#include "mac/radio_environment.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vanet::mac {
+
+/// MAC tunables; defaults match long-slot 802.11b/g.
+struct MacConfig {
+  sim::SimTime difs = kDifs;
+  sim::SimTime slot = kSlotTime;
+  int cwMin = 31;               ///< backoff drawn uniformly from [0, cwMin]
+  std::size_t maxQueue = 1024;  ///< enqueue beyond this drops the frame
+};
+
+/// Carrier-sense multiple access for one radio. Single transmit queue,
+/// strictly FIFO.
+class CsmaMac {
+ public:
+  CsmaMac(sim::Simulator& sim, RadioEnvironment& environment, Radio& radio,
+          MacConfig config, Rng rng);
+  CsmaMac(const CsmaMac&) = delete;
+  CsmaMac& operator=(const CsmaMac&) = delete;
+
+  /// Queues a frame for transmission; drops (and counts) when full.
+  void enqueue(Frame frame, channel::PhyMode mode);
+
+  /// Forwards received frames to `callback` (convenience passthrough).
+  void setRxHandler(Radio::RxCallback callback);
+
+  /// Opts in to detected-but-corrupt frames (soft combining support).
+  void setCorruptRxHandler(Radio::RxCallback callback);
+
+  std::size_t queueDepth() const noexcept { return queue_.size(); }
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  enum class State { kIdle, kDifs, kBackoff, kTransmitting };
+
+  struct Pending {
+    Frame frame;
+    channel::PhyMode mode;
+  };
+
+  void kick();          // start an access attempt if possible
+  void retryLater();    // medium busy: re-kick when it frees up
+  void onDifsElapsed();
+  void onSlotElapsed();
+  void startTransmission();
+
+  sim::Simulator& sim_;
+  RadioEnvironment& environment_;
+  Radio& radio_;
+  MacConfig config_;
+  Rng rng_;
+  std::deque<Pending> queue_;
+  State state_ = State::kIdle;
+  int slotsRemaining_ = 0;
+  bool backoffInProgress_ = false;  // freeze-and-resume across busy periods
+  sim::EventId timer_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace vanet::mac

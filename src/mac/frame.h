@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file frame.h
+/// Frame formats of the C-ARQ protocol family. The testbed ran in 802.11
+/// monitor mode, so every protocol message is a raw link-layer broadcast;
+/// frames here carry their logical payload directly (no serialisation) and
+/// a byte size that drives airtime and error probability.
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/types.h"
+
+namespace vanet::mac {
+
+/// Protocol frame kinds (paper §3).
+enum class FrameKind {
+  kData,      ///< AP -> cars: one numbered packet of a car's flow
+  kHello,     ///< car broadcast: presence + cooperator list (order matters)
+  kRequest,   ///< car broadcast: please resend these missing packets
+  kCoopData,  ///< cooperator -> requester: a recovered packet
+};
+
+/// AP data packet addressed to the car with id == flow.
+struct DataPayload {
+  FlowId flow = 0;
+  SeqNo seq = 0;
+  int copy = 0;  ///< 0 = first transmission; >0 = blind AP retransmission
+};
+
+/// Periodic HELLO: `cooperators` is the sender's ordered cooperator list;
+/// a node's position in this list is its response backoff order.
+/// `bufferedMaxSeq` (window-gossip extension, off by default) advertises
+/// the highest sequence number the sender holds per buffered flow, so a
+/// destination that left coverage early learns how far its flow went.
+struct HelloPayload {
+  std::vector<NodeId> cooperators;
+  std::vector<std::pair<FlowId, SeqNo>> bufferedMaxSeq;
+};
+
+/// Request for missing packets of the origin's own flow. The paper sends
+/// one seq per REQUEST; batched mode (paper §3.3 optimisation) packs many.
+struct RequestPayload {
+  NodeId origin = 0;
+  FlowId flow = 0;
+  std::vector<SeqNo> seqs;
+};
+
+/// A buffered packet re-sent by a cooperator.
+struct CoopDataPayload {
+  NodeId helper = 0;
+  FlowId flow = 0;
+  SeqNo seq = 0;
+};
+
+/// One over-the-air frame. `bytes` is the MAC payload length used for
+/// airtime and error-rate computations.
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  NodeId src = 0;
+  NodeId dst = kBroadcastId;  ///< all protocol frames are broadcast
+  int bytes = 0;
+  std::uint64_t frameId = 0;  ///< assigned by the radio environment
+  std::variant<DataPayload, HelloPayload, RequestPayload, CoopDataPayload>
+      payload;
+};
+
+/// Convenience accessors (assert on kind mismatch via std::get).
+inline const DataPayload& dataOf(const Frame& f) {
+  return std::get<DataPayload>(f.payload);
+}
+inline const HelloPayload& helloOf(const Frame& f) {
+  return std::get<HelloPayload>(f.payload);
+}
+inline const RequestPayload& requestOf(const Frame& f) {
+  return std::get<RequestPayload>(f.payload);
+}
+inline const CoopDataPayload& coopDataOf(const Frame& f) {
+  return std::get<CoopDataPayload>(f.payload);
+}
+
+}  // namespace vanet::mac

@@ -1,0 +1,180 @@
+#include "mac/radio_environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mac/airtime.h"
+#include "mac/radio.h"
+#include "util/assert.h"
+
+namespace vanet::mac {
+namespace {
+
+/// How long finished transmissions are retained for overlap computations.
+/// Must exceed the longest frame airtime (1500 B at 1 Mbps is ~12.5 ms).
+constexpr sim::SimTime kOverlapWindow = sim::SimTime::millis(50.0);
+
+double dbmToMilliwatt(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+double milliwattToDbm(double mw) noexcept {
+  return 10.0 * std::log10(std::max(mw, 1e-15));
+}
+
+}  // namespace
+
+const RadioEnvironment::PlannedRx* RadioEnvironment::ActiveTx::planFor(
+    const Radio* rx) const {
+  for (const PlannedRx& plan : plans) {
+    if (plan.rx == rx) return &plan;
+  }
+  return nullptr;
+}
+
+RadioEnvironment::RadioEnvironment(sim::Simulator& sim, channel::LinkModel& link,
+                                   Rng rng)
+    : sim_(sim), link_(link), rng_(rng) {}
+
+void RadioEnvironment::attach(Radio* radio) {
+  VANET_ASSERT(radio != nullptr, "cannot attach a null radio");
+  radios_.push_back(radio);
+}
+
+void RadioEnvironment::detach(Radio* radio) {
+  std::erase(radios_, radio);
+  // Forget any planned delivery to the detached radio.
+  for (auto& tx : active_) {
+    std::erase_if(tx->plans,
+                  [radio](const PlannedRx& p) { return p.rx == radio; });
+  }
+}
+
+sim::SimTime RadioEnvironment::beginTransmission(Radio& src, Frame frame,
+                                                 channel::PhyMode mode) {
+  auto tx = std::make_shared<ActiveTx>();
+  tx->id = nextFrameId_++;
+  tx->src = src.id();
+  frame.frameId = tx->id;
+  tx->frame = std::move(frame);
+  tx->mode = mode;
+  tx->start = sim_.now();
+  tx->end = sim_.now() + frameAirtime(mode, tx->frame.bytes);
+
+  const geom::Vec2 txPos = src.position();
+  tx->plans.reserve(radios_.size());
+  for (Radio* rx : radios_) {
+    if (rx == &src) continue;
+    const double mean = link_.meanRxPowerDbm(src.id(), txPos, src.txPowerDbm(),
+                                             rx->id(), rx->position());
+    const double faded = link_.fadedRxPowerDbm(mean, rng_);
+    tx->plans.push_back(PlannedRx{rx, mean, faded});
+  }
+
+  active_.push_back(tx);
+  ++stats_.framesTransmitted;
+  sim_.scheduleAt(tx->end, [this, tx] { finalize(tx); });
+  return tx->end;
+}
+
+double RadioEnvironment::interferenceDbmAt(const Radio* rx,
+                                           const ActiveTx& target) const {
+  double totalMw = 0.0;
+  const auto accumulate = [&](const ActiveTx& other) {
+    if (other.id == target.id) return;
+    if (other.start >= target.end || target.start >= other.end) return;
+    if (const PlannedRx* plan = other.planFor(rx)) {
+      totalMw += dbmToMilliwatt(plan->fadedDbm);
+    }
+  };
+  for (const auto& other : active_) accumulate(*other);
+  for (const auto& other : recent_) accumulate(*other);
+  return totalMw > 0.0 ? milliwattToDbm(totalMw)
+                       : -std::numeric_limits<double>::infinity();
+}
+
+void RadioEnvironment::pruneRecent() {
+  const sim::SimTime horizon = sim_.now() - kOverlapWindow;
+  std::erase_if(recent_,
+                [horizon](const auto& tx) { return tx->end < horizon; });
+}
+
+void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
+  // Move from in-flight to recent before evaluating receivers, so the frame
+  // no longer contributes to carrier sensing but still counts as
+  // interference for overlapping frames.
+  std::erase(active_, tx);
+  recent_.push_back(tx);
+  pruneRecent();
+
+  const channel::LinkBudget& budget = link_.budget();
+  const int bits = frameBits(tx->frame.bytes);
+  for (const PlannedRx& plan : tx->plans) {
+    Radio* rx = plan.rx;
+    if (rx->transmittedDuring(tx->start, tx->end)) {
+      ++stats_.framesHalfDuplexMissed;
+      continue;
+    }
+    if (plan.fadedDbm < budget.sensitivityDbm) {
+      ++stats_.framesBelowSensitivity;
+      continue;
+    }
+    const double interferenceDbm = interferenceDbmAt(rx, *tx);
+    const double noiseMw = dbmToMilliwatt(budget.noiseFloorDbm);
+    const double interferenceMw = std::isinf(interferenceDbm)
+                                      ? 0.0
+                                      : dbmToMilliwatt(interferenceDbm);
+    const double sinrDb =
+        plan.fadedDbm - milliwattToDbm(noiseMw + interferenceMw);
+    if (interferenceMw > 0.0 && sinrDb < budget.captureThresholdDb) {
+      ++stats_.framesCollided;
+      continue;
+    }
+    const double pSuccess = link_.successProbability(tx->mode, sinrDb, bits);
+    if (!rng_.bernoulli(pSuccess)) {
+      ++stats_.framesChannelError;
+      // The frame was detected (preamble robust, above sensitivity) but
+      // the payload failed: radios that opted in receive it with its
+      // SINR so they can soft-combine copies (C-ARQ/FC).
+      if (rx->wantsCorruptFrames()) {
+        ++stats_.framesCorruptDelivered;
+        rx->onFrameCorrupted(tx->frame,
+                             RxInfo{tx->src, plan.fadedDbm, sinrDb, sim_.now()});
+      }
+      continue;
+    }
+    if (link_.burstLoss(tx->src, rx->id(), sim_.now(),
+                        static_cast<int>(tx->frame.kind))) {
+      ++stats_.framesBurstLost;
+      continue;
+    }
+    ++stats_.framesDelivered;
+    rx->onFrameDelivered(tx->frame,
+                         RxInfo{tx->src, plan.fadedDbm, sinrDb, sim_.now()});
+  }
+}
+
+bool RadioEnvironment::channelBusy(const Radio& sensor) const {
+  if (sensor.transmitting()) return true;
+  const double threshold = link_.budget().carrierSenseDbm;
+  for (const auto& tx : active_) {
+    if (tx->src == sensor.id()) continue;
+    if (const PlannedRx* plan = tx->planFor(&sensor)) {
+      if (plan->meanDbm >= threshold) return true;
+    }
+  }
+  return false;
+}
+
+sim::SimTime RadioEnvironment::channelBusyUntil(const Radio& sensor) const {
+  sim::SimTime until = sim_.now();
+  if (sensor.transmitting()) until = std::max(until, sensor.transmitUntil());
+  const double threshold = link_.budget().carrierSenseDbm;
+  for (const auto& tx : active_) {
+    if (tx->src == sensor.id()) continue;
+    if (const PlannedRx* plan = tx->planFor(&sensor)) {
+      if (plan->meanDbm >= threshold) until = std::max(until, tx->end);
+    }
+  }
+  return until;
+}
+
+}  // namespace vanet::mac

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file radio_environment.h
+/// The shared wireless medium. Tracks every in-flight transmission,
+/// computes per-receiver powers through the link model, applies
+/// interference (SINR with a capture threshold), half-duplex loss, channel
+/// error sampling and the optional burst overlay, then delivers frames to
+/// the surviving receivers at airtime end.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/link_model.h"
+#include "mac/frame.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vanet::mac {
+
+class Radio;
+
+/// Medium-level loss statistics (per simulation run).
+struct MediumStats {
+  std::uint64_t framesTransmitted = 0;
+  std::uint64_t framesDelivered = 0;
+  std::uint64_t framesBelowSensitivity = 0;
+  std::uint64_t framesCollided = 0;      ///< SINR under capture threshold
+  std::uint64_t framesChannelError = 0;  ///< decode failure (BER)
+  std::uint64_t framesBurstLost = 0;
+  std::uint64_t framesHalfDuplexMissed = 0;
+  std::uint64_t framesCorruptDelivered = 0;  ///< surfaced for soft combining
+};
+
+/// Broadcast wireless medium shared by all attached radios.
+class RadioEnvironment {
+ public:
+  RadioEnvironment(sim::Simulator& sim, channel::LinkModel& link, Rng rng);
+  RadioEnvironment(const RadioEnvironment&) = delete;
+  RadioEnvironment& operator=(const RadioEnvironment&) = delete;
+
+  void attach(Radio* radio);
+  void detach(Radio* radio);
+
+  /// Starts a transmission; returns its airtime end. Called by Radio.
+  sim::SimTime beginTransmission(Radio& src, Frame frame,
+                                 channel::PhyMode mode);
+
+  /// Carrier sense at `sensor`: true while any other transmission arrives
+  /// above the carrier-sense threshold, or the sensor itself transmits.
+  bool channelBusy(const Radio& sensor) const;
+
+  /// Time until which the sensed busy condition is guaranteed to persist
+  /// (now when the channel is idle).
+  sim::SimTime channelBusyUntil(const Radio& sensor) const;
+
+  const MediumStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PlannedRx {
+    Radio* rx = nullptr;
+    double meanDbm = 0.0;   // without fading: carrier sense, interference base
+    double fadedDbm = 0.0;  // per-frame fading applied
+  };
+  struct ActiveTx {
+    std::uint64_t id = 0;
+    NodeId src = 0;
+    Frame frame;
+    channel::PhyMode mode{};
+    sim::SimTime start{};
+    sim::SimTime end{};
+    std::vector<PlannedRx> plans;
+
+    const PlannedRx* planFor(const Radio* rx) const;
+  };
+
+  void finalize(const std::shared_ptr<ActiveTx>& tx);
+  double interferenceDbmAt(const Radio* rx, const ActiveTx& target) const;
+  void pruneRecent();
+
+  sim::Simulator& sim_;
+  channel::LinkModel& link_;
+  Rng rng_;
+  std::vector<Radio*> radios_;
+  std::vector<std::shared_ptr<ActiveTx>> active_;  ///< airtime in progress
+  std::vector<std::shared_ptr<ActiveTx>> recent_;  ///< kept for overlap checks
+  std::uint64_t nextFrameId_ = 1;
+  MediumStats stats_;
+};
+
+}  // namespace vanet::mac

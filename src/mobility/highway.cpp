@@ -1,0 +1,62 @@
+#include "mobility/highway.h"
+
+#include <algorithm>
+
+#include "mobility/platoon.h"
+#include "util/assert.h"
+
+namespace vanet::mobility {
+
+HighwayScenario::HighwayScenario(HighwayConfig config, std::uint64_t masterSeed)
+    : config_(config), masterSeed_(masterSeed),
+      path_(subdivide(geom::Polyline{{{0.0, 0.0}, {config.roadLengthMetres, 0.0}}},
+                      config.maxSegment)) {
+  VANET_ASSERT(config_.apCount >= 1, "need at least one AP");
+  VANET_ASSERT(config_.carCount >= 1, "need at least one car");
+  VANET_ASSERT(config_.firstApArc +
+                       (config_.apCount - 1) * config_.apSpacing <=
+                   config_.roadLengthMetres,
+               "APs must fit on the road");
+}
+
+double HighwayScenario::apArc(int i) const {
+  VANET_ASSERT(i >= 0 && i < config_.apCount, "AP index out of range");
+  return config_.firstApArc + static_cast<double>(i) * config_.apSpacing;
+}
+
+HighwayRound HighwayScenario::makeRound(int roundIndex) const {
+  Rng roundRng = Rng{masterSeed_}.child("highway-round").child(
+      static_cast<std::uint64_t>(roundIndex));
+
+  HighwayRound round{path_, {}, {}, sim::SimTime::zero()};
+  round.apPositions.reserve(static_cast<std::size_t>(config_.apCount));
+  for (int i = 0; i < config_.apCount; ++i) {
+    round.apPositions.push_back(
+        geom::Vec2{apArc(i), -config_.apOffset});
+  }
+
+  Rng leaderRng = roundRng.child("leader");
+  const sim::SimTime departure = sim::SimTime::seconds(1.0);
+  auto leaderTimes = leaderVertexTimes(path_, config_.speedMps,
+                                       config_.edgeSpeedSigma, departure,
+                                       leaderRng);
+  std::vector<sim::SimTime> referenceTimes = leaderTimes;
+  round.cars.push_back(
+      std::make_unique<SchedulePathMobility>(path_, leaderTimes));
+
+  for (int car = 1; car < config_.carCount; ++car) {
+    Rng carRng = roundRng.child("car").child(static_cast<std::uint64_t>(car));
+    const double gap = std::max(
+        0.5, config_.gapSeconds + carRng.normal(0.0, config_.gapJitterSigma));
+    auto times = followerVertexTimes(path_, referenceTimes, constantDelay(gap),
+                                     config_.delayNoiseSigma, carRng);
+    referenceTimes = times;
+    round.cars.push_back(std::make_unique<SchedulePathMobility>(path_, times));
+  }
+
+  round.roundEnd = round.cars.back()->arrivalTime() +
+                   sim::SimTime::seconds(config_.tailSeconds);
+  return round;
+}
+
+}  // namespace vanet::mobility

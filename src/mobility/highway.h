@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file highway.h
+/// Straight-road scenario for the drive-thru and Infostation studies: a
+/// platoon crosses a highway with access points placed every `apSpacing`
+/// metres (the Infostation model of Small & Haas). Used by the speed-sweep
+/// ablation and the file-download / AP-density experiment (paper §6).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/polyline.h"
+#include "mobility/mobility_model.h"
+#include "mobility/path_mobility.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace vanet::mobility {
+
+/// Tunables for the highway scenario.
+struct HighwayConfig {
+  double roadLengthMetres = 6000.0;
+  double maxSegment = 25.0;
+
+  int apCount = 5;
+  double firstApArc = 500.0;    ///< arc position of the first AP
+  double apSpacing = 1000.0;    ///< distance between consecutive APs
+  double apOffset = 12.0;       ///< lateral AP distance from the road
+
+  int carCount = 3;
+  double speedMps = 25.0;       ///< 90 km/h default
+  double edgeSpeedSigma = 0.05;
+  double gapSeconds = 1.5;      ///< highway headway (~37 m at 90 km/h)
+  double gapJitterSigma = 0.3;
+  double delayNoiseSigma = 0.08;
+  double tailSeconds = 10.0;
+};
+
+/// One traversal of the highway.
+struct HighwayRound {
+  geom::Polyline path;
+  std::vector<geom::Vec2> apPositions;
+  std::vector<std::unique_ptr<SchedulePathMobility>> cars;  ///< [0] leads
+  sim::SimTime roundEnd;
+};
+
+/// Deterministic factory mirroring UrbanLoopScenario.
+class HighwayScenario {
+ public:
+  HighwayScenario(HighwayConfig config, std::uint64_t masterSeed);
+
+  HighwayRound makeRound(int roundIndex) const;
+
+  const HighwayConfig& config() const noexcept { return config_; }
+  const geom::Polyline& path() const noexcept { return path_; }
+
+  /// Arc position of AP `i` along the road.
+  double apArc(int i) const;
+
+ private:
+  HighwayConfig config_;
+  std::uint64_t masterSeed_;
+  geom::Polyline path_;
+};
+
+}  // namespace vanet::mobility

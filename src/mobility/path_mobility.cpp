@@ -1,0 +1,63 @@
+#include "mobility/path_mobility.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace vanet::mobility {
+
+SchedulePathMobility::SchedulePathMobility(geom::Polyline path,
+                                           std::vector<sim::SimTime> vertexTimes)
+    : path_(std::move(path)), vertexTimes_(std::move(vertexTimes)) {
+  VANET_ASSERT(vertexTimes_.size() == path_.vertices().size(),
+               "one arrival time per path vertex required");
+  for (std::size_t i = 1; i < vertexTimes_.size(); ++i) {
+    VANET_ASSERT(vertexTimes_[i] > vertexTimes_[i - 1],
+                 "vertex times must be strictly increasing");
+  }
+}
+
+double SchedulePathMobility::arcAt(sim::SimTime t) const {
+  if (t <= vertexTimes_.front()) return 0.0;
+  if (t >= vertexTimes_.back()) return path_.length();
+  // Find the segment whose time interval contains t.
+  const auto it = std::upper_bound(vertexTimes_.begin(), vertexTimes_.end(), t);
+  const auto seg = static_cast<std::size_t>(it - vertexTimes_.begin()) - 1;
+  const double t0 = vertexTimes_[seg].toSeconds();
+  const double t1 = vertexTimes_[seg + 1].toSeconds();
+  const double s0 = path_.arcAtVertex(seg);
+  const double s1 = path_.arcAtVertex(seg + 1);
+  const double frac = (t.toSeconds() - t0) / (t1 - t0);
+  return s0 + frac * (s1 - s0);
+}
+
+geom::Vec2 SchedulePathMobility::positionAt(sim::SimTime t) const {
+  return path_.pointAt(arcAt(t));
+}
+
+double SchedulePathMobility::speedAt(sim::SimTime t) const {
+  if (t <= vertexTimes_.front() || t >= vertexTimes_.back()) return 0.0;
+  const auto it = std::upper_bound(vertexTimes_.begin(), vertexTimes_.end(), t);
+  const auto seg = static_cast<std::size_t>(it - vertexTimes_.begin()) - 1;
+  const double dt =
+      (vertexTimes_[seg + 1] - vertexTimes_[seg]).toSeconds();
+  const double ds = path_.arcAtVertex(seg + 1) - path_.arcAtVertex(seg);
+  return ds / dt;
+}
+
+sim::SimTime SchedulePathMobility::timeAtArc(double s) const {
+  const double clamped = std::clamp(s, 0.0, path_.length());
+  // Find the vertex pair bracketing the arc length.
+  std::size_t seg = 0;
+  while (seg + 2 < vertexTimes_.size() && path_.arcAtVertex(seg + 1) < clamped) {
+    ++seg;
+  }
+  const double s0 = path_.arcAtVertex(seg);
+  const double s1 = path_.arcAtVertex(seg + 1);
+  const double frac = s1 > s0 ? (clamped - s0) / (s1 - s0) : 0.0;
+  const double t0 = vertexTimes_[seg].toSeconds();
+  const double t1 = vertexTimes_[seg + 1].toSeconds();
+  return sim::SimTime::seconds(t0 + frac * (t1 - t0));
+}
+
+}  // namespace vanet::mobility

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file path_mobility.h
+/// Mobility that follows a polyline according to a per-vertex arrival
+/// schedule. Scenario builders (platoon, urban loop, highway) construct the
+/// schedules; this class only interpolates them.
+
+#include <vector>
+
+#include "geom/polyline.h"
+#include "mobility/mobility_model.h"
+
+namespace vanet::mobility {
+
+/// Follows `path`, reaching vertex `i` exactly at `vertexTimes[i]`.
+///
+/// Between vertices, arc length advances linearly in time (constant speed
+/// per segment). Before the first time the node waits at the first vertex;
+/// after the last it parks at the last vertex.
+class SchedulePathMobility final : public MobilityModel {
+ public:
+  /// Requires `vertexTimes.size() == path.vertices().size()` and strictly
+  /// increasing times.
+  SchedulePathMobility(geom::Polyline path, std::vector<sim::SimTime> vertexTimes);
+
+  geom::Vec2 positionAt(sim::SimTime t) const override;
+  double speedAt(sim::SimTime t) const override;
+
+  /// Arc length travelled at time `t` (clamped to [0, path length]).
+  double arcAt(sim::SimTime t) const;
+
+  /// Inverse of arcAt: the time the node crosses arc length `s` (clamped to
+  /// the schedule's ends). Used to derive AP trigger instants.
+  sim::SimTime timeAtArc(double s) const;
+
+  const geom::Polyline& path() const noexcept { return path_; }
+  sim::SimTime departureTime() const noexcept { return vertexTimes_.front(); }
+  sim::SimTime arrivalTime() const noexcept { return vertexTimes_.back(); }
+
+ private:
+  geom::Polyline path_;
+  std::vector<sim::SimTime> vertexTimes_;
+};
+
+}  // namespace vanet::mobility

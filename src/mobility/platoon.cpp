@@ -1,0 +1,81 @@
+#include "mobility/platoon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace vanet::mobility {
+
+geom::Polyline subdivide(const geom::Polyline& path, double maxSegment) {
+  VANET_ASSERT(maxSegment > 0.0, "maxSegment must be positive");
+  std::vector<geom::Vec2> out;
+  const auto& verts = path.vertices();
+  for (std::size_t i = 0; i + 1 < verts.size(); ++i) {
+    const geom::Vec2 a = verts[i];
+    const geom::Vec2 b = verts[i + 1];
+    const double len = geom::distance(a, b);
+    const auto pieces = static_cast<std::size_t>(std::ceil(len / maxSegment));
+    for (std::size_t k = 0; k < pieces; ++k) {
+      out.push_back(geom::lerp(a, b, static_cast<double>(k) / static_cast<double>(pieces)));
+    }
+  }
+  out.push_back(verts.back());
+  return geom::Polyline{std::move(out)};
+}
+
+std::vector<sim::SimTime> leaderVertexTimes(const geom::Polyline& path,
+                                            double baseSpeedMps,
+                                            double edgeSpeedSigma,
+                                            sim::SimTime departure, Rng& rng) {
+  VANET_ASSERT(baseSpeedMps > 0.0, "speed must be positive");
+  std::vector<sim::SimTime> times;
+  times.reserve(path.vertices().size());
+  times.push_back(departure);
+  double t = departure.toSeconds();
+  for (std::size_t i = 1; i < path.vertices().size(); ++i) {
+    const double len = path.arcAtVertex(i) - path.arcAtVertex(i - 1);
+    const double factor = std::exp(rng.normal(0.0, edgeSpeedSigma));
+    t += len / (baseSpeedMps * factor);
+    times.push_back(sim::SimTime::seconds(t));
+  }
+  return times;
+}
+
+std::vector<sim::SimTime> followerVertexTimes(
+    const geom::Polyline& path, const std::vector<sim::SimTime>& reference,
+    const DelayProfile& delay, double delayNoiseSigma, Rng& rng) {
+  VANET_ASSERT(reference.size() == path.vertices().size(),
+               "reference schedule must cover every vertex");
+  std::vector<sim::SimTime> times;
+  times.reserve(reference.size());
+  // Minimum headway keeps schedules strictly monotone after noise repair.
+  const sim::SimTime minStep = sim::SimTime::millis(1.0);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double arc = path.arcAtVertex(i);
+    const double lag = delay(arc) + rng.normal(0.0, delayNoiseSigma);
+    sim::SimTime t = reference[i] + sim::SimTime::seconds(std::max(0.05, lag));
+    if (!times.empty() && t <= times.back()) {
+      t = times.back() + minStep;
+    }
+    times.push_back(t);
+  }
+  return times;
+}
+
+DelayProfile constantDelay(double seconds) {
+  return [seconds](double) { return seconds; };
+}
+
+DelayProfile rampDelay(double startSeconds, double endSeconds, double fromArc,
+                       double toArc) {
+  VANET_ASSERT(toArc > fromArc, "ramp must span a positive arc range");
+  return [=](double arc) {
+    if (arc <= fromArc) return startSeconds;
+    if (arc >= toArc) return endSeconds;
+    const double f = (arc - fromArc) / (toArc - fromArc);
+    return startSeconds + f * (endSeconds - startSeconds);
+  };
+}
+
+}  // namespace vanet::mobility

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file platoon.h
+/// Builders that turn driver profiles into per-vertex arrival schedules for
+/// a platoon of cars following the same path. The leader's schedule comes
+/// from a noisy speed profile; followers are expressed as arc-dependent
+/// time lags behind the leader (which is how the paper's corner-C
+/// convergence between car 2 and car 3 is modelled).
+
+#include <functional>
+#include <vector>
+
+#include "geom/polyline.h"
+#include "mobility/path_mobility.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace vanet::mobility {
+
+/// Arc-dependent time lag (seconds) of a follower behind the reference car.
+/// Receives the arc length of the vertex being scheduled.
+using DelayProfile = std::function<double(double arc)>;
+
+/// Subdivides a polyline so no segment exceeds `maxSegment` metres.
+/// Shorter segments give the per-edge speed noise a finer grain.
+geom::Polyline subdivide(const geom::Polyline& path, double maxSegment);
+
+/// Arrival times for the platoon leader.
+///
+/// Each edge is traversed at `baseSpeed * f` where `f` is log-normal-ish
+/// noise: exp(N(0, edgeSpeedSigma)). `departure` is the time at vertex 0.
+std::vector<sim::SimTime> leaderVertexTimes(const geom::Polyline& path,
+                                            double baseSpeedMps,
+                                            double edgeSpeedSigma,
+                                            sim::SimTime departure, Rng& rng);
+
+/// Arrival times for a follower expressed as a lag behind `reference`.
+///
+/// `time[i] = reference[i] + delay(arc_i) + N(0, delayNoiseSigma)`, then
+/// monotonicity is enforced (a car cannot arrive at vertex i+1 before
+/// vertex i). The delay profile must stay positive if overtaking is to be
+/// excluded; small noise excursions are tolerated and repaired.
+std::vector<sim::SimTime> followerVertexTimes(const geom::Polyline& path,
+                                              const std::vector<sim::SimTime>& reference,
+                                              const DelayProfile& delay,
+                                              double delayNoiseSigma, Rng& rng);
+
+/// A constant delay profile (steady gap in seconds).
+DelayProfile constantDelay(double seconds);
+
+/// A delay profile that interpolates linearly from `startSeconds` at
+/// `fromArc` to `endSeconds` at `toArc`, constant outside that range.
+/// Models a car closing (or opening) a gap along a stretch of road.
+DelayProfile rampDelay(double startSeconds, double endSeconds, double fromArc,
+                       double toArc);
+
+}  // namespace vanet::mobility

@@ -1,0 +1,100 @@
+#include "mobility/urban_loop.h"
+
+#include <algorithm>
+#include <string>
+
+#include "mobility/platoon.h"
+#include "util/assert.h"
+
+namespace vanet::mobility {
+namespace {
+
+/// Two consecutive laps of the block, so cars drive through the whole
+/// Cooperative-ARQ phase instead of parking at the lap terminus.
+geom::Polyline makeTwoLaps(const UrbanLoopConfig& config) {
+  const double w = config.loopWidth;
+  const double h = config.loopHeight;
+  const std::vector<geom::Vec2> lap{{0.0, h},
+                                    {0.0, 0.0},
+                                    {w, 0.0},
+                                    {w, h},
+                                    {0.0, h}};
+  std::vector<geom::Vec2> twoLaps = lap;
+  twoLaps.insert(twoLaps.end(), lap.begin() + 1, lap.end());
+  return subdivide(geom::Polyline{std::move(twoLaps)}, config.maxSegment);
+}
+
+}  // namespace
+
+UrbanLoopScenario::UrbanLoopScenario(UrbanLoopConfig config,
+                                     std::uint64_t masterSeed)
+    : config_(config), masterSeed_(masterSeed), path_(makeTwoLaps(config)) {
+  VANET_ASSERT(config_.carCount >= 1, "need at least one car");
+  VANET_ASSERT(config_.gapSeconds > 0.0, "headway must be positive");
+  VANET_ASSERT(config_.flowTriggerLeadMetres < config_.loopHeight,
+               "flow trigger must lie on the approach street");
+}
+
+UrbanRound UrbanLoopScenario::makeRound(int roundIndex) const {
+  Rng roundRng = Rng{masterSeed_}.child("urban-round").child(
+      static_cast<std::uint64_t>(roundIndex));
+
+  UrbanRound round{path_,   apPosition(),        {},
+                   sim::SimTime::zero(), sim::SimTime::zero(),
+                   sim::SimTime::zero()};
+
+  // Leader departs at a jittered instant after t=0 (never before zero).
+  Rng leaderRng = roundRng.child("leader");
+  const double departJitter =
+      std::max(0.0, 2.0 + leaderRng.normal(0.0, config_.startJitterSigma));
+  const sim::SimTime departure = sim::SimTime::seconds(departJitter);
+  auto leaderTimes = leaderVertexTimes(path_, config_.baseSpeedMps,
+                                       config_.edgeSpeedSigma, departure,
+                                       leaderRng);
+  auto leader = std::make_unique<SchedulePathMobility>(path_, leaderTimes);
+  const double triggerArc =
+      coveredStreetBeginArc() - config_.flowTriggerLeadMetres;
+  round.flowStart = leader->timeAtArc(triggerArc);
+  // The AP keeps transmitting until the round ends: the leader reaching
+  // the lap-two trigger point, where the next round's cycle would begin.
+  round.flowStop = leader->timeAtArc(lapLength() + triggerArc);
+  round.roundEnd =
+      round.flowStop + sim::SimTime::seconds(config_.tailSeconds);
+  round.cars.push_back(std::move(leader));
+
+  // Followers: car i trails car i-1. Car 3's headway behind car 2 ramps
+  // down along the covered street (corner-C convergence); every other pair
+  // keeps a constant (jittered) headway.
+  std::vector<sim::SimTime> referenceTimes = leaderTimes;
+  for (int car = 1; car < config_.carCount; ++car) {
+    Rng carRng = roundRng.child("car").child(static_cast<std::uint64_t>(car));
+    const double gap = std::max(
+        0.8, config_.gapSeconds + carRng.normal(0.0, config_.gapJitterSigma));
+    DelayProfile profile;
+    if (car == 2 && config_.cornerCCloseGapSeconds < config_.gapSeconds) {
+      const double closeGap = std::max(
+          0.4, config_.cornerCCloseGapSeconds + carRng.normal(0.0, 0.15));
+      // Converge along the covered street, then fall back over the rest of
+      // the lap as car 3 gives the slow car-2 driver room again.
+      const double streetBegin = coveredStreetBeginArc();
+      const double streetEnd = coveredStreetEndArc();
+      const double reopenArc = std::min(path_.length(), streetEnd + 120.0);
+      const DelayProfile closing =
+          rampDelay(gap, closeGap, streetBegin, streetEnd);
+      const DelayProfile reopening =
+          rampDelay(closeGap, gap, streetEnd, reopenArc);
+      profile = [closing, reopening, streetEnd](double arc) {
+        return arc <= streetEnd ? closing(arc) : reopening(arc);
+      };
+    } else {
+      profile = constantDelay(gap);
+    }
+    auto times = followerVertexTimes(path_, referenceTimes, profile,
+                                     config_.delayNoiseSigma, carRng);
+    referenceTimes = times;
+    round.cars.push_back(std::make_unique<SchedulePathMobility>(path_, times));
+  }
+  return round;
+}
+
+}  // namespace vanet::mobility

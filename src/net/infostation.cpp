@@ -1,0 +1,78 @@
+#include "net/infostation.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace vanet::net {
+
+InfostationServer::InfostationServer(Node& node, InfostationConfig config,
+                                     TxObserver observer)
+    : node_(node), config_(std::move(config)), observer_(std::move(observer)) {
+  VANET_ASSERT(!config_.flows.empty(), "infostation needs at least one flow");
+  VANET_ASSERT(config_.packetsPerSecondPerFlow > 0.0,
+               "flow rate must be positive");
+  VANET_ASSERT(config_.repeatCount >= 1, "repeatCount must be >= 1");
+  const double totalRate =
+      config_.packetsPerSecondPerFlow * static_cast<double>(config_.flows.size());
+  interFrame_ = sim::SimTime::seconds(1.0 / totalRate);
+}
+
+void InfostationServer::start() {
+  VANET_ASSERT(!started_, "infostation already started");
+  started_ = true;
+  node_.simulator().scheduleAt(config_.start, [this] { transmitTick(); });
+}
+
+SeqNo InfostationServer::seqForCounter(std::uint64_t packetCounter) const {
+  const auto logical =
+      static_cast<SeqNo>(packetCounter / static_cast<std::uint64_t>(config_.repeatCount));
+  if (config_.cycleLength > 0) {
+    // Cycling flows stay within [1, cycleLength]; firstSeq only sets the
+    // phase (deployments stagger it per infostation so consecutive AP
+    // passes serve complementary slices of the file).
+    return 1 + (config_.firstSeq - 1 + logical) % config_.cycleLength;
+  }
+  return config_.firstSeq + logical;
+}
+
+SeqNo InfostationServer::nextSeq(FlowId flow) const {
+  // Flow `flow` transmits on ticks where tick % flows == index(flow).
+  for (std::size_t i = 0; i < config_.flows.size(); ++i) {
+    if (config_.flows[i] == flow) {
+      const std::uint64_t flowTicks =
+          (tick_ + config_.flows.size() - 1 - i) / config_.flows.size();
+      return seqForCounter(flowTicks);
+    }
+  }
+  VANET_ASSERT(false, "unknown flow");
+  return 0;
+}
+
+void InfostationServer::transmitTick() {
+  if (node_.simulator().now() >= config_.stop) return;
+
+  const std::size_t flowIdx = tick_ % config_.flows.size();
+  const std::uint64_t flowTicks = tick_ / config_.flows.size();
+  const FlowId flow = config_.flows[flowIdx];
+  const SeqNo seq = seqForCounter(flowTicks);
+  const int copy =
+      static_cast<int>(flowTicks % static_cast<std::uint64_t>(config_.repeatCount));
+
+  mac::Frame frame;
+  frame.kind = mac::FrameKind::kData;
+  frame.src = node_.id();
+  frame.dst = kBroadcastId;
+  frame.bytes = config_.payloadBytes;
+  frame.payload = mac::DataPayload{flow, seq, copy};
+  node_.mac().enqueue(std::move(frame), config_.mode);
+  ++framesQueued_;
+  if (observer_) {
+    observer_(flow, seq, copy, node_.simulator().now());
+  }
+
+  ++tick_;
+  node_.simulator().scheduleAfter(interFrame_, [this] { transmitTick(); });
+}
+
+}  // namespace vanet::net

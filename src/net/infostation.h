@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file infostation.h
+/// The access-point application: continuously transmits numbered packets
+/// round-robin across one flow per car (the paper's AP sent three ICMP
+/// streams of 5 x 1000-byte packets per second). Supports two extensions
+/// used by the ablation studies:
+///   * blind retransmissions (`repeatCount`), the future-work scheme of
+///     paper §3.2 — each packet is sent `repeatCount` times within the
+///     same channel budget, trading new-data rate for per-packet
+///     reliability;
+///   * file cycling (`cycleLength`), the Infostation download model — the
+///     sequence space wraps so a car can fill gaps on a later AP pass.
+
+#include <functional>
+#include <vector>
+
+#include "net/node.h"
+#include "sim/time.h"
+#include "util/types.h"
+
+namespace vanet::net {
+
+/// Configuration of one AP's transmission schedule.
+struct InfostationConfig {
+  std::vector<FlowId> flows;          ///< destination car ids
+  double packetsPerSecondPerFlow = 5.0;
+  int payloadBytes = 1000;
+  channel::PhyMode mode = channel::PhyMode::kDsss1Mbps;
+  sim::SimTime start{};               ///< first transmission instant
+  sim::SimTime stop = sim::SimTime::max();
+  int repeatCount = 1;                ///< blind retransmissions per packet
+  SeqNo firstSeq = 1;
+  SeqNo cycleLength = 0;              ///< >0: wrap sequence space (file mode)
+};
+
+/// Observer invoked on every transmitted data frame (copy 0 is the first
+/// transmission of a sequence number).
+using TxObserver =
+    std::function<void(FlowId flow, SeqNo seq, int copy, sim::SimTime at)>;
+
+/// AP-side data source. The total frame rate is
+/// `packetsPerSecondPerFlow * flows.size()` regardless of `repeatCount`,
+/// so retransmissions consume the same channel budget they would in a real
+/// deployment.
+class InfostationServer {
+ public:
+  InfostationServer(Node& node, InfostationConfig config,
+                    TxObserver observer = nullptr);
+
+  /// Schedules the transmission stream; call once.
+  void start();
+
+  /// Sequence number the given flow will use next.
+  SeqNo nextSeq(FlowId flow) const;
+
+  std::uint64_t framesQueued() const noexcept { return framesQueued_; }
+
+ private:
+  void transmitTick();
+  SeqNo seqForCounter(std::uint64_t packetCounter) const;
+
+  Node& node_;
+  InfostationConfig config_;
+  TxObserver observer_;
+  sim::SimTime interFrame_{};
+  std::uint64_t tick_ = 0;  // one frame per tick, round-robin over flows
+  std::uint64_t framesQueued_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace vanet::net

@@ -1,0 +1,12 @@
+#include "net/node.h"
+
+namespace vanet::net {
+
+Node::Node(sim::Simulator& sim, mac::RadioEnvironment& environment, NodeId id,
+           const mobility::MobilityModel* mobility,
+           mac::RadioConfig radioConfig, mac::MacConfig macConfig, Rng rng)
+    : sim_(sim), id_(id), mobility_(mobility),
+      radio_(sim, environment, id, mobility, radioConfig),
+      mac_(sim, environment, radio_, macConfig, rng.child("mac")) {}
+
+}  // namespace vanet::net

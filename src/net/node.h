@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file node.h
+/// A network node: identity + mobility + radio + MAC, wired together. Cars
+/// and access points are both Nodes; what differs is the application
+/// attached on top (carq::CarqAgent for cars, net::InfostationServer for
+/// APs).
+
+#include <memory>
+
+#include "mac/csma.h"
+#include "mac/radio.h"
+#include "mac/radio_environment.h"
+#include "mobility/mobility_model.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vanet::net {
+
+/// Aggregates the per-node protocol stack. Non-copyable; nodes live for
+/// one simulation run.
+class Node {
+ public:
+  /// `mobility` must outlive the node. The node derives its own RNG
+  /// streams (MAC backoff) from `rng`.
+  Node(sim::Simulator& sim, mac::RadioEnvironment& environment, NodeId id,
+       const mobility::MobilityModel* mobility, mac::RadioConfig radioConfig,
+       mac::MacConfig macConfig, Rng rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  geom::Vec2 position() const { return radio_.position(); }
+
+  mac::Radio& radio() noexcept { return radio_; }
+  const mac::Radio& radio() const noexcept { return radio_; }
+  mac::CsmaMac& mac() noexcept { return mac_; }
+  const mac::CsmaMac& mac() const noexcept { return mac_; }
+  const mobility::MobilityModel* mobility() const noexcept { return mobility_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  NodeId id_;
+  const mobility::MobilityModel* mobility_;
+  mac::Radio radio_;
+  mac::CsmaMac mac_;
+};
+
+}  // namespace vanet::net

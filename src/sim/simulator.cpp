@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace vanet::sim {
+
+EventId Simulator::scheduleAt(SimTime at, std::function<void()> fn) {
+  VANET_ASSERT(at >= now_, "cannot schedule an event in the past");
+  VANET_ASSERT(fn != nullptr, "event handler must be callable");
+  const EventId id = nextId_++;
+  queue_.push(Entry{at, nextSeq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::scheduleAfter(SimTime delay, std::function<void()> fn) {
+  VANET_ASSERT(delay >= SimTime::zero(), "delay must be non-negative");
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { handlers_.erase(id); }
+
+bool Simulator::popNextLive(Entry& out) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (handlers_.count(top.id) == 0) {
+      queue_.pop();  // cancelled; discard lazily
+      continue;
+    }
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!popNextLive(entry)) return false;
+  queue_.pop();
+  auto it = handlers_.find(entry.id);
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  VANET_ASSERT(entry.at >= now_, "event queue must be monotone");
+  now_ = entry.at;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::runUntil(SimTime until) {
+  stopped_ = false;
+  Entry entry;
+  while (!stopped_ && popNextLive(entry) && entry.at <= until) {
+    step();
+  }
+  if (!stopped_ && now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace vanet::sim

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file simulator.h
+/// Single-threaded discrete-event scheduler. Events at equal timestamps fire
+/// in insertion order (stable), which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vanet::sim {
+
+/// Handle for a scheduled event; used to cancel it. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+/// Discrete-event simulation kernel.
+///
+/// Typical use:
+/// ```
+/// Simulator sim;
+/// sim.scheduleAt(SimTime::seconds(1.0), [&] { ... });
+/// sim.runUntil(SimTime::seconds(10.0));
+/// ```
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Starts at zero.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now). Returns a cancellable id.
+  EventId scheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// True if the event is still pending.
+  bool isPending(EventId id) const { return handlers_.count(id) > 0; }
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= `until`, then sets now() = `until`
+  /// (unless stopped earlier).
+  void runUntil(SimTime until);
+
+  /// Executes exactly one event if available; returns false on empty queue.
+  bool step();
+
+  /// Makes run()/runUntil() return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Clears a previous stop() so the simulator can be driven further.
+  void clearStop() noexcept { stopped_ = false; }
+
+  /// Number of events currently pending (excluding cancelled ones).
+  std::size_t pendingCount() const noexcept { return handlers_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executedCount() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // insertion order; breaks timestamp ties stably
+    EventId id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops queue entries whose handler was cancelled; returns false when empty.
+  bool popNextLive(Entry& out);
+
+  SimTime now_{};
+  bool stopped_ = false;
+  std::uint64_t nextSeq_ = 0;
+  EventId nextId_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace vanet::sim

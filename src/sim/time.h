@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file time.h
+/// Simulation time as a strong integer-nanosecond type. Integer ticks make
+/// event ordering exact and runs bit-reproducible; doubles are only used at
+/// the API edges (seconds in, seconds out).
+
+#include <cstdint>
+#include <ostream>
+
+namespace vanet::sim {
+
+/// A point in (or duration of) simulation time, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  /// Named constructors. `seconds`/`millis`/`micros` round to the nearest
+  /// nanosecond.
+  static constexpr SimTime nanos(std::int64_t ns) noexcept { return SimTime{ns}; }
+  static constexpr SimTime micros(double us) noexcept {
+    return SimTime{llround(us * 1e3)};
+  }
+  static constexpr SimTime millis(double ms) noexcept {
+    return SimTime{llround(ms * 1e6)};
+  }
+  static constexpr SimTime seconds(double s) noexcept {
+    return SimTime{llround(s * 1e9)};
+  }
+
+  /// The zero instant / empty duration.
+  static constexpr SimTime zero() noexcept { return SimTime{0}; }
+
+  /// A sentinel later than any reachable simulation time.
+  static constexpr SimTime max() noexcept { return SimTime{INT64_MAX}; }
+
+  constexpr std::int64_t ns() const noexcept { return ns_; }
+  constexpr double toSeconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double toMillis() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) noexcept {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) noexcept {
+    return SimTime{a.ns_ * k};
+  }
+  constexpr SimTime& operator+=(SimTime other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) noexcept {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.toSeconds() << "s";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+
+  // constexpr-friendly llround for non-negative and negative values alike.
+  static constexpr std::int64_t llround(double x) noexcept {
+    return x >= 0 ? static_cast<std::int64_t>(x + 0.5)
+                  : static_cast<std::int64_t>(x - 0.5);
+  }
+
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace vanet::sim

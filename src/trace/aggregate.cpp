@@ -1,0 +1,127 @@
+#include "trace/aggregate.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace vanet::trace {
+
+void Table1Accumulator::addRound(const RoundTrace& trace) {
+  ++rounds_;
+  for (const NodeId car : trace.carIds()) {
+    Table1Row& row = rows_[car];
+    row.car = car;
+    const auto window = trace.associationWindow(car);
+    if (!window.has_value()) {
+      // The car never heard the AP this round: everything it was sent is
+      // lost, but there is no window to count against; record zeros.
+      row.txByAp.add(0.0);
+      row.lostBefore.add(0.0);
+      row.lostAfter.add(0.0);
+      row.lostJoint.add(0.0);
+      continue;
+    }
+    const std::vector<SeqNo> seqs =
+        trace.seqsTransmittedDuring(car, window->first, window->second);
+    int before = 0;
+    int after = 0;
+    int joint = 0;
+    for (const SeqNo seq : seqs) {
+      const bool direct = trace.wasOverheard(car, car, seq);
+      const bool held = direct || trace.wasRecovered(car, seq);
+      const bool anyone = trace.anyOverheard(car, seq);
+      if (!direct) ++before;
+      if (!held) ++after;
+      if (!anyone) ++joint;
+    }
+    const auto tx = static_cast<double>(seqs.size());
+    row.txByAp.add(tx);
+    row.lostBefore.add(before);
+    row.lostAfter.add(after);
+    row.lostJoint.add(joint);
+    if (!seqs.empty()) {
+      row.pctLostBefore.add(100.0 * before / tx);
+      row.pctLostAfter.add(100.0 * after / tx);
+      row.pctLostJoint.add(100.0 * joint / tx);
+    }
+  }
+}
+
+Table1Data Table1Accumulator::data() const {
+  Table1Data out;
+  out.rounds = rounds_;
+  out.rows.reserve(rows_.size());
+  for (const auto& [car, row] : rows_) {
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+void FigureAccumulator::addRound(const RoundTrace& trace) {
+  ++rounds_;
+  const auto& cars = trace.carIds();
+
+  // The I->II boundary time: every car has decoded something from the AP.
+  sim::SimTime allInside = sim::SimTime::zero();
+  bool allHeard = true;
+  for (const NodeId car : cars) {
+    const auto first = trace.firstOverhearTime(car);
+    if (!first.has_value()) {
+      allHeard = false;
+      break;
+    }
+    allInside = std::max(allInside, *first);
+  }
+
+  for (const NodeId dest : cars) {
+    FlowFigure& figure = flows_[dest];
+    figure.flow = dest;
+    const auto window = trace.associationWindow(dest);
+    if (!window.has_value()) continue;
+    const std::vector<SeqNo> seqs =
+        trace.seqsTransmittedDuring(dest, window->first, window->second);
+    if (seqs.empty()) continue;
+
+    for (const SeqNo seq : seqs) {
+      const auto idx = static_cast<std::size_t>(seq - 1);
+      for (const NodeId car : cars) {
+        figure.rxByCar[car].add(idx,
+                                trace.wasOverheard(car, dest, seq) ? 1.0 : 0.0);
+      }
+      const bool held = trace.wasOverheard(dest, dest, seq) ||
+                        trace.wasRecovered(dest, seq);
+      figure.afterCoop.add(idx, held ? 1.0 : 0.0);
+      figure.joint.add(idx, trace.anyOverheard(dest, seq) ? 1.0 : 0.0);
+    }
+
+    // Region boundaries in packet numbers (see header for the semantics).
+    if (allHeard) {
+      SeqNo boundary12 = seqs.back();
+      for (const SeqNo seq : seqs) {
+        const auto at = trace.txTime(dest, seq);
+        if (at.has_value() && *at >= allInside) {
+          boundary12 = seq;
+          break;
+        }
+      }
+      figure.regionBoundary12.add(boundary12);
+    }
+    const auto& rxTimes = trace.directRxTimes(dest);
+    if (!rxTimes.empty()) {
+      const std::size_t q75 =
+          std::min(rxTimes.size() - 1, (rxTimes.size() * 3) / 4);
+      const sim::SimTime exitStart = rxTimes[q75];
+      SeqNo boundary23 = seqs.back();
+      for (const SeqNo seq : seqs) {
+        const auto at = trace.txTime(dest, seq);
+        if (at.has_value() && *at >= exitStart) {
+          boundary23 = seq;
+          break;
+        }
+      }
+      figure.regionBoundary23.add(boundary23);
+    }
+  }
+}
+
+}  // namespace vanet::trace

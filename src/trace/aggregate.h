@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file aggregate.h
+/// Cross-round aggregation producing exactly what the paper reports:
+/// Table 1 (per-car packets transmitted / lost before / lost after
+/// cooperation, mean and standard deviation over rounds) and the
+/// Figure 3-8 series (per-packet-number reception probabilities).
+
+#include <map>
+#include <vector>
+
+#include "trace/round_trace.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace vanet::trace {
+
+/// One row of Table 1, aggregated over rounds.
+struct Table1Row {
+  NodeId car = 0;
+  RunningStats txByAp;          ///< packets addressed to the car in-window
+  RunningStats lostBefore;      ///< absolute losses without cooperation
+  RunningStats lostAfter;       ///< absolute losses after C-ARQ
+  RunningStats lostJoint;       ///< packets no platoon member received
+  RunningStats pctLostBefore;   ///< per-round percentage
+  RunningStats pctLostAfter;
+  RunningStats pctLostJoint;    ///< the optimal ("virtual car") bound
+};
+
+/// All Table 1 rows plus the round count.
+struct Table1Data {
+  std::vector<Table1Row> rows;
+  int rounds = 0;
+};
+
+/// Accumulates Table 1 across rounds.
+class Table1Accumulator {
+ public:
+  void addRound(const RoundTrace& trace);
+  Table1Data data() const;
+
+ private:
+  std::map<NodeId, Table1Row> rows_;
+  int rounds_ = 0;
+};
+
+/// Aggregated figure data for one flow (one destination car): the paper's
+/// Figure 3/4/5 (per-car reception series) and 6/7/8 (after-coop vs joint).
+struct FlowFigure {
+  FlowId flow = 0;
+  /// P(car j received packet k of this flow), indexed by seq-1.
+  std::map<NodeId, SeriesAccumulator> rxByCar;
+  /// P(destination holds packet k after cooperation).
+  SeriesAccumulator afterCoop;
+  /// P(any platoon member received packet k).
+  SeriesAccumulator joint;
+  /// Region I/II and II/III boundaries, in packet numbers (see
+  /// FigureAccumulator docs for the derivation).
+  RunningStats regionBoundary12;
+  RunningStats regionBoundary23;
+};
+
+/// Accumulates the figure series across rounds.
+///
+/// Alignment follows the paper: sequence numbers restart each round when
+/// the platoon approaches the AP, so "packet number k" is comparable
+/// across rounds. Region boundaries are derived from the traces: the
+/// I->II boundary is the first packet transmitted after every car has
+/// decoded something from the AP (the platoon is fully inside coverage);
+/// the II->III boundary is the packet transmitted when the destination
+/// car has collected 75% of its direct receptions (its reception is
+/// beginning to degrade as it leaves coverage).
+class FigureAccumulator {
+ public:
+  void addRound(const RoundTrace& trace);
+  const std::map<FlowId, FlowFigure>& flows() const noexcept { return flows_; }
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  std::map<FlowId, FlowFigure> flows_;
+  int rounds_ = 0;
+};
+
+}  // namespace vanet::trace

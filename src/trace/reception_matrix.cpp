@@ -1,0 +1,73 @@
+#include "trace/reception_matrix.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace vanet::trace {
+
+ReceptionMatrix::ReceptionMatrix(const RoundTrace& trace, FlowId flow)
+    : flow_(flow), maxSeq_(trace.maxSeqTransmitted(flow)),
+      carIds_(trace.carIds()) {
+  direct_.resize(carIds_.size());
+  const auto seqCount = static_cast<std::size_t>(std::max<SeqNo>(maxSeq_, 0));
+  for (std::size_t c = 0; c < carIds_.size(); ++c) {
+    direct_[c].resize(seqCount, false);
+    for (SeqNo seq = 1; seq <= maxSeq_; ++seq) {
+      direct_[c][static_cast<std::size_t>(seq - 1)] =
+          trace.wasOverheard(carIds_[c], flow, seq);
+    }
+  }
+  recoveredAtDest_.resize(seqCount, false);
+  for (SeqNo seq = 1; seq <= maxSeq_; ++seq) {
+    recoveredAtDest_[static_cast<std::size_t>(seq - 1)] =
+        trace.wasRecovered(flow, seq);
+  }
+}
+
+std::size_t ReceptionMatrix::carIndex(NodeId car) const {
+  const auto it = std::find(carIds_.begin(), carIds_.end(), car);
+  VANET_ASSERT(it != carIds_.end(), "car not part of this round");
+  return static_cast<std::size_t>(it - carIds_.begin());
+}
+
+bool ReceptionMatrix::received(NodeId car, SeqNo seq) const {
+  VANET_ASSERT(seq >= 1 && seq <= maxSeq_, "sequence out of range");
+  return direct_[carIndex(car)][static_cast<std::size_t>(seq - 1)];
+}
+
+bool ReceptionMatrix::joint(SeqNo seq) const {
+  VANET_ASSERT(seq >= 1 && seq <= maxSeq_, "sequence out of range");
+  const auto idx = static_cast<std::size_t>(seq - 1);
+  return std::any_of(direct_.begin(), direct_.end(),
+                     [idx](const auto& row) { return row[idx]; });
+}
+
+bool ReceptionMatrix::afterCoop(SeqNo seq) const {
+  VANET_ASSERT(seq >= 1 && seq <= maxSeq_, "sequence out of range");
+  const auto idx = static_cast<std::size_t>(seq - 1);
+  return direct_[carIndex(flow_)][idx] || recoveredAtDest_[idx];
+}
+
+int ReceptionMatrix::receivedCount(NodeId car) const {
+  const auto& row = direct_[carIndex(car)];
+  return static_cast<int>(std::count(row.begin(), row.end(), true));
+}
+
+int ReceptionMatrix::jointCount() const {
+  int count = 0;
+  for (SeqNo seq = 1; seq <= maxSeq_; ++seq) {
+    if (joint(seq)) ++count;
+  }
+  return count;
+}
+
+int ReceptionMatrix::afterCoopCount() const {
+  int count = 0;
+  for (SeqNo seq = 1; seq <= maxSeq_; ++seq) {
+    if (afterCoop(seq)) ++count;
+  }
+  return count;
+}
+
+}  // namespace vanet::trace

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file reception_matrix.h
+/// Dense per-flow view of one round: which cars decoded which sequence
+/// numbers, plus recovery state at the destination. Built from a
+/// RoundTrace; used by property tests (the C-ARQ optimality invariant:
+/// after cooperation the destination holds the union of platoon
+/// receptions) and by exports.
+
+#include <vector>
+
+#include "trace/round_trace.h"
+
+namespace vanet::trace {
+
+/// Boolean reception matrix for one flow of one round.
+class ReceptionMatrix {
+ public:
+  /// Covers sequence numbers [1, maxSeqTransmitted(flow)].
+  ReceptionMatrix(const RoundTrace& trace, FlowId flow);
+
+  FlowId flow() const noexcept { return flow_; }
+  SeqNo maxSeq() const noexcept { return maxSeq_; }
+  const std::vector<NodeId>& carIds() const noexcept { return carIds_; }
+
+  /// Direct (overheard) reception of `seq` by `car`.
+  bool received(NodeId car, SeqNo seq) const;
+
+  /// Any platoon member received `seq` (the paper's joint curve).
+  bool joint(SeqNo seq) const;
+
+  /// Destination holds `seq` after cooperation (direct or recovered).
+  bool afterCoop(SeqNo seq) const;
+
+  /// Count helpers over the full sequence range.
+  int receivedCount(NodeId car) const;
+  int jointCount() const;
+  int afterCoopCount() const;
+
+ private:
+  std::size_t carIndex(NodeId car) const;
+
+  FlowId flow_;
+  SeqNo maxSeq_;
+  std::vector<NodeId> carIds_;
+  std::vector<std::vector<bool>> direct_;  // [carIndex][seq-1]
+  std::vector<bool> recoveredAtDest_;
+};
+
+}  // namespace vanet::trace

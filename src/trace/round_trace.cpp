@@ -1,0 +1,114 @@
+#include "trace/round_trace.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace vanet::trace {
+
+RoundTrace::RoundTrace(std::vector<NodeId> carIds) : carIds_(std::move(carIds)) {
+  VANET_ASSERT(!carIds_.empty(), "a round needs at least one car");
+}
+
+void RoundTrace::recordApTx(FlowId flow, SeqNo seq, int copy, sim::SimTime at) {
+  if (copy != 0) return;  // retransmissions do not advance the tx log
+  tx_[flow].emplace(seq, at);
+}
+
+void RoundTrace::recordOverhear(NodeId car, FlowId flow, SeqNo seq,
+                                sim::SimTime at) {
+  overheard_[car][flow].insert(seq);
+  // Order-insensitive min/max so traces can be assembled out of order.
+  const auto firstAny = firstAnyRx_.find(car);
+  if (firstAny == firstAnyRx_.end()) {
+    firstAnyRx_[car] = at;
+  } else {
+    firstAny->second = std::min(firstAny->second, at);
+  }
+  lastAnyRx_[car] = std::max(lastAnyRx_[car], at);
+  if (flow == car) {
+    const auto firstOwn = firstOwnRx_.find(car);
+    if (firstOwn == firstOwnRx_.end()) {
+      firstOwnRx_[car] = at;
+    } else {
+      firstOwn->second = std::min(firstOwn->second, at);
+    }
+    auto& times = ownRxTimes_[car];
+    times.insert(std::upper_bound(times.begin(), times.end(), at), at);
+  }
+}
+
+void RoundTrace::recordRecovered(NodeId car, SeqNo seq, sim::SimTime) {
+  recovered_[car].insert(seq);
+}
+
+bool RoundTrace::wasOverheard(NodeId car, FlowId flow, SeqNo seq) const {
+  const auto carIt = overheard_.find(car);
+  if (carIt == overheard_.end()) return false;
+  const auto flowIt = carIt->second.find(flow);
+  return flowIt != carIt->second.end() && flowIt->second.count(seq) > 0;
+}
+
+bool RoundTrace::anyOverheard(FlowId flow, SeqNo seq) const {
+  return std::any_of(carIds_.begin(), carIds_.end(), [&](NodeId car) {
+    return wasOverheard(car, flow, seq);
+  });
+}
+
+bool RoundTrace::wasRecovered(NodeId car, SeqNo seq) const {
+  const auto it = recovered_.find(car);
+  return it != recovered_.end() && it->second.count(seq) > 0;
+}
+
+std::optional<sim::SimTime> RoundTrace::txTime(FlowId flow, SeqNo seq) const {
+  const auto flowIt = tx_.find(flow);
+  if (flowIt == tx_.end()) return std::nullopt;
+  const auto seqIt = flowIt->second.find(seq);
+  if (seqIt == flowIt->second.end()) return std::nullopt;
+  return seqIt->second;
+}
+
+SeqNo RoundTrace::maxSeqTransmitted(FlowId flow) const {
+  const auto flowIt = tx_.find(flow);
+  if (flowIt == tx_.end() || flowIt->second.empty()) return 0;
+  return flowIt->second.rbegin()->first;
+}
+
+std::optional<std::pair<sim::SimTime, sim::SimTime>>
+RoundTrace::associationWindow(NodeId car) const {
+  const auto first = firstOwnRx_.find(car);
+  if (first == firstOwnRx_.end()) return std::nullopt;
+  const auto last = lastAnyRx_.find(car);
+  VANET_ASSERT(last != lastAnyRx_.end(), "own rx implies any rx");
+  return std::make_pair(first->second, last->second);
+}
+
+std::vector<SeqNo> RoundTrace::seqsTransmittedDuring(FlowId flow,
+                                                     sim::SimTime from,
+                                                     sim::SimTime to) const {
+  std::vector<SeqNo> out;
+  const auto flowIt = tx_.find(flow);
+  if (flowIt == tx_.end()) return out;
+  for (const auto& [seq, at] : flowIt->second) {
+    if (at >= from && at <= to) out.push_back(seq);
+  }
+  return out;
+}
+
+std::optional<sim::SimTime> RoundTrace::firstOverhearTime(NodeId car) const {
+  const auto it = firstAnyRx_.find(car);
+  if (it == firstAnyRx_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<sim::SimTime>& RoundTrace::directRxTimes(NodeId car) const {
+  const auto it = ownRxTimes_.find(car);
+  return it != ownRxTimes_.end() ? it->second : emptyTimes_;
+}
+
+std::size_t RoundTrace::txCount(FlowId flow) const {
+  const auto it = tx_.find(flow);
+  return it != tx_.end() ? it->second.size() : 0;
+}
+
+}  // namespace vanet::trace

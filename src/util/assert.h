@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file assert.h
+/// Precondition / invariant checking macros (C++ Core Guidelines I.5, P.7).
+///
+/// `VANET_ASSERT` is always active (simulation correctness depends on it and
+/// the cost is negligible next to event dispatch); `VANET_DASSERT` compiles
+/// away in release builds and may guard hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vanet::detail {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "ASSERT FAILED: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace vanet::detail
+
+#define VANET_ASSERT(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::vanet::detail::assertFail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define VANET_DASSERT(expr, msg) \
+  do {                           \
+  } while (false)
+#else
+#define VANET_DASSERT(expr, msg) VANET_ASSERT(expr, msg)
+#endif

@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vanet {
+namespace {
+
+[[noreturn]] void badValue(const std::string& name, const std::string& value,
+                           const char* expected) {
+  std::fprintf(stderr, "flag --%s: cannot parse '%s' as %s\n", name.c_str(),
+               value.c_str(), expected);
+  std::exit(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag (then bare bool).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+int Flags::getInt(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(it->second, &pos);
+    if (pos != it->second.size()) badValue(name, it->second, "int");
+    return v;
+  } catch (const std::exception&) {
+    badValue(name, it->second, "int");
+  }
+}
+
+double Flags::getDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) badValue(name, it->second, "double");
+    return v;
+  } catch (const std::exception&) {
+    badValue(name, it->second, "double");
+  }
+}
+
+std::string Flags::getString(const std::string& name, std::string fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+bool Flags::getBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  badValue(name, v, "bool");
+}
+
+}  // namespace vanet

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file flags.h
+/// Tiny command-line flag parser for the examples and bench harnesses.
+/// Accepts `--name=value`, `--name value` and bare boolean `--name`.
+/// Unknown positional arguments are collected in positional().
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vanet {
+
+/// Parsed command line. Lookup is by flag name without the leading dashes.
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv; later occurrences of a flag override earlier ones.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters return `fallback` when the flag is absent; they abort
+  /// with a clear message when the value does not parse.
+  int getInt(const std::string& name, int fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  std::string getString(const std::string& name, std::string fallback) const;
+
+  /// A bare `--name` or `--name=true|1|yes` is true; `=false|0|no` is false.
+  bool getBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vanet

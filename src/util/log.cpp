@@ -1,0 +1,29 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace vanet {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+const char* Log::tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", tag(level), message.c_str());
+}
+
+}  // namespace vanet

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file log.h
+/// Minimal leveled logger. Messages are composed with `operator<<` into a
+/// per-call stream, so there is zero formatting cost when the level is
+/// disabled. Not thread-safe by design: the simulator is single-threaded.
+
+#include <sstream>
+#include <string>
+
+namespace vanet {
+
+/// Severity levels, ordered from most to least severe.
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Global logging configuration and sink.
+class Log {
+ public:
+  /// Sets the most verbose level that will be emitted.
+  static void setLevel(LogLevel level) noexcept { level_ = level; }
+  static LogLevel level() noexcept { return level_; }
+  static bool enabled(LogLevel level) noexcept { return level <= level_; }
+
+  /// Emits one formatted line to stderr. Used by the LOG_* macros.
+  static void write(LogLevel level, const std::string& message);
+
+  /// Returns the short tag ("E", "W", ...) for a level.
+  static const char* tag(LogLevel level) noexcept;
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace vanet
+
+#define VANET_LOG_AT(level, expr)                         \
+  do {                                                    \
+    if (::vanet::Log::enabled(level)) {                   \
+      std::ostringstream vanet_log_oss_;                  \
+      vanet_log_oss_ << expr;                             \
+      ::vanet::Log::write(level, vanet_log_oss_.str());   \
+    }                                                     \
+  } while (false)
+
+#define LOG_ERROR(expr) VANET_LOG_AT(::vanet::LogLevel::kError, expr)
+#define LOG_WARN(expr) VANET_LOG_AT(::vanet::LogLevel::kWarn, expr)
+#define LOG_INFO(expr) VANET_LOG_AT(::vanet::LogLevel::kInfo, expr)
+#define LOG_DEBUG(expr) VANET_LOG_AT(::vanet::LogLevel::kDebug, expr)
+#define LOG_TRACE(expr) VANET_LOG_AT(::vanet::LogLevel::kTrace, expr)

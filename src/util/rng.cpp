@@ -1,0 +1,123 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.h"
+
+namespace vanet {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion guarantees a non-degenerate xoshiro state even for
+  // adversarial seeds (for example 0).
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+int Rng::uniformInt(int lo, int hi) noexcept {
+  VANET_DASSERT(lo <= hi, "uniformInt requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(next() % span);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (hasCachedGaussian_) {
+    hasCachedGaussian_ = false;
+    return mean + stddev * cachedGaussian_;
+  }
+  // Box–Muller on two fresh uniforms; cache the second variate.
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cachedGaussian_ = radius * std::sin(angle);
+  hasCachedGaussian_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::exponential(double rate) noexcept {
+  VANET_DASSERT(rate > 0.0, "exponential requires rate > 0");
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::hash(std::string_view text) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Rng Rng::child(std::string_view name) const noexcept {
+  // Mix the label hash with a digest of the current state. The child seed is
+  // a pure function of (parent construction seed, label): deriving children
+  // does not perturb the parent and is order-independent.
+  const std::uint64_t digest =
+      state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^ rotl(state_[3], 47);
+  std::uint64_t mix = digest ^ hash(name);
+  return Rng{splitmix64(mix)};
+}
+
+Rng Rng::child(std::uint64_t index) const noexcept {
+  const std::uint64_t digest =
+      state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^ rotl(state_[3], 47);
+  std::uint64_t mix = digest ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return Rng{splitmix64(mix)};
+}
+
+}  // namespace vanet

@@ -1,0 +1,167 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace vanet {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderrOfMean() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+namespace {
+
+/// Two-sided 95 % Student-t quantiles for small n; converges to 1.96.
+double tQuantile95(std::size_t degreesOfFreedom) noexcept {
+  static constexpr double kTable[] = {
+      0.0,  12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052, 2.048, 2.045, 2.042};
+  if (degreesOfFreedom == 0) return 0.0;
+  if (degreesOfFreedom < std::size(kTable)) return kTable[degreesOfFreedom];
+  if (degreesOfFreedom < 60) return 2.00;
+  if (degreesOfFreedom < 120) return 1.98;
+  return 1.96;
+}
+
+}  // namespace
+
+double RunningStats::confidence95() const noexcept {
+  if (count_ < 2) return 0.0;
+  return tQuantile95(count_ - 1) * stderrOfMean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  VANET_ASSERT(hi > lo, "histogram range must be non-empty");
+  VANET_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / binWidth_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::uint64_t Histogram::binCount(std::size_t bin) const {
+  VANET_ASSERT(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::binLow(std::size_t bin) const {
+  VANET_ASSERT(bin < counts_.size(), "bin out of range");
+  return lo_ + binWidth_ * static_cast<double>(bin);
+}
+
+double Histogram::binHigh(std::size_t bin) const { return binLow(bin) + binWidth_; }
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const auto c = static_cast<double>(counts_[bin]);
+    if (cumulative + c >= target) {
+      const double inBin = c > 0.0 ? (target - cumulative) / c : 0.0;
+      return binLow(bin) + binWidth_ * inBin;
+    }
+    cumulative += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  const std::uint64_t peak = counts_.empty()
+                                 ? 0
+                                 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[bin]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(width));
+    out << "[" << binLow(bin) << ", " << binHigh(bin) << ") "
+        << std::string(bar, '#') << " " << counts_[bin] << "\n";
+  }
+  return out.str();
+}
+
+void SeriesAccumulator::add(std::size_t i, double value) {
+  if (i >= cells_.size()) {
+    cells_.resize(i + 1);
+  }
+  cells_[i].add(value);
+}
+
+const RunningStats& SeriesAccumulator::at(std::size_t i) const {
+  VANET_ASSERT(i < cells_.size(), "series index out of range");
+  return cells_[i];
+}
+
+std::vector<double> SeriesAccumulator::means() const {
+  std::vector<double> out(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out[i] = cells_[i].mean();
+  }
+  return out;
+}
+
+std::vector<double> SeriesAccumulator::smoothedMeans(std::size_t halfWindow) const {
+  const std::vector<double> raw = means();
+  if (halfWindow == 0 || raw.empty()) return raw;
+  std::vector<double> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::size_t lo = i >= halfWindow ? i - halfWindow : 0;
+    const std::size_t hi = std::min(raw.size() - 1, i + halfWindow);
+    double sum = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) sum += raw[j];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace vanet

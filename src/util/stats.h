@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file stats.h
+/// Streaming statistics used by the trace/analysis layers: Welford running
+/// moments, fixed-bin histograms, and per-index series accumulators (one
+/// Welford cell per packet number, used for the paper's figures).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vanet {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-combining form of Welford).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderrOfMean() const noexcept;
+
+  /// Half-width of the 95 % confidence interval of the mean (Student's t
+  /// with n-1 degrees of freedom, interpolated); 0 when n < 2.
+  double confidence95() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+/// the first/last bin so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t binCount(std::size_t bin) const;
+  double binLow(std::size_t bin) const;
+  double binHigh(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Approximate quantile (q in [0,1]) by linear walk over bins.
+  double quantile(double q) const noexcept;
+
+  /// Multi-line ASCII rendering, for debugging and example output.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double binWidth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// A vector of RunningStats cells indexed by an integer key (for example
+/// packet sequence number); grows on demand. Produces the mean series used
+/// to plot reception probability versus packet number.
+class SeriesAccumulator {
+ public:
+  /// Records `value` for index `i`.
+  void add(std::size_t i, double value);
+
+  std::size_t size() const noexcept { return cells_.size(); }
+  const RunningStats& at(std::size_t i) const;
+
+  /// Mean per index; indexes never touched report 0 with count 0.
+  std::vector<double> means() const;
+
+  /// Moving average of the mean series with the given half-window
+  /// (window = 2*halfWindow+1, truncated at the edges).
+  std::vector<double> smoothedMeans(std::size_t halfWindow) const;
+
+ private:
+  std::vector<RunningStats> cells_;
+};
+
+}  // namespace vanet

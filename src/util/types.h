@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file types.h
+/// Shared identifier types. A flow is addressed by the NodeId of its
+/// destination car (the AP transmits one numbered flow per car), so
+/// FlowId == NodeId throughout.
+
+#include <cstdint>
+
+namespace vanet {
+
+/// Unique node identifier (cars and access points share the space).
+using NodeId = std::int32_t;
+
+/// Flow identifier: the destination car's NodeId.
+using FlowId = std::int32_t;
+
+/// Per-flow packet sequence number; numbering starts at 1 each round.
+using SeqNo = std::int32_t;
+
+/// Destination id used for broadcast frames.
+inline constexpr NodeId kBroadcastId = -1;
+
+/// Conventional id of the first access point (cars use small positive ids).
+inline constexpr NodeId kFirstApId = 1000;
+
+}  // namespace vanet

@@ -1,0 +1,147 @@
+#include "analysis/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::analysis {
+namespace {
+
+UrbanExperimentConfig smallUrbanConfig() {
+  UrbanExperimentConfig config;
+  config.rounds = 2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(UrbanExperimentTest, ProducesRowsForEveryCar) {
+  UrbanExperiment experiment(smallUrbanConfig());
+  const UrbanExperimentResult result = experiment.run();
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_EQ(result.table1.rounds, 2);
+  ASSERT_EQ(result.table1.rows.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.table1.rows[i].car, static_cast<NodeId>(i + 1));
+    EXPECT_EQ(result.table1.rows[i].txByAp.count(), 2u);
+  }
+}
+
+TEST(UrbanExperimentTest, CarsActuallyReceiveData) {
+  UrbanExperiment experiment(smallUrbanConfig());
+  const UrbanExperimentResult result = experiment.run();
+  for (const auto& row : result.table1.rows) {
+    EXPECT_GT(row.txByAp.mean(), 20.0) << "car " << row.car;
+    // Losses exist but are not total.
+    EXPECT_GT(row.pctLostBefore.mean(), 0.0);
+    EXPECT_LT(row.pctLostBefore.mean(), 95.0);
+  }
+}
+
+TEST(UrbanExperimentTest, FiguresCoverAllFlows) {
+  UrbanExperiment experiment(smallUrbanConfig());
+  const UrbanExperimentResult result = experiment.run();
+  ASSERT_EQ(result.figures.size(), 3u);
+  for (const auto& [flow, figure] : result.figures) {
+    EXPECT_EQ(figure.flow, flow);
+    EXPECT_EQ(figure.rxByCar.size(), 3u);
+    EXPECT_GT(figure.afterCoop.size(), 0u);
+    EXPECT_GT(figure.joint.size(), 0u);
+  }
+}
+
+TEST(UrbanExperimentTest, DeterministicForSameSeed) {
+  UrbanExperiment a(smallUrbanConfig());
+  UrbanExperiment b(smallUrbanConfig());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  for (std::size_t i = 0; i < ra.table1.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.table1.rows[i].lostBefore.mean(),
+                     rb.table1.rows[i].lostBefore.mean());
+    EXPECT_DOUBLE_EQ(ra.table1.rows[i].lostAfter.mean(),
+                     rb.table1.rows[i].lostAfter.mean());
+  }
+}
+
+TEST(UrbanExperimentTest, DifferentSeedsDiffer) {
+  UrbanExperimentConfig configA = smallUrbanConfig();
+  UrbanExperimentConfig configB = smallUrbanConfig();
+  configB.seed = 8;
+  const auto ra = UrbanExperiment(configA).run();
+  const auto rb = UrbanExperiment(configB).run();
+  bool anyDifference = false;
+  for (std::size_t i = 0; i < ra.table1.rows.size(); ++i) {
+    if (ra.table1.rows[i].lostBefore.mean() !=
+        rb.table1.rows[i].lostBefore.mean()) {
+      anyDifference = true;
+    }
+  }
+  EXPECT_TRUE(anyDifference);
+}
+
+TEST(UrbanExperimentTest, ProtocolTotalsArePopulated) {
+  UrbanExperiment experiment(smallUrbanConfig());
+  const UrbanExperimentResult result = experiment.run();
+  EXPECT_GT(result.totals.hellosPerRound.mean(), 10.0);
+  EXPECT_GT(result.totals.bufferedPerRound.mean(), 0.0);
+  EXPECT_GT(result.totals.requestsPerRound.mean(), 0.0);
+  EXPECT_GT(result.totals.medium.framesTransmitted, 100u);
+  EXPECT_GT(result.totals.medium.framesDelivered, 100u);
+}
+
+TEST(UrbanExperimentTest, CoopDisabledYieldsNoRecovery) {
+  UrbanExperimentConfig config = smallUrbanConfig();
+  config.carq.cooperationEnabled = false;
+  const auto result = UrbanExperiment(config).run();
+  for (const auto& row : result.table1.rows) {
+    EXPECT_DOUBLE_EQ(row.lostBefore.mean(), row.lostAfter.mean());
+  }
+  EXPECT_DOUBLE_EQ(result.totals.requestsPerRound.mean(), 0.0);
+}
+
+TEST(HighwayExperimentTest, DriveThruLossStats) {
+  HighwayExperimentConfig config;
+  config.scenario.apCount = 1;
+  config.scenario.roadLengthMetres = 2000.0;
+  config.scenario.firstApArc = 1000.0;
+  config.rounds = 2;
+  config.seed = 3;
+  HighwayExperiment experiment(config);
+  const HighwayExperimentResult result = experiment.run();
+  EXPECT_EQ(result.table1.rows.size(), 3u);
+  for (const auto& row : result.table1.rows) {
+    EXPECT_GT(row.txByAp.mean(), 0.0);
+  }
+}
+
+TEST(HighwayExperimentTest, FileDownloadCompletesWithEnoughAps) {
+  HighwayExperimentConfig config;
+  config.scenario.apCount = 5;
+  config.scenario.carCount = 3;
+  config.carq.fileSizeSeqs = 60;
+  config.rounds = 2;
+  config.seed = 5;
+  HighwayExperiment experiment(config);
+  const HighwayExperimentResult result = experiment.run();
+  ASSERT_EQ(result.cars.size(), 3u);
+  int completions = 0;
+  for (const auto& [car, carResult] : result.cars) {
+    completions += carResult.completedRounds;
+    if (carResult.completedRounds > 0) {
+      EXPECT_GE(carResult.apVisitsToComplete.mean(), 1.0);
+      EXPECT_LE(carResult.apVisitsToComplete.mean(), 5.0);
+    }
+  }
+  EXPECT_GT(completions, 0);
+}
+
+TEST(BuildLinkModelTest, HonoursChannelConfig) {
+  const geom::Polyline road{{{0.0, 0.0}, {100.0, 0.0}}};
+  ChannelConfig config;
+  config.ricianK = -1.0;  // no fading
+  auto model = buildLinkModel(road, config, Rng{1});
+  Rng rng{2};
+  const double mean =
+      model->meanRxPowerDbm(kFirstApId, {0.0, 0.0}, 18.0, 1, {10.0, 0.0});
+  EXPECT_DOUBLE_EQ(model->fadedRxPowerDbm(mean, rng), mean);
+}
+
+}  // namespace
+}  // namespace vanet::analysis

@@ -1,0 +1,106 @@
+#include "channel/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vanet::channel {
+namespace {
+
+const std::vector<PhyMode> kAllModes = {
+    PhyMode::kDsss1Mbps,    PhyMode::kDsss2Mbps,   PhyMode::kCck5_5Mbps,
+    PhyMode::kCck11Mbps,    PhyMode::kErpOfdm6Mbps, PhyMode::kErpOfdm12Mbps,
+    PhyMode::kErpOfdm24Mbps, PhyMode::kErpOfdm54Mbps};
+
+TEST(ErrorModelTest, Bitrates) {
+  EXPECT_DOUBLE_EQ(bitrateMbps(PhyMode::kDsss1Mbps), 1.0);
+  EXPECT_DOUBLE_EQ(bitrateMbps(PhyMode::kDsss2Mbps), 2.0);
+  EXPECT_DOUBLE_EQ(bitrateMbps(PhyMode::kCck11Mbps), 11.0);
+  EXPECT_DOUBLE_EQ(bitrateMbps(PhyMode::kErpOfdm54Mbps), 54.0);
+}
+
+TEST(ErrorModelTest, ModeNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (const PhyMode mode : kAllModes) {
+    names.insert(modeName(mode));
+  }
+  EXPECT_EQ(names.size(), kAllModes.size());
+}
+
+TEST(ErrorModelTest, BerDecreasesWithSnr) {
+  for (const PhyMode mode : kAllModes) {
+    double prev = bitErrorRate(mode, -10.0);
+    for (double snr = -8.0; snr <= 30.0; snr += 2.0) {
+      const double ber = bitErrorRate(mode, snr);
+      EXPECT_LE(ber, prev + 1e-12) << modeName(mode) << " at " << snr;
+      prev = ber;
+    }
+  }
+}
+
+TEST(ErrorModelTest, BerBounded) {
+  for (const PhyMode mode : kAllModes) {
+    for (double snr = -30.0; snr <= 40.0; snr += 1.0) {
+      const double ber = bitErrorRate(mode, snr);
+      EXPECT_GE(ber, 0.0);
+      EXPECT_LE(ber, 0.5 + 1e-12);
+    }
+  }
+}
+
+TEST(ErrorModelTest, HighSnrDecodesCleanly) {
+  // 1000-byte frame at 20 dB SNR must be essentially loss-free at 1 Mbps.
+  EXPECT_GT(frameSuccessProbability(PhyMode::kDsss1Mbps, 20.0, 8000), 0.999);
+}
+
+TEST(ErrorModelTest, VeryLowSnrFails) {
+  EXPECT_LT(frameSuccessProbability(PhyMode::kDsss1Mbps, -15.0, 8000), 0.01);
+}
+
+TEST(ErrorModelTest, RobustModeOutperformsFastMode) {
+  // At the same SNR the 1 Mbps DSSS mode must beat 54 Mbps OFDM.
+  for (double snr = 0.0; snr <= 20.0; snr += 2.0) {
+    EXPECT_GE(frameSuccessProbability(PhyMode::kDsss1Mbps, snr, 8000),
+              frameSuccessProbability(PhyMode::kErpOfdm54Mbps, snr, 8000));
+  }
+}
+
+TEST(ErrorModelTest, LongerFramesFailMore) {
+  for (const PhyMode mode : kAllModes) {
+    const double snr = 3.0;
+    EXPECT_GE(frameSuccessProbability(mode, snr, 400),
+              frameSuccessProbability(mode, snr, 8000))
+        << modeName(mode);
+  }
+}
+
+TEST(ErrorModelTest, SuccessProbabilityIsProbability) {
+  for (const PhyMode mode : kAllModes) {
+    for (double snr = -20.0; snr <= 30.0; snr += 5.0) {
+      const double p = frameSuccessProbability(mode, snr, 8224);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(ErrorModelTest, SuccessMonotoneInSnrProperty) {
+  for (const PhyMode mode : kAllModes) {
+    double prev = 0.0;
+    for (double snr = -20.0; snr <= 30.0; snr += 0.5) {
+      const double p = frameSuccessProbability(mode, snr, 8224);
+      EXPECT_GE(p, prev - 1e-12) << modeName(mode) << " at " << snr;
+      prev = p;
+    }
+  }
+}
+
+TEST(ErrorModelTest, NoUnderflowForHugeFrames) {
+  const double p =
+      frameSuccessProbability(PhyMode::kDsss1Mbps, -30.0, 1 << 20);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LT(p, 1e-9);
+}
+
+}  // namespace
+}  // namespace vanet::channel

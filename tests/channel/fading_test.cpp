@@ -1,0 +1,139 @@
+#include "channel/fading.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vanet::channel {
+namespace {
+
+TEST(NoFadingTest, AlwaysZero) {
+  NoFading model;
+  Rng rng{1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.sampleDb(rng), 0.0);
+  }
+}
+
+TEST(RayleighTest, UnitMeanPower) {
+  RayleighFading model;
+  Rng rng{2};
+  double sumLinear = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sumLinear += std::pow(10.0, model.sampleDb(rng) / 10.0);
+  }
+  EXPECT_NEAR(sumLinear / n, 1.0, 0.02);
+}
+
+TEST(RayleighTest, DeepFadeProbability) {
+  // P(power < 0.1) = 1 - e^-0.1 ~ 0.0952 for Exp(1) power.
+  RayleighFading model;
+  Rng rng{3};
+  int deep = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sampleDb(rng) < -10.0) ++deep;
+  }
+  EXPECT_NEAR(static_cast<double>(deep) / n, 1.0 - std::exp(-0.1), 0.005);
+}
+
+TEST(RicianTest, UnitMeanPower) {
+  RicianFading model(6.0);
+  Rng rng{4};
+  double sumLinear = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sumLinear += std::pow(10.0, model.sampleDb(rng) / 10.0);
+  }
+  EXPECT_NEAR(sumLinear / n, 1.0, 0.02);
+}
+
+TEST(RicianTest, LargerKMeansLessVariance) {
+  Rng rng{5};
+  RicianFading mild(1.0);
+  RicianFading strong(20.0);
+  RunningStats mildDb;
+  RunningStats strongDb;
+  for (int i = 0; i < 50000; ++i) {
+    mildDb.add(mild.sampleDb(rng));
+    strongDb.add(strong.sampleDb(rng));
+  }
+  EXPECT_LT(strongDb.stddev(), mildDb.stddev());
+}
+
+TEST(RicianTest, KZeroBehavesLikeRayleigh) {
+  // K=0 Rician is Rayleigh: compare deep-fade rates statistically.
+  RicianFading rician(0.0);
+  Rng rng{6};
+  int deep = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rician.sampleDb(rng) < -10.0) ++deep;
+  }
+  EXPECT_NEAR(static_cast<double>(deep) / n, 1.0 - std::exp(-0.1), 0.006);
+}
+
+TEST(NakagamiTest, UnitMeanPower) {
+  NakagamiFading model(2.0);
+  Rng rng{8};
+  double sumLinear = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sumLinear += std::pow(10.0, model.sampleDb(rng) / 10.0);
+  }
+  EXPECT_NEAR(sumLinear / n, 1.0, 0.02);
+}
+
+TEST(NakagamiTest, MOneMatchesRayleighDeepFades) {
+  // Nakagami m=1 is Rayleigh: deep-fade probability must match.
+  NakagamiFading model(1.0);
+  Rng rng{9};
+  int deep = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sampleDb(rng) < -10.0) ++deep;
+  }
+  EXPECT_NEAR(static_cast<double>(deep) / n, 1.0 - std::exp(-0.1), 0.006);
+}
+
+TEST(NakagamiTest, LargerMLessVariance) {
+  Rng rng{10};
+  NakagamiFading mild(4.0);
+  NakagamiFading harsh(0.6);
+  RunningStats mildDb;
+  RunningStats harshDb;
+  for (int i = 0; i < 50000; ++i) {
+    mildDb.add(mild.sampleDb(rng));
+    harshDb.add(harsh.sampleDb(rng));
+  }
+  EXPECT_LT(mildDb.stddev(), harshDb.stddev());
+}
+
+TEST(NakagamiTest, SubRayleighIsHarsherThanRayleigh) {
+  // m = 0.6 must produce more deep fades than Rayleigh (m = 1).
+  Rng rng{11};
+  NakagamiFading harsh(0.6);
+  NakagamiFading rayleigh(1.0);
+  int harshDeep = 0;
+  int rayleighDeep = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    if (harsh.sampleDb(rng) < -10.0) ++harshDeep;
+    if (rayleigh.sampleDb(rng) < -10.0) ++rayleighDeep;
+  }
+  EXPECT_GT(harshDeep, rayleighDeep);
+}
+
+TEST(NakagamiDeathTest, RejectsTooSmallM) {
+  EXPECT_DEATH(NakagamiFading(0.3), "at least 0.5");
+}
+
+TEST(RicianDeathTest, RejectsNegativeK) {
+  EXPECT_DEATH(RicianFading(-1.0), "non-negative");
+}
+
+}  // namespace
+}  // namespace vanet::channel

@@ -1,0 +1,109 @@
+#include "channel/gilbert_elliott.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::channel {
+namespace {
+
+using sim::SimTime;
+
+TEST(GilbertElliottTest, StationaryLossFormula) {
+  GilbertElliottParams params;
+  params.meanGoodSeconds = 4.0;
+  params.meanBadSeconds = 1.0;
+  params.lossInGood = 0.0;
+  params.lossInBad = 1.0;
+  EXPECT_NEAR(GilbertElliott::stationaryLoss(params), 0.2, 1e-12);
+
+  params.lossInGood = 0.1;
+  params.lossInBad = 0.5;
+  EXPECT_NEAR(GilbertElliott::stationaryLoss(params), (4.0 * 0.1 + 0.5) / 5.0,
+              1e-12);
+}
+
+TEST(GilbertElliottTest, AllGoodNeverLoses) {
+  GilbertElliottParams params;
+  params.lossInGood = 0.0;
+  params.lossInBad = 0.0;
+  GilbertElliott chain(params, Rng{1});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(chain.loseFrame(SimTime::millis(i * 10.0)));
+  }
+}
+
+TEST(GilbertElliottTest, EmpiricalLossMatchesStationary) {
+  GilbertElliottParams params;
+  params.meanGoodSeconds = 2.0;
+  params.meanBadSeconds = 0.5;
+  params.lossInGood = 0.02;
+  params.lossInBad = 0.8;
+  int losses = 0;
+  const int framesPerChain = 2000;
+  const int chains = 50;
+  for (std::uint64_t seed = 0; seed < chains; ++seed) {
+    GilbertElliott chain(params, Rng{seed});
+    for (int i = 0; i < framesPerChain; ++i) {
+      if (chain.loseFrame(SimTime::millis(i * 20.0))) ++losses;
+    }
+  }
+  const double empirical =
+      static_cast<double>(losses) / (framesPerChain * chains);
+  EXPECT_NEAR(empirical, GilbertElliott::stationaryLoss(params), 0.02);
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  // Consecutive-frame loss correlation must exceed the i.i.d. baseline.
+  GilbertElliottParams params;
+  params.meanGoodSeconds = 1.0;
+  params.meanBadSeconds = 0.3;
+  params.lossInGood = 0.0;
+  params.lossInBad = 1.0;
+  int lossPairs = 0;
+  int losses = 0;
+  const int n = 50000;
+  GilbertElliott chain(params, Rng{9});
+  bool prevLost = false;
+  for (int i = 0; i < n; ++i) {
+    const bool lost = chain.loseFrame(SimTime::millis(i * 5.0));
+    if (lost) ++losses;
+    if (lost && prevLost) ++lossPairs;
+    prevLost = lost;
+  }
+  const double pLoss = static_cast<double>(losses) / n;
+  const double pPairGivenLoss =
+      losses > 0 ? static_cast<double>(lossPairs) / losses : 0.0;
+  EXPECT_GT(pPairGivenLoss, 2.0 * pLoss);  // strongly bursty
+}
+
+TEST(GilbertElliottTest, StateAdvancesWithTime) {
+  GilbertElliottParams params;
+  params.meanGoodSeconds = 0.1;
+  params.meanBadSeconds = 0.1;
+  params.lossInBad = 1.0;
+  GilbertElliott chain(params, Rng{3});
+  // Sample over a long horizon: both states must be visited.
+  bool sawGood = false;
+  bool sawBad = false;
+  for (int i = 0; i < 1000; ++i) {
+    chain.loseFrame(SimTime::millis(i * 50.0));
+    if (chain.state() == GilbertElliott::State::kGood) sawGood = true;
+    if (chain.state() == GilbertElliott::State::kBad) sawBad = true;
+  }
+  EXPECT_TRUE(sawGood);
+  EXPECT_TRUE(sawBad);
+}
+
+TEST(GilbertElliottTest, DeterministicPerSeed) {
+  GilbertElliottParams params;
+  params.lossInBad = 0.7;
+  params.lossInGood = 0.05;
+  GilbertElliott a(params, Rng{42});
+  GilbertElliott b(params, Rng{42});
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = SimTime::millis(i * 13.0);
+    EXPECT_EQ(a.loseFrame(t), b.loseFrame(t));
+  }
+}
+
+}  // namespace
+}  // namespace vanet::channel

@@ -1,0 +1,117 @@
+#include "channel/link_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace vanet::channel {
+namespace {
+
+constexpr NodeId kCarA = 1;
+constexpr NodeId kCarB = 2;
+constexpr NodeId kAp = kFirstApId;
+
+std::unique_ptr<CompositeLinkModel> makeModel(
+    double infraExponent = 2.2, double infraRef = 70.0,
+    double c2cExponent = 2.4, double c2cRef = 40.0) {
+  return std::make_unique<CompositeLinkModel>(
+      std::make_unique<LogDistancePathLoss>(infraExponent, infraRef),
+      std::make_unique<LogDistancePathLoss>(c2cExponent, c2cRef),
+      std::make_unique<NoShadowing>(), std::make_unique<NoFading>(),
+      LinkBudget{});
+}
+
+TEST(CompositeLinkModelTest, InfraAndC2cUseDifferentPathLoss) {
+  auto model = makeModel();
+  const geom::Vec2 a{0.0, 0.0};
+  const geom::Vec2 b{10.0, 0.0};
+  const double infra = model->meanRxPowerDbm(kAp, a, 18.0, kCarA, b);
+  const double c2c = model->meanRxPowerDbm(kCarA, a, 18.0, kCarB, b);
+  // Infra: 18 - (70 + 22) = -74; C2C: 18 - (40 + 24) = -46.
+  EXPECT_NEAR(infra, -74.0, 1e-9);
+  EXPECT_NEAR(c2c, -46.0, 1e-9);
+}
+
+TEST(CompositeLinkModelTest, InfraAppliesWhenEitherEndpointIsAp) {
+  auto model = makeModel();
+  const geom::Vec2 a{0.0, 0.0};
+  const geom::Vec2 b{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(model->meanRxPowerDbm(kAp, a, 18.0, kCarA, b),
+                   model->meanRxPowerDbm(kCarA, a, 18.0, kAp, b));
+}
+
+TEST(CompositeLinkModelTest, PowerDecreasesWithDistance) {
+  auto model = makeModel();
+  double prev = 1e9;
+  for (double d = 1.0; d < 500.0; d *= 1.5) {
+    const double p =
+        model->meanRxPowerDbm(kAp, {0.0, 0.0}, 18.0, kCarA, {d, 0.0});
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CompositeLinkModelTest, NoFadingPassesMeanThrough) {
+  auto model = makeModel();
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(model->fadedRxPowerDbm(-70.0, rng), -70.0);
+}
+
+TEST(CompositeLinkModelTest, SuccessProbabilityDelegates) {
+  auto model = makeModel();
+  EXPECT_GT(model->successProbability(PhyMode::kDsss1Mbps, 20.0, 8000), 0.999);
+  EXPECT_LT(model->successProbability(PhyMode::kDsss1Mbps, -15.0, 8000), 0.01);
+}
+
+TEST(CompositeLinkModelTest, NoBurstOverlayByDefault) {
+  auto model = makeModel();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(model->burstLoss(kAp, kCarA, sim::SimTime::millis(i * 10.0), 0));
+  }
+}
+
+TEST(CompositeLinkModelTest, BurstOverlayLosesFrames) {
+  auto model = makeModel();
+  GilbertElliottParams params;
+  params.meanGoodSeconds = 0.5;
+  params.meanBadSeconds = 0.5;
+  params.lossInGood = 0.0;
+  params.lossInBad = 1.0;
+  model->enableBurstOverlay(params, Rng{5});
+  int losses = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (model->burstLoss(kAp, kCarA, sim::SimTime::millis(i * 10.0), 0)) ++losses;
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / 2000.0, 0.5, 0.12);
+}
+
+TEST(CompositeLinkModelTest, BurstChainsArePerDirectedLink) {
+  auto model = makeModel();
+  GilbertElliottParams params;
+  params.meanGoodSeconds = 0.2;
+  params.meanBadSeconds = 0.2;
+  params.lossInBad = 1.0;
+  model->enableBurstOverlay(params, Rng{6});
+  // Different links evolve independently: outcomes must differ somewhere.
+  int differ = 0;
+  for (int i = 0; i < 500; ++i) {
+    const sim::SimTime t = sim::SimTime::millis(i * 10.0);
+    if (model->burstLoss(kAp, kCarA, t, 0) != model->burstLoss(kAp, kCarB, t, 0)) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 50);
+}
+
+TEST(CompositeLinkModelTest, BudgetIsAccessible) {
+  LinkBudget budget;
+  budget.noiseFloorDbm = -90.0;
+  CompositeLinkModel model(std::make_unique<LogDistancePathLoss>(2.0, 40.0),
+                           std::make_unique<LogDistancePathLoss>(2.0, 40.0),
+                           std::make_unique<NoShadowing>(),
+                           std::make_unique<NoFading>(), budget);
+  EXPECT_DOUBLE_EQ(model.budget().noiseFloorDbm, -90.0);
+}
+
+}  // namespace
+}  // namespace vanet::channel

@@ -1,0 +1,80 @@
+#include "channel/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::channel {
+namespace {
+
+TEST(FreeSpaceTest, KnownValueAt2_4GHz) {
+  const FreeSpacePathLoss model(2.4e9);
+  // FSPL(1 m, 2.4 GHz) ~ 40.05 dB.
+  EXPECT_NEAR(model.lossDb(1.0), 40.05, 0.1);
+  // +20 dB per decade.
+  EXPECT_NEAR(model.lossDb(10.0) - model.lossDb(1.0), 20.0, 1e-9);
+  EXPECT_NEAR(model.lossDb(100.0), 80.05, 0.1);
+}
+
+TEST(FreeSpaceTest, ClampsBelowOneMetre) {
+  const FreeSpacePathLoss model(2.4e9);
+  EXPECT_DOUBLE_EQ(model.lossDb(0.0), model.lossDb(1.0));
+  EXPECT_DOUBLE_EQ(model.lossDb(0.5), model.lossDb(1.0));
+}
+
+TEST(LogDistanceTest, ReferenceAndSlope) {
+  const LogDistancePathLoss model(3.0, 46.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.lossDb(1.0), 46.0);
+  EXPECT_NEAR(model.lossDb(10.0), 46.0 + 30.0, 1e-9);
+  EXPECT_NEAR(model.lossDb(100.0), 46.0 + 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model.exponent(), 3.0);
+}
+
+TEST(LogDistanceTest, CustomReferenceDistance) {
+  const LogDistancePathLoss model(2.0, 60.0, 10.0);
+  EXPECT_DOUBLE_EQ(model.lossDb(10.0), 60.0);
+  EXPECT_NEAR(model.lossDb(100.0), 80.0, 1e-9);
+}
+
+TEST(TwoRayTest, FreeSpaceBeforeCrossover) {
+  const TwoRayGroundPathLoss model(10.0, 1.5, 2.4e9);
+  const FreeSpacePathLoss freeSpace(2.4e9);
+  const double crossover = model.crossoverDistance();
+  EXPECT_GT(crossover, 100.0);
+  EXPECT_DOUBLE_EQ(model.lossDb(crossover * 0.5),
+                   freeSpace.lossDb(crossover * 0.5));
+}
+
+TEST(TwoRayTest, FortyDbPerDecadeBeyondCrossover) {
+  const TwoRayGroundPathLoss model(10.0, 1.5, 2.4e9);
+  const double d = model.crossoverDistance() * 2.0;
+  EXPECT_NEAR(model.lossDb(d * 10.0) - model.lossDb(d), 40.0, 1e-9);
+}
+
+// Monotonicity property across all models and a distance sweep.
+class PathLossMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathLossMonotoneTest, LossNeverDecreasesWithDistance) {
+  std::unique_ptr<PathLossModel> model;
+  switch (GetParam()) {
+    case 0:
+      model = std::make_unique<FreeSpacePathLoss>(2.4e9);
+      break;
+    case 1:
+      model = std::make_unique<LogDistancePathLoss>(2.7, 46.0);
+      break;
+    default:
+      model = std::make_unique<TwoRayGroundPathLoss>(10.0, 1.5, 2.4e9);
+      break;
+  }
+  double prev = model->lossDb(1.0);
+  for (double d = 2.0; d < 5000.0; d *= 1.3) {
+    const double loss = model->lossDb(d);
+    EXPECT_GE(loss, prev - 1e-9) << "distance " << d;
+    prev = loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PathLossMonotoneTest,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace vanet::channel

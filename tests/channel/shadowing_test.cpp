@@ -1,0 +1,119 @@
+#include "channel/shadowing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vanet::channel {
+namespace {
+
+geom::Polyline straightRoad() {
+  return geom::Polyline{{{0.0, 0.0}, {1000.0, 0.0}}};
+}
+
+constexpr NodeId kCarA = 1;
+constexpr NodeId kCarB = 2;
+constexpr NodeId kAp = kFirstApId;
+
+TEST(NoShadowingTest, AlwaysZero) {
+  NoShadowing s;
+  EXPECT_DOUBLE_EQ(s.shadowDb(kAp, {0, 0}, kCarA, {50, 0}), 0.0);
+}
+
+TEST(CorrelatedShadowingTest, FieldIsDeterministicPerRng) {
+  const geom::Polyline road = straightRoad();
+  CorrelatedRoadShadowing a(road, {}, Rng{42});
+  CorrelatedRoadShadowing b(road, {}, Rng{42});
+  for (double arc = 0.0; arc < 1000.0; arc += 50.0) {
+    EXPECT_DOUBLE_EQ(a.fieldAt(arc), b.fieldAt(arc));
+  }
+}
+
+TEST(CorrelatedShadowingTest, NearbyPositionsCorrelate) {
+  const geom::Polyline road = straightRoad();
+  ShadowingParams params;
+  params.infraSigmaDb = 6.0;
+  params.decorrelationMetres = 20.0;
+  // Average the products over many field realisations.
+  RunningStats nearProduct;
+  RunningStats farProduct;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    CorrelatedRoadShadowing field(road, params, Rng{seed});
+    const double x0 = field.fieldAt(500.0);
+    nearProduct.add(x0 * field.fieldAt(503.0));
+    farProduct.add(x0 * field.fieldAt(800.0));
+  }
+  const double sigma2 = 36.0;
+  EXPECT_GT(nearProduct.mean(), 0.6 * sigma2);  // rho(3m) = e^-0.15 ~ 0.86
+  EXPECT_LT(std::abs(farProduct.mean()), 0.25 * sigma2);  // ~decorrelated
+}
+
+TEST(CorrelatedShadowingTest, MarginalVarianceMatchesSigma) {
+  const geom::Polyline road = straightRoad();
+  ShadowingParams params;
+  params.infraSigmaDb = 6.0;
+  RunningStats values;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    CorrelatedRoadShadowing field(road, params, Rng{seed});
+    values.add(field.fieldAt(400.0));
+  }
+  EXPECT_NEAR(values.mean(), 0.0, 1.0);
+  EXPECT_NEAR(values.stddev(), 6.0, 1.0);
+}
+
+TEST(CorrelatedShadowingTest, InfraLinkReadsMobileEndpoint) {
+  const geom::Polyline road = straightRoad();
+  CorrelatedRoadShadowing field(road, {}, Rng{7});
+  const geom::Vec2 carPos{250.0, 2.0};
+  const geom::Vec2 apPos{500.0, -10.0};
+  // AP->car and car->AP read the same (car-side) field value: reciprocity.
+  EXPECT_DOUBLE_EQ(field.shadowDb(kAp, apPos, kCarA, carPos),
+                   field.shadowDb(kCarA, carPos, kAp, apPos));
+  EXPECT_DOUBLE_EQ(field.shadowDb(kAp, apPos, kCarA, carPos),
+                   field.fieldAt(250.0));
+}
+
+TEST(CorrelatedShadowingTest, CoLocatedCarsSeeSameApShadow) {
+  const geom::Polyline road = straightRoad();
+  CorrelatedRoadShadowing field(road, {}, Rng{11});
+  const geom::Vec2 apPos{500.0, -10.0};
+  const double a = field.shadowDb(kAp, apPos, kCarA, {300.0, 0.0});
+  const double b = field.shadowDb(kAp, apPos, kCarB, {300.0, 0.0});
+  EXPECT_DOUBLE_EQ(a, b);  // diversity collapses when cars are together
+}
+
+TEST(CorrelatedShadowingTest, CarToCarPairConstantIsSymmetricAndStable) {
+  const geom::Polyline road = straightRoad();
+  CorrelatedRoadShadowing field(road, {}, Rng{13});
+  const double ab = field.shadowDb(kCarA, {10, 0}, kCarB, {30, 0});
+  const double ba = field.shadowDb(kCarB, {400, 0}, kCarA, {440, 0});
+  EXPECT_DOUBLE_EQ(ab, ba);  // same pair -> same constant, any positions
+  EXPECT_DOUBLE_EQ(ab, field.shadowDb(kCarA, {0, 0}, kCarB, {1, 0}));
+}
+
+TEST(ObstructedShadowingTest, SubtractsOnlyOnInfraLinks) {
+  auto base = std::make_unique<NoShadowing>();
+  ObstructedShadowing obstructed(
+      std::move(base), [](geom::Vec2 pos) { return pos.y > 0 ? 30.0 : 0.0; });
+  // Infra link with mobile off-street: blocked.
+  EXPECT_DOUBLE_EQ(obstructed.shadowDb(kAp, {0, -10}, kCarA, {0, 50}), -30.0);
+  // Infra link with mobile on-street: clear.
+  EXPECT_DOUBLE_EQ(obstructed.shadowDb(kAp, {0, -10}, kCarA, {0, -1}), 0.0);
+  // Car-to-car: never obstructed.
+  EXPECT_DOUBLE_EQ(obstructed.shadowDb(kCarA, {0, 50}, kCarB, {0, 60}), 0.0);
+}
+
+TEST(ObstructedShadowingTest, MobileEndpointSelection) {
+  auto base = std::make_unique<NoShadowing>();
+  ObstructedShadowing obstructed(
+      std::move(base), [](geom::Vec2 pos) { return pos.y; });
+  // car -> AP: the mobile is the transmitter.
+  EXPECT_DOUBLE_EQ(obstructed.shadowDb(kCarA, {0, 25}, kAp, {0, -10}), -25.0);
+  // AP -> car: the mobile is the receiver.
+  EXPECT_DOUBLE_EQ(obstructed.shadowDb(kAp, {0, -10}, kCarA, {0, 25}), -25.0);
+}
+
+}  // namespace
+}  // namespace vanet::channel

@@ -1,0 +1,556 @@
+#include "core/carq_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../testing/scripted_link.h"
+#include "mobility/mobility_model.h"
+#include "net/node.h"
+
+namespace vanet::carq {
+namespace {
+
+using mac::Frame;
+using mac::FrameKind;
+using sim::SimTime;
+using vanet::testing::ScriptedLinkModel;
+
+/// Fast protocol timing so tests run in milliseconds of simulated time.
+CarqConfig fastConfig() {
+  CarqConfig config;
+  config.helloPeriod = SimTime::millis(200.0);
+  config.receptionTimeout = SimTime::millis(600.0);
+  config.coopSlot = SimTime::millis(12.0);
+  config.requestGuard = SimTime::millis(4.0);
+  config.unproductiveCycleBackoff = SimTime::millis(300.0);
+  return config;
+}
+
+/// One AP radio driven by the test + N cars running real agents, all
+/// parked within easy range of each other.
+class AgentHarness {
+ public:
+  explicit AgentHarness(int carCount, const CarqConfig& config = fastConfig())
+      : environment_(sim_, link_, Rng{77}.child("medium")),
+        apMobility_(geom::Vec2{0.0, -10.0}),
+        apNode_(sim_, environment_, kFirstApId, &apMobility_,
+                mac::RadioConfig{18.0}, mac::MacConfig{}, Rng{78}) {
+    for (int i = 0; i < carCount; ++i) {
+      const NodeId id = static_cast<NodeId>(i + 1);
+      carMobility_.push_back(std::make_unique<mobility::StaticMobility>(
+          geom::Vec2{20.0 * static_cast<double>(i), 0.0}));
+      cars_.push_back(std::make_unique<net::Node>(
+          sim_, environment_, id, carMobility_.back().get(),
+          mac::RadioConfig{18.0}, mac::MacConfig{},
+          Rng{100}.child(static_cast<std::uint64_t>(id))));
+      agents_.push_back(std::make_unique<CarqAgent>(
+          *cars_.back(), config,
+          Rng{200}.child(static_cast<std::uint64_t>(id))));
+    }
+  }
+
+  void startAgents() {
+    if (agentsStarted_) return;
+    agentsStarted_ = true;
+    for (auto& agent : agents_) agent->start();
+  }
+
+  /// Lets HELLOs circulate so cooperator tables are fully established.
+  void establishCooperation() {
+    startAgents();
+    sim_.runUntil(std::max(sim_.now(), SimTime::seconds(1.0)));
+  }
+
+  /// AP broadcasts one data packet for `flow` through the MAC.
+  void apSend(FlowId flow, SeqNo seq, int bytes = 1000) {
+    Frame frame;
+    frame.kind = FrameKind::kData;
+    frame.src = kFirstApId;
+    frame.bytes = bytes;
+    frame.payload = mac::DataPayload{flow, seq, 0};
+    apNode_.mac().enqueue(std::move(frame), channel::PhyMode::kDsss1Mbps);
+  }
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  ScriptedLinkModel& link() noexcept { return link_; }
+  CarqAgent& agent(int car) { return *agents_.at(static_cast<std::size_t>(car - 1)); }
+
+  void runFor(double seconds) {
+    sim_.runUntil(sim_.now() + SimTime::seconds(seconds));
+  }
+
+ private:
+  sim::Simulator sim_;
+  ScriptedLinkModel link_;
+  mac::RadioEnvironment environment_;
+  mobility::StaticMobility apMobility_;
+  net::Node apNode_;
+  std::vector<std::unique_ptr<mobility::StaticMobility>> carMobility_;
+  std::vector<std::unique_ptr<net::Node>> cars_;
+  std::vector<std::unique_ptr<CarqAgent>> agents_;
+  bool agentsStarted_ = false;
+};
+
+TEST(CarqAgentTest, StartsIdleAndAssociatesOnFirstPacket) {
+  AgentHarness h(2);
+  h.startAgents();
+  EXPECT_EQ(h.agent(1).phase(), Phase::kIdle);
+  bool entered = false;
+  h.agent(1).hooks().onEnterReception = [&](NodeId, SimTime) { entered = true; };
+  h.apSend(1, 1);
+  h.runFor(0.1);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kReception);
+  EXPECT_TRUE(entered);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(1));
+}
+
+TEST(CarqAgentTest, OtherFlowsAlsoTriggerAssociation) {
+  // Paper: a node is associated from the first packet it receives from the
+  // AP, whether addressed to it or not.
+  AgentHarness h(2);
+  h.startAgents();
+  h.apSend(2, 1);
+  h.runFor(0.1);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kReception);
+  EXPECT_FALSE(h.agent(1).store().hasOwn(1));
+}
+
+TEST(CarqAgentTest, HellosEstablishMutualCooperation) {
+  AgentHarness h(3);
+  h.establishCooperation();
+  for (int car = 1; car <= 3; ++car) {
+    EXPECT_EQ(h.agent(car).table().myCooperators().size(), 2u) << car;
+    EXPECT_GT(h.agent(car).counters().hellosSent, 2u);
+  }
+  EXPECT_TRUE(h.agent(1).table().considersMeCooperator(2));
+  EXPECT_TRUE(h.agent(2).table().considersMeCooperator(1));
+}
+
+TEST(CarqAgentTest, BuffersOnlyWhenAnnouncedAsCooperator) {
+  AgentHarness h(2);
+  // No HELLO exchange: car 2 must not buffer car 1's packets.
+  h.startAgents();
+  h.sim().runUntil(SimTime::millis(20.0));  // before any HELLO lands
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  EXPECT_FALSE(h.agent(2).store().hasBuffered(1, 1));
+
+  // After the HELLO exchange the same overheard packet is buffered.
+  h.establishCooperation();
+  h.apSend(1, 2);
+  h.runFor(0.1);
+  EXPECT_TRUE(h.agent(2).store().hasBuffered(1, 2));
+  EXPECT_GE(h.agent(2).counters().dataOverheardBuffered, 1u);
+}
+
+TEST(CarqAgentTest, ReceptionTimeoutEntersCoopArq) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  bool coopEntered = false;
+  h.agent(1).hooks().onEnterCoopArq = [&](SimTime) { coopEntered = true; };
+  h.apSend(1, 1);
+  h.runFor(0.1);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kReception);
+  h.runFor(1.0);  // silence > receptionTimeout
+  EXPECT_EQ(h.agent(1).phase(), Phase::kCoopArq);
+  EXPECT_TRUE(coopEntered);
+}
+
+TEST(CarqAgentTest, TimeoutIsRestartedByEveryApPacket) {
+  AgentHarness h(1);
+  h.startAgents();
+  h.apSend(1, 1);
+  h.runFor(0.5);
+  // Keep feeding packets every 0.4 s < timeout 0.6 s.
+  for (int i = 2; i <= 4; ++i) {
+    h.apSend(1, i);
+    h.runFor(0.4);
+  }
+  EXPECT_EQ(h.agent(1).phase(), Phase::kReception);
+  h.runFor(0.7);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kCoopArq);
+}
+
+TEST(CarqAgentTest, RecoversMissingPacketFromCooperator) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  // Car 1 misses seq 2; car 2 overhears everything.
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  EXPECT_FALSE(h.agent(1).store().hasOwn(2));
+  ASSERT_TRUE(h.agent(2).store().hasBuffered(1, 2));
+
+  SeqNo recovered = 0;
+  h.agent(1).hooks().onRecovered = [&](SeqNo seq, SimTime) { recovered = seq; };
+  bool windowDone = false;
+  h.agent(1).hooks().onWindowRecovered = [&](SimTime) { windowDone = true; };
+  h.runFor(2.0);  // timeout + request/response
+  EXPECT_EQ(h.agent(1).phase(), Phase::kCoopArq);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+  EXPECT_EQ(recovered, 2);
+  EXPECT_TRUE(windowDone);
+  EXPECT_GE(h.agent(1).counters().requestsSent, 1u);
+  EXPECT_GE(h.agent(1).counters().recovered, 1u);
+  EXPECT_GE(h.agent(2).counters().requestsReceived, 1u);
+  EXPECT_EQ(h.agent(2).counters().coopDataSent, 1u);
+}
+
+TEST(CarqAgentTest, LowerOrderCooperatorSuppressesHigherOrder) {
+  AgentHarness h(3);
+  h.establishCooperation();
+  // Car 1 misses seq 2 (bracketed by received packets so the missing
+  // packet lies inside its window); cars 2 and 3 both buffered it.
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  ASSERT_TRUE(h.agent(2).store().hasBuffered(1, 2));
+  ASSERT_TRUE(h.agent(3).store().hasBuffered(1, 2));
+  h.runFor(2.0);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+  // Exactly one cooperator transmitted; the other cancelled on overhear.
+  const auto sent2 = h.agent(2).counters().coopDataSent;
+  const auto sent3 = h.agent(3).counters().coopDataSent;
+  EXPECT_EQ(sent2 + sent3, 1u);
+  EXPECT_EQ(h.agent(2).counters().responsesSuppressed +
+                h.agent(3).counters().responsesSuppressed,
+            1u);
+}
+
+TEST(CarqAgentTest, ResponderOrderMatchesAnnouncedList) {
+  AgentHarness h(3);
+  h.establishCooperation();
+  const auto& myList = h.agent(1).table().myCooperators();
+  ASSERT_EQ(myList.size(), 2u);
+  // The cooperator announced first must be the one that answers.
+  const NodeId first = myList[0];
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  h.runFor(2.0);
+  const auto sentByFirst = h.agent(static_cast<int>(first)).counters().coopDataSent;
+  EXPECT_EQ(sentByFirst, 1u);
+}
+
+TEST(CarqAgentTest, UnrecoverablePacketKeepsCycling) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  // Both cars miss seq 2: nobody can help (joint loss).
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.link().dropNext(kFirstApId, 2);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  h.runFor(3.0);
+  EXPECT_FALSE(h.agent(1).store().hasOwn(2));
+  EXPECT_GT(h.agent(1).counters().requestsSent, 1u);
+  EXPECT_GT(h.agent(1).counters().cyclesCompleted, 0u);
+  EXPECT_GT(h.agent(1).counters().unproductiveCycles, 0u);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kCoopArq);
+}
+
+TEST(CarqAgentTest, NewApPacketStopsRequestCycle) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.link().dropNext(kFirstApId, 2);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  h.runFor(1.0);  // in CoopArq, cycling
+  ASSERT_EQ(h.agent(1).phase(), Phase::kCoopArq);
+  const auto requestsBefore = h.agent(1).counters().requestsSent;
+  h.apSend(1, 4);  // "new AP" appears
+  h.runFor(0.2);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kReception);
+  h.runFor(0.3);  // still inside reception timeout: no new requests
+  EXPECT_EQ(h.agent(1).counters().requestsSent, requestsBefore);
+}
+
+TEST(CarqAgentTest, CooperationDisabledIsPureBaseline) {
+  CarqConfig config = fastConfig();
+  config.cooperationEnabled = false;
+  AgentHarness h(2, config);
+  h.startAgents();
+  h.sim().runUntil(SimTime::seconds(1.0));
+  EXPECT_EQ(h.agent(1).counters().hellosSent, 0u);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.runFor(2.5);
+  EXPECT_EQ(h.agent(1).counters().requestsSent, 0u);
+  EXPECT_EQ(h.agent(2).counters().coopDataSent, 0u);
+  EXPECT_FALSE(h.agent(2).store().hasBuffered(1, 1));
+  EXPECT_FALSE(h.agent(1).store().hasOwn(1));
+}
+
+TEST(CarqAgentTest, BatchedRequestsRecoverMultiplePackets) {
+  CarqConfig config = fastConfig();
+  config.requestMode = RequestMode::kBatched;
+  config.maxBatchSeqs = 8;
+  AgentHarness h(2, config);
+  h.establishCooperation();
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  for (SeqNo seq = 2; seq <= 5; ++seq) {
+    h.link().dropNext(kFirstApId, 1);
+    h.apSend(1, seq);
+    h.runFor(0.05);
+  }
+  h.apSend(1, 6);
+  h.runFor(0.05);
+  h.runFor(2.5);
+  for (SeqNo seq = 2; seq <= 5; ++seq) {
+    EXPECT_TRUE(h.agent(1).store().hasOwn(seq)) << "seq " << seq;
+  }
+  // One batched REQUEST carried several seqs.
+  EXPECT_LT(h.agent(1).counters().requestsSent,
+            h.agent(1).counters().requestSeqsSent);
+}
+
+TEST(CarqAgentTest, PerPacketModeSendsOneSeqPerRequest) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  h.apSend(1, 4);
+  h.runFor(0.05);
+  h.runFor(2.0);
+  EXPECT_EQ(h.agent(1).counters().requestsSent,
+            h.agent(1).counters().requestSeqsSent);
+}
+
+TEST(CarqAgentTest, FileModeCompletesAcrossWindow) {
+  CarqConfig config = fastConfig();
+  config.fileSizeSeqs = 5;
+  AgentHarness h(2, config);
+  h.establishCooperation();
+  bool complete = false;
+  h.agent(1).hooks().onFileComplete = [&](SimTime) { complete = true; };
+  // Car 1 receives 1,3,5 directly; 2 and 4 only at car 2.
+  for (SeqNo seq = 1; seq <= 5; ++seq) {
+    if (seq % 2 == 0) h.link().dropNext(kFirstApId, 1);
+    h.apSend(1, seq);
+    h.runFor(0.05);
+  }
+  EXPECT_FALSE(complete);
+  h.runFor(2.5);
+  EXPECT_TRUE(complete);
+  for (SeqNo seq = 1; seq <= 5; ++seq) {
+    EXPECT_TRUE(h.agent(1).store().hasOwn(seq));
+  }
+}
+
+TEST(CarqAgentTest, FileModeCompletesDirectlyWithoutLosses) {
+  CarqConfig config = fastConfig();
+  config.fileSizeSeqs = 3;
+  AgentHarness h(1, config);
+  h.startAgents();
+  bool complete = false;
+  h.agent(1).hooks().onFileComplete = [&](SimTime) { complete = true; };
+  for (SeqNo seq = 1; seq <= 3; ++seq) {
+    h.apSend(1, seq);
+    h.runFor(0.05);
+  }
+  EXPECT_TRUE(complete);
+}
+
+TEST(CarqAgentTest, OverheardCoopDataBufferingIsOptional) {
+  // Default off: a cooperator does not learn packets from CoopData frames.
+  {
+    AgentHarness h(3);
+    h.establishCooperation();
+    h.apSend(1, 1);
+    h.runFor(0.05);
+    h.link().dropNext(kFirstApId, 1);
+    h.link().dropNext(kFirstApId, 3);  // car 3 misses it too
+    h.apSend(1, 2);
+    h.runFor(0.05);
+    h.apSend(1, 3);
+    h.runFor(0.05);
+    h.runFor(2.0);
+    EXPECT_TRUE(h.agent(1).store().hasOwn(2));  // car 2 helped
+    EXPECT_FALSE(h.agent(3).store().hasBuffered(1, 2));
+  }
+  // Enabled: car 3 snoops the CoopData and buffers it.
+  {
+    CarqConfig config = fastConfig();
+    config.bufferOverheardCoopData = true;
+    AgentHarness h(3, config);
+    h.establishCooperation();
+    h.apSend(1, 1);
+    h.runFor(0.05);
+    h.link().dropNext(kFirstApId, 1);
+    h.link().dropNext(kFirstApId, 3);
+    h.apSend(1, 2);
+    h.runFor(0.05);
+    h.apSend(1, 3);
+    h.runFor(0.05);
+    h.runFor(2.0);
+    EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+    EXPECT_TRUE(h.agent(3).store().hasBuffered(1, 2));
+  }
+}
+
+TEST(CarqAgentTest, DuplicateCoopDataCountsAsDuplicate) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  // Drop car 2's first CoopData towards car 1? No -- let recovery work,
+  // then force a second REQUEST by dropping the first response.
+  h.link().dropNext(2, 1, 1, static_cast<int>(FrameKind::kCoopData));
+  h.runFor(3.0);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+  // Car 2 answered at least twice (first response lost at car 1).
+  EXPECT_GE(h.agent(2).counters().coopDataSent, 2u);
+}
+
+TEST(CarqAgentTest, NothingMissingMeansNoRequests) {
+  AgentHarness h(2);
+  h.establishCooperation();
+  bool windowDone = false;
+  h.agent(1).hooks().onWindowRecovered = [&](SimTime) { windowDone = true; };
+  for (SeqNo seq = 1; seq <= 4; ++seq) {
+    h.apSend(1, seq);
+    h.runFor(0.05);
+  }
+  h.runFor(1.5);
+  EXPECT_EQ(h.agent(1).phase(), Phase::kCoopArq);
+  EXPECT_EQ(h.agent(1).counters().requestsSent, 0u);
+  EXPECT_TRUE(windowDone);
+}
+
+
+TEST(CarqAgentTest, WindowGossipExtendsRequestRange) {
+  CarqConfig config = fastConfig();
+  config.gossipWindowExtension = true;
+  AgentHarness h(2, config);
+  h.establishCooperation();
+  // Car 1 hears seq 1 only; seqs 2 and 3 are transmitted after it "left
+  // coverage" (dropped towards it) but car 2 buffers them.
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1, 2);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  ASSERT_TRUE(h.agent(2).store().hasBuffered(1, 3));
+  // Without gossip car 1 would have an empty missing window ([1,1]).
+  h.runFor(3.0);  // timeout + gossip HELLOs + request cycle
+  EXPECT_GE(h.agent(1).gossipedMaxSeq(), 3);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+  EXPECT_TRUE(h.agent(1).store().hasOwn(3));
+}
+
+TEST(CarqAgentTest, WithoutGossipTailStaysUnknown) {
+  AgentHarness h(2);  // gossip off (paper semantics)
+  h.establishCooperation();
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1, 2);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  h.runFor(3.0);
+  // The paper's window rule: car 1 only knows [1, 1]; nothing to request.
+  EXPECT_EQ(h.agent(1).gossipedMaxSeq(), 0);
+  EXPECT_FALSE(h.agent(1).store().hasOwn(2));
+  EXPECT_FALSE(h.agent(1).store().hasOwn(3));
+  EXPECT_EQ(h.agent(1).counters().requestsSent, 0u);
+}
+
+TEST(CarqAgentTest, GossipLearnsLateDuringCoopArq) {
+  // Gossip arriving while the request cycle already runs reloads the walk.
+  CarqConfig config = fastConfig();
+  config.gossipWindowExtension = true;
+  config.helloPeriod = SimTime::millis(800.0);  // slow hellos: gossip lands late
+  AgentHarness h(2, config);
+  h.establishCooperation();
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1, 1);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1, 1);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  h.runFor(4.0);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+  EXPECT_TRUE(h.agent(1).store().hasOwn(3));
+}
+
+TEST(CarqAgentTest, GossipRestartsADormantRequestCycle) {
+  // Ordering regression: the destination's own missing window is EMPTY
+  // when it enters CoopArq (it heard only seq 1), so the request cycle
+  // goes dormant immediately. Gossip then reveals seqs 2..3 exist; the
+  // agent must restart the cycle, not just reload the scheduler.
+  CarqConfig config = fastConfig();
+  config.gossipWindowExtension = true;
+  // Hellos far apart: the first gossip-bearing HELLO arrives well after
+  // the (empty) CoopArq entry at ~0.6 s.
+  config.helloPeriod = SimTime::seconds(2.0);
+  config.helloJitterFraction = 0.01;
+  AgentHarness h(2, config);
+  h.startAgents();
+  // Let the initial hello pair establish mutual cooperation.
+  h.sim().runUntil(SimTime::seconds(2.5));
+  ASSERT_TRUE(h.agent(2).table().considersMeCooperator(1));
+  h.apSend(1, 1);
+  h.runFor(0.05);
+  h.link().dropNext(kFirstApId, 1, 2);
+  h.apSend(1, 2);
+  h.runFor(0.05);
+  h.apSend(1, 3);
+  h.runFor(0.05);
+  // CoopArq entry at ~+0.6 s with an empty window [1,1]; the next HELLO
+  // wave (~2 s period) brings the gossip afterwards.
+  h.runFor(6.0);
+  EXPECT_GE(h.agent(1).gossipedMaxSeq(), 3);
+  EXPECT_TRUE(h.agent(1).store().hasOwn(2));
+  EXPECT_TRUE(h.agent(1).store().hasOwn(3));
+}
+
+TEST(CarqAgentTest, PhaseNames) {
+  EXPECT_STREQ(phaseName(Phase::kIdle), "Idle");
+  EXPECT_STREQ(phaseName(Phase::kReception), "Reception");
+  EXPECT_STREQ(phaseName(Phase::kCoopArq), "CoopArq");
+}
+
+}  // namespace
+}  // namespace vanet::carq

@@ -1,0 +1,122 @@
+#include "core/cooperator_table.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::carq {
+namespace {
+
+using sim::SimTime;
+
+TEST(CooperatorTableTest, HelloAddsSenderAsCooperator) {
+  CooperatorTable table(1);
+  EXPECT_TRUE(table.onHello(2, {}, -60.0, SimTime::zero()));
+  EXPECT_EQ(table.myCooperators(), (std::vector<NodeId>{2}));
+}
+
+TEST(CooperatorTableTest, RepeatedHelloDoesNotDuplicate) {
+  CooperatorTable table(1);
+  EXPECT_TRUE(table.onHello(2, {}, -60.0, SimTime::zero()));
+  EXPECT_FALSE(table.onHello(2, {}, -61.0, SimTime::seconds(1.0)));
+  EXPECT_EQ(table.myCooperators().size(), 1u);
+}
+
+TEST(CooperatorTableTest, FirstHeardOrderIsPreserved) {
+  CooperatorTable table(1);
+  table.onHello(3, {}, -60.0, SimTime::zero());
+  table.onHello(2, {}, -50.0, SimTime::seconds(0.5));
+  table.onHello(4, {}, -40.0, SimTime::seconds(1.0));
+  EXPECT_EQ(table.myCooperators(), (std::vector<NodeId>{3, 2, 4}));
+}
+
+TEST(CooperatorTableTest, MyOrderForFollowsAnnouncedList) {
+  CooperatorTable table(2);
+  // Node 1 announces cooperators [3, 2]: my (id 2) order is 1.
+  table.onHello(1, {3, 2}, -55.0, SimTime::zero());
+  ASSERT_TRUE(table.myOrderFor(1).has_value());
+  EXPECT_EQ(*table.myOrderFor(1), 1);
+  EXPECT_TRUE(table.considersMeCooperator(1));
+}
+
+TEST(CooperatorTableTest, NotAnnouncedMeansNoOrder) {
+  CooperatorTable table(2);
+  table.onHello(1, {3, 4}, -55.0, SimTime::zero());
+  EXPECT_FALSE(table.myOrderFor(1).has_value());
+  EXPECT_FALSE(table.considersMeCooperator(1));
+}
+
+TEST(CooperatorTableTest, UnknownPeerHasNoOrder) {
+  CooperatorTable table(2);
+  EXPECT_FALSE(table.myOrderFor(99).has_value());
+}
+
+TEST(CooperatorTableTest, AnnouncementUpdatesReplaceOldList) {
+  CooperatorTable table(2);
+  table.onHello(1, {2}, -55.0, SimTime::zero());
+  EXPECT_EQ(*table.myOrderFor(1), 0);
+  table.onHello(1, {3, 2}, -55.0, SimTime::seconds(1.0));
+  EXPECT_EQ(*table.myOrderFor(1), 1);
+  table.onHello(1, {3}, -55.0, SimTime::seconds(2.0));
+  EXPECT_FALSE(table.myOrderFor(1).has_value());
+}
+
+TEST(CooperatorTableTest, RssiSmoothingTracksSamples) {
+  CooperatorTable table(1);
+  table.onHello(2, {}, -60.0, SimTime::zero());
+  EXPECT_DOUBLE_EQ(table.peers().at(2).emaRssiDbm, -60.0);
+  table.onHello(2, {}, -40.0, SimTime::seconds(1.0));
+  const double ema = table.peers().at(2).emaRssiDbm;
+  EXPECT_GT(ema, -60.0);
+  EXPECT_LT(ema, -40.0);
+}
+
+TEST(CooperatorTableTest, PeerBookkeeping) {
+  CooperatorTable table(1);
+  table.onHello(2, {1}, -60.0, SimTime::seconds(3.0));
+  table.onHello(2, {1, 3}, -58.0, SimTime::seconds(4.0));
+  const PeerInfo& peer = table.peers().at(2);
+  EXPECT_EQ(peer.helloCount, 2);
+  EXPECT_EQ(peer.lastHeard, SimTime::seconds(4.0));
+  EXPECT_EQ(peer.announced, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(CooperatorTableTest, MutualCooperationViaHelloExchange) {
+  // The paper's two-step handshake: y hears x's HELLO, adds x; y's next
+  // HELLO lists x; x then knows it must buffer for y.
+  CooperatorTable tableX(1);
+  CooperatorTable tableY(2);
+  // x broadcasts HELLO (empty list); y processes it.
+  tableY.onHello(1, {}, -50.0, SimTime::zero());
+  EXPECT_EQ(tableY.myCooperators(), (std::vector<NodeId>{1}));
+  // y broadcasts HELLO announcing [1]; x processes it.
+  tableX.onHello(2, tableY.myCooperators(), -50.0, SimTime::seconds(0.5));
+  EXPECT_TRUE(tableX.considersMeCooperator(2));
+  EXPECT_EQ(*tableX.myOrderFor(2), 0);
+}
+
+TEST(CooperatorTableTest, SelectionAllOneHopKeepsEverything) {
+  CooperatorTable table(1);
+  for (NodeId id = 2; id <= 12; ++id) {
+    table.onHello(id, {}, -60.0, SimTime::zero());
+  }
+  Rng rng{1};
+  table.applySelection(SelectionPolicy::kAllOneHop, 4, rng);
+  EXPECT_EQ(table.myCooperators().size(), 11u);  // unbounded like the paper
+}
+
+TEST(CooperatorTableTest, SelectionBestRssiCapsAndSorts) {
+  CooperatorTable table(1);
+  table.onHello(2, {}, -80.0, SimTime::zero());
+  table.onHello(3, {}, -50.0, SimTime::zero());
+  table.onHello(4, {}, -65.0, SimTime::zero());
+  Rng rng{1};
+  table.applySelection(SelectionPolicy::kBestRssi, 2, rng);
+  EXPECT_EQ(table.myCooperators(), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(CooperatorTableDeathTest, RejectsOwnHello) {
+  CooperatorTable table(1);
+  EXPECT_DEATH(table.onHello(1, {}, -50.0, SimTime::zero()), "own HELLO");
+}
+
+}  // namespace
+}  // namespace vanet::carq

@@ -1,0 +1,120 @@
+#include "core/request_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::carq {
+namespace {
+
+TEST(RequestSchedulerTest, EmptyHasNoRequests) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  EXPECT_TRUE(scheduler.empty());
+  EXPECT_FALSE(scheduler.next().has_value());
+}
+
+TEST(RequestSchedulerTest, PerPacketWalksOneAtATime) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({4, 7, 9});
+  const auto r1 = scheduler.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->seqs, (std::vector<SeqNo>{4}));
+  EXPECT_FALSE(r1->wrapped);
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{7}));
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{9}));
+}
+
+TEST(RequestSchedulerTest, WrapsToHeadOfUpdatedList) {
+  // Paper §3.3: when the end of the missing list is reached, start again
+  // from the beginning of the actualised (shorter) list.
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({1, 2, 3});
+  scheduler.next();  // 1
+  scheduler.next();  // 2
+  scheduler.markRecovered(2);
+  scheduler.next();  // 3
+  const auto wrapped = scheduler.next();
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_TRUE(wrapped->wrapped);
+  EXPECT_EQ(wrapped->seqs, (std::vector<SeqNo>{1}));  // 2 is gone
+  EXPECT_EQ(scheduler.pendingCount(), 2u);
+}
+
+TEST(RequestSchedulerTest, RecoveryBeforeCursorKeepsPosition) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({1, 2, 3, 4});
+  scheduler.next();  // 1
+  scheduler.next();  // 2
+  scheduler.markRecovered(1);  // before the cursor
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{3}));
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{4}));
+}
+
+TEST(RequestSchedulerTest, RecoveryAtCursorSkipsCleanly) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({1, 2, 3});
+  scheduler.next();            // 1
+  scheduler.markRecovered(2);  // the element the cursor points at
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{3}));
+}
+
+TEST(RequestSchedulerTest, AllRecoveredEndsWalk) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({5, 6});
+  scheduler.markRecovered(5);
+  scheduler.markRecovered(6);
+  EXPECT_TRUE(scheduler.empty());
+  EXPECT_FALSE(scheduler.next().has_value());
+}
+
+TEST(RequestSchedulerTest, MarkUnknownSeqIsNoop) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({1});
+  scheduler.markRecovered(42);
+  EXPECT_EQ(scheduler.pendingCount(), 1u);
+}
+
+TEST(RequestSchedulerTest, BatchedTakesUpToMax) {
+  RequestScheduler scheduler(RequestMode::kBatched, 3);
+  scheduler.loadMissing({1, 2, 3, 4, 5});
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{1, 2, 3}));
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{4, 5}));
+  const auto wrapped = scheduler.next();
+  EXPECT_TRUE(wrapped->wrapped);
+  EXPECT_EQ(wrapped->seqs, (std::vector<SeqNo>{1, 2, 3}));
+}
+
+TEST(RequestSchedulerTest, BatchedSingleRequestWhenSmall) {
+  RequestScheduler scheduler(RequestMode::kBatched, 32);
+  scheduler.loadMissing({7, 9});
+  EXPECT_EQ(scheduler.next()->seqs, (std::vector<SeqNo>{7, 9}));
+}
+
+TEST(RequestSchedulerTest, RecoveredSinceWrapCounter) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({1, 2, 3});
+  EXPECT_EQ(scheduler.recoveredSinceWrap(), 0);
+  scheduler.next();
+  scheduler.markRecovered(1);
+  EXPECT_EQ(scheduler.recoveredSinceWrap(), 1);
+  scheduler.next();  // 2
+  scheduler.next();  // 3
+  const auto wrapped = scheduler.next();  // wrap resets the counter
+  EXPECT_TRUE(wrapped->wrapped);
+  EXPECT_EQ(scheduler.recoveredSinceWrap(), 0);
+}
+
+TEST(RequestSchedulerTest, LoadMissingResetsState) {
+  RequestScheduler scheduler(RequestMode::kPerPacket, 1);
+  scheduler.loadMissing({1, 2});
+  scheduler.next();
+  scheduler.loadMissing({8, 9});
+  const auto r = scheduler.next();
+  EXPECT_EQ(r->seqs, (std::vector<SeqNo>{8}));
+  EXPECT_FALSE(r->wrapped);
+}
+
+TEST(RequestSchedulerDeathTest, RejectsZeroBatch) {
+  EXPECT_DEATH(RequestScheduler(RequestMode::kBatched, 0), "at least 1");
+}
+
+}  // namespace
+}  // namespace vanet::carq

@@ -1,0 +1,104 @@
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cooperator_table.h"
+
+namespace vanet::carq {
+namespace {
+
+std::map<NodeId, PeerInfo> peersWithRssi(
+    std::initializer_list<std::pair<NodeId, double>> list) {
+  std::map<NodeId, PeerInfo> peers;
+  for (const auto& [id, rssi] : list) {
+    PeerInfo info;
+    info.emaRssiDbm = rssi;
+    info.helloCount = 1;
+    peers[id] = info;
+  }
+  return peers;
+}
+
+TEST(SelectionTest, AllOneHopKeepsOrderAndIgnoresCap) {
+  const auto peers = peersWithRssi({{2, -50}, {3, -60}, {4, -70}});
+  Rng rng{1};
+  const auto out = selectCooperators(SelectionPolicy::kAllOneHop, peers,
+                                     {4, 2, 3}, 1, rng);
+  EXPECT_EQ(out, (std::vector<NodeId>{4, 2, 3}));
+}
+
+TEST(SelectionTest, VanishedPeersAreDropped) {
+  const auto peers = peersWithRssi({{2, -50}});
+  Rng rng{1};
+  const auto out = selectCooperators(SelectionPolicy::kAllOneHop, peers,
+                                     {9, 2, 8}, 8, rng);
+  EXPECT_EQ(out, (std::vector<NodeId>{2}));
+}
+
+TEST(SelectionTest, BestRssiSortsStrongestFirst) {
+  const auto peers = peersWithRssi({{2, -80}, {3, -50}, {4, -65}});
+  Rng rng{1};
+  const auto out = selectCooperators(SelectionPolicy::kBestRssi, peers,
+                                     {2, 3, 4}, 8, rng);
+  EXPECT_EQ(out, (std::vector<NodeId>{3, 4, 2}));
+}
+
+TEST(SelectionTest, BestRssiCapsAtMax) {
+  const auto peers =
+      peersWithRssi({{2, -80}, {3, -50}, {4, -65}, {5, -55}});
+  Rng rng{1};
+  const auto out = selectCooperators(SelectionPolicy::kBestRssi, peers,
+                                     {2, 3, 4, 5}, 2, rng);
+  EXPECT_EQ(out, (std::vector<NodeId>{3, 5}));
+}
+
+TEST(SelectionTest, RandomKRespectsCapAndMembership) {
+  const auto peers =
+      peersWithRssi({{2, -50}, {3, -50}, {4, -50}, {5, -50}, {6, -50}});
+  Rng rng{7};
+  const auto out = selectCooperators(SelectionPolicy::kRandomK, peers,
+                                     {2, 3, 4, 5, 6}, 3, rng);
+  EXPECT_EQ(out.size(), 3u);
+  for (const NodeId id : out) {
+    EXPECT_TRUE(peers.count(id) > 0);
+  }
+  // No duplicates.
+  auto sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SelectionTest, RandomKVariesAcrossDraws) {
+  const auto peers =
+      peersWithRssi({{2, -50}, {3, -50}, {4, -50}, {5, -50}, {6, -50}});
+  Rng rng{11};
+  std::set<std::vector<NodeId>> outcomes;
+  for (int i = 0; i < 20; ++i) {
+    outcomes.insert(selectCooperators(SelectionPolicy::kRandomK, peers,
+                                      {2, 3, 4, 5, 6}, 3, rng));
+  }
+  EXPECT_GT(outcomes.size(), 3u);
+}
+
+TEST(SelectionTest, EmptyPeersGiveEmptyList) {
+  Rng rng{1};
+  for (const auto policy :
+       {SelectionPolicy::kAllOneHop, SelectionPolicy::kBestRssi,
+        SelectionPolicy::kRandomK}) {
+    EXPECT_TRUE(selectCooperators(policy, {}, {2, 3}, 4, rng).empty());
+  }
+}
+
+TEST(SelectionTest, StableSortPreservesTiesByFirstHeard) {
+  const auto peers = peersWithRssi({{2, -60}, {3, -60}, {4, -60}});
+  Rng rng{1};
+  const auto out = selectCooperators(SelectionPolicy::kBestRssi, peers,
+                                     {4, 2, 3}, 8, rng);
+  EXPECT_EQ(out, (std::vector<NodeId>{4, 2, 3}));
+}
+
+}  // namespace
+}  // namespace vanet::carq

@@ -1,0 +1,80 @@
+#include "core/soft_combiner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vanet::carq {
+namespace {
+
+TEST(SoftCombinerTest, EmptyHasNoEnergy) {
+  SoftCombiner combiner;
+  EXPECT_EQ(combiner.copies(1), 0);
+  EXPECT_TRUE(std::isinf(combiner.combinedDb(1)));
+  EXPECT_LT(combiner.combinedDb(1), 0.0);
+  EXPECT_EQ(combiner.trackedCount(), 0u);
+}
+
+TEST(SoftCombinerTest, SingleCopyPassesThrough) {
+  SoftCombiner combiner;
+  const double combined = combiner.accumulateDb(7, 3.0);
+  EXPECT_NEAR(combined, 3.0, 1e-9);
+  EXPECT_EQ(combiner.copies(7), 1);
+}
+
+TEST(SoftCombinerTest, EqualCopiesAddThreeDb) {
+  // Two equal-power copies double the linear energy: +3.01 dB.
+  SoftCombiner combiner;
+  combiner.accumulateDb(1, 5.0);
+  const double combined = combiner.accumulateDb(1, 5.0);
+  EXPECT_NEAR(combined, 5.0 + 10.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(SoftCombinerTest, MrcIsLinearSum) {
+  SoftCombiner combiner;
+  combiner.accumulateDb(1, 0.0);   // 1.0 linear
+  combiner.accumulateDb(1, 10.0);  // 10.0 linear
+  EXPECT_NEAR(combiner.combinedDb(1), 10.0 * std::log10(11.0), 1e-9);
+  EXPECT_EQ(combiner.copies(1), 2);
+}
+
+TEST(SoftCombinerTest, SequencesAreIndependent) {
+  SoftCombiner combiner;
+  combiner.accumulateDb(1, 3.0);
+  combiner.accumulateDb(2, 9.0);
+  EXPECT_NEAR(combiner.combinedDb(1), 3.0, 1e-9);
+  EXPECT_NEAR(combiner.combinedDb(2), 9.0, 1e-9);
+  EXPECT_EQ(combiner.trackedCount(), 2u);
+}
+
+TEST(SoftCombinerTest, ClearDropsState) {
+  SoftCombiner combiner;
+  combiner.accumulateDb(1, 3.0);
+  combiner.clear(1);
+  EXPECT_EQ(combiner.copies(1), 0);
+  EXPECT_EQ(combiner.trackedCount(), 0u);
+  // Re-accumulation starts fresh.
+  EXPECT_NEAR(combiner.accumulateDb(1, 0.0), 0.0, 1e-9);
+}
+
+TEST(SoftCombinerTest, CombiningIsMonotone) {
+  SoftCombiner combiner;
+  double previous = -1e9;
+  for (int copy = 0; copy < 20; ++copy) {
+    const double combined = combiner.accumulateDb(1, -3.0);
+    EXPECT_GT(combined, previous);
+    previous = combined;
+  }
+  // 20 copies at -3 dB: 10 log10(20) - 3 dB.
+  EXPECT_NEAR(previous, 10.0 * std::log10(20.0) - 3.0, 1e-9);
+}
+
+TEST(SoftCombinerTest, NegativeSinrStillAccumulates) {
+  SoftCombiner combiner;
+  combiner.accumulateDb(1, -20.0);
+  combiner.accumulateDb(1, -20.0);
+  EXPECT_NEAR(combiner.combinedDb(1), -20.0 + 10.0 * std::log10(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace vanet::carq

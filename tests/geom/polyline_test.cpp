@@ -1,0 +1,80 @@
+#include "geom/polyline.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::geom {
+namespace {
+
+Polyline lShape() {
+  return Polyline{{{0.0, 0.0}, {10.0, 0.0}, {10.0, 5.0}}};
+}
+
+TEST(PolylineTest, LengthAndVertexArcs) {
+  const Polyline p = lShape();
+  EXPECT_DOUBLE_EQ(p.length(), 15.0);
+  EXPECT_DOUBLE_EQ(p.arcAtVertex(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.arcAtVertex(1), 10.0);
+  EXPECT_DOUBLE_EQ(p.arcAtVertex(2), 15.0);
+  EXPECT_EQ(p.segmentCount(), 2u);
+}
+
+TEST(PolylineTest, PointAtInterpolates) {
+  const Polyline p = lShape();
+  EXPECT_EQ(p.pointAt(0.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(p.pointAt(5.0), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(p.pointAt(10.0), (Vec2{10.0, 0.0}));
+  EXPECT_EQ(p.pointAt(12.5), (Vec2{10.0, 2.5}));
+  EXPECT_EQ(p.pointAt(15.0), (Vec2{10.0, 5.0}));
+}
+
+TEST(PolylineTest, PointAtClampsOutOfRange) {
+  const Polyline p = lShape();
+  EXPECT_EQ(p.pointAt(-3.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(p.pointAt(99.0), (Vec2{10.0, 5.0}));
+}
+
+TEST(PolylineTest, WrappedPointForLoops) {
+  const Polyline loop = makeRectangleLoop(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(loop.length(), 30.0);
+  EXPECT_EQ(loop.pointAtWrapped(0.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(loop.pointAtWrapped(30.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(loop.pointAtWrapped(35.0), loop.pointAt(5.0));
+  EXPECT_EQ(loop.pointAtWrapped(-5.0), loop.pointAt(25.0));
+}
+
+TEST(PolylineTest, TangentPerSegment) {
+  const Polyline p = lShape();
+  EXPECT_EQ(p.tangentAt(5.0), (Vec2{1.0, 0.0}));
+  EXPECT_EQ(p.tangentAt(12.0), (Vec2{0.0, 1.0}));
+}
+
+TEST(PolylineTest, ProjectOntoSegments) {
+  const Polyline p = lShape();
+  // Point above the first segment projects straight down.
+  EXPECT_DOUBLE_EQ(p.project(Vec2{4.0, 3.0}), 4.0);
+  // Point right of the second segment.
+  EXPECT_DOUBLE_EQ(p.project(Vec2{12.0, 2.0}), 12.0);
+  // Point beyond the end clamps to the last vertex.
+  EXPECT_DOUBLE_EQ(p.project(Vec2{10.0, 50.0}), 15.0);
+}
+
+TEST(PolylineTest, ProjectVertexRoundTrip) {
+  const Polyline p = makeRectangleLoop(20.0, 10.0);
+  for (double s = 0.0; s < p.length(); s += 2.5) {
+    EXPECT_NEAR(p.project(p.pointAt(s)), s, 1e-9) << "arc " << s;
+  }
+}
+
+TEST(PolylineTest, RectangleLoopClosed) {
+  const Polyline loop = makeRectangleLoop(10.0, 5.0);
+  EXPECT_EQ(loop.vertices().front(), loop.vertices().back());
+  EXPECT_EQ(loop.vertices().size(), 5u);
+}
+
+TEST(PolylineDeathTest, RejectsDegenerateInput) {
+  EXPECT_DEATH((Polyline{{{0.0, 0.0}}}), "two vertices");
+  EXPECT_DEATH((Polyline{{{0.0, 0.0}, {0.0, 0.0}}}), "zero-length");
+}
+
+}  // namespace
+}  // namespace vanet::geom

@@ -1,0 +1,59 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2.0}));
+}
+
+TEST(Vec2Test, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.normSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(a.dot(Vec2{1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+}
+
+TEST(Vec2Test, Normalized) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 n = a.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+}
+
+TEST(Vec2Test, NormalizedZeroIsZero) {
+  const Vec2 z{};
+  EXPECT_EQ(z.normalized(), z);
+}
+
+TEST(Vec2Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec2{0.0, 0.0}, Vec2{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec2{1.0, 1.0}, Vec2{1.0, 1.0}), 0.0);
+}
+
+TEST(Vec2Test, Lerp) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, -10.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{5.0, -5.0}));
+}
+
+TEST(Vec2Test, CompoundAssign) {
+  Vec2 a{1.0, 1.0};
+  a += Vec2{2.0, 3.0};
+  EXPECT_EQ(a, (Vec2{3.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace vanet::geom

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/table1.h"
+
+namespace vanet::analysis {
+namespace {
+
+/// Shared 5-round experiment result (runs once; the suite asserts many
+/// facets of it, mirroring how the paper reads one dataset).
+const UrbanExperimentResult& sharedResult() {
+  static const UrbanExperimentResult result = [] {
+    UrbanExperimentConfig config;
+    config.rounds = 5;
+    config.seed = 2008;
+    return UrbanExperiment(config).run();
+  }();
+  return result;
+}
+
+TEST(EndToEndUrbanTest, EveryCarHasMeaningfulCoverageWindow) {
+  for (const auto& row : sharedResult().table1.rows) {
+    // Paper: 121-143 packets per window; shape target is the same order.
+    EXPECT_GT(row.txByAp.mean(), 60.0) << "car " << row.car;
+    EXPECT_LT(row.txByAp.mean(), 320.0) << "car " << row.car;
+  }
+}
+
+TEST(EndToEndUrbanTest, LossesBeforeCooperationAreSubstantial) {
+  for (const auto& row : sharedResult().table1.rows) {
+    // Paper: 23-29 % in the urban testbed.
+    EXPECT_GT(row.pctLostBefore.mean(), 10.0) << "car " << row.car;
+    EXPECT_LT(row.pctLostBefore.mean(), 45.0) << "car " << row.car;
+  }
+}
+
+TEST(EndToEndUrbanTest, CooperationReducesLossesForEveryCar) {
+  for (const auto& row : sharedResult().table1.rows) {
+    EXPECT_LT(row.pctLostAfter.mean(), row.pctLostBefore.mean())
+        << "car " << row.car;
+  }
+}
+
+TEST(EndToEndUrbanTest, HeadlineResultLossesRoughlyHalve) {
+  // Paper Table 1: car 1 sees >50 % reduction; all cars see >= ~35 %.
+  double bestReduction = 0.0;
+  for (const auto& row : sharedResult().table1.rows) {
+    const double reduction = 1.0 - row.pctLostAfter.mean() /
+                                       row.pctLostBefore.mean();
+    EXPECT_GT(reduction, 0.25) << "car " << row.car;
+    bestReduction = std::max(bestReduction, reduction);
+  }
+  EXPECT_GT(bestReduction, 0.45);
+}
+
+TEST(EndToEndUrbanTest, AfterCoopLossIsNeverBelowJointBound) {
+  for (const auto& row : sharedResult().table1.rows) {
+    EXPECT_GE(row.lostAfter.mean(), row.lostJoint.mean() - 1e-9)
+        << "car " << row.car;
+  }
+}
+
+TEST(EndToEndUrbanTest, AfterCoopIsCloseToTheJointBound) {
+  // Figures 6-8: the after-coop and joint curves are almost coincident.
+  for (const auto& row : sharedResult().table1.rows) {
+    EXPECT_LT(row.pctLostAfter.mean() - row.pctLostJoint.mean(), 6.0)
+        << "car " << row.car;
+  }
+}
+
+TEST(EndToEndUrbanTest, FigureSeriesAreProbabilities) {
+  for (const auto& [flow, figure] : sharedResult().figures) {
+    for (const auto& [car, series] : figure.rxByCar) {
+      for (const double p : series.means()) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+      }
+    }
+  }
+}
+
+TEST(EndToEndUrbanTest, AfterCoopSeriesDominatesDirectSeries) {
+  for (const auto& [flow, figure] : sharedResult().figures) {
+    const auto direct = figure.rxByCar.at(flow).means();
+    const auto after = figure.afterCoop.means();
+    ASSERT_EQ(direct.size(), after.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_GE(after[i], direct[i] - 1e-9)
+          << "flow " << flow << " packet " << i + 1;
+    }
+  }
+}
+
+TEST(EndToEndUrbanTest, AfterCoopSeriesBoundedByJointSeries) {
+  for (const auto& [flow, figure] : sharedResult().figures) {
+    const auto after = figure.afterCoop.means();
+    const auto joint = figure.joint.means();
+    for (std::size_t i = 0; i < std::min(after.size(), joint.size()); ++i) {
+      EXPECT_LE(after[i], joint[i] + 1e-9)
+          << "flow " << flow << " packet " << i + 1;
+    }
+  }
+}
+
+TEST(EndToEndUrbanTest, RegionStructureIsOrdered) {
+  for (const auto& [flow, figure] : sharedResult().figures) {
+    EXPECT_GT(figure.regionBoundary12.mean(), 1.0);
+    EXPECT_GT(figure.regionBoundary23.mean(), figure.regionBoundary12.mean());
+  }
+}
+
+TEST(EndToEndUrbanTest, Figure3ShapeCar1LeavesCoverageFirst) {
+  // Region III of Figure 3: car 1's own reception degrades while cars 2
+  // and 3 still hear its packets -> in the last quarter of the packet
+  // range, car 2+3's average reception of flow 1 exceeds car 1's.
+  const auto& figure = sharedResult().figures.at(1);
+  const auto own = figure.rxByCar.at(1).means();
+  const auto rx2 = figure.rxByCar.at(2).means();
+  const auto rx3 = figure.rxByCar.at(3).means();
+  const std::size_t n = own.size();
+  ASSERT_GT(n, 20u);
+  double ownTail = 0.0;
+  double helperTail = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = (n * 3) / 4; i < n; ++i) {
+    ownTail += own[i];
+    helperTail += std::max(rx2[i], rx3[i]);
+    ++count;
+  }
+  EXPECT_GT(helperTail / count, ownTail / count);
+}
+
+TEST(EndToEndUrbanTest, Figure5ShapeCar3EntersCoverageLast) {
+  // Region I of Figure 5: cars 1 and 2 hear car 3's early packets better
+  // than car 3 itself.
+  const auto& figure = sharedResult().figures.at(3);
+  const auto own = figure.rxByCar.at(3).means();
+  const auto rx1 = figure.rxByCar.at(1).means();
+  const auto rx2 = figure.rxByCar.at(2).means();
+  const std::size_t n = own.size();
+  ASSERT_GT(n, 20u);
+  // Car 3's window opens late; skip leading cells no round populated.
+  std::size_t start = 0;
+  while (start < n && figure.joint.at(start).count() == 0) ++start;
+  ASSERT_LT(start + 20, n);
+  double ownHead = 0.0;
+  double helperHead = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = start; i < start + (n - start) / 4; ++i) {
+    ownHead += own[i];
+    helperHead += std::max(rx1[i], rx2[i]);
+    ++count;
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_GT(helperHead / count, ownHead / count);
+}
+
+TEST(EndToEndUrbanTest, RenderersHandleRealData) {
+  const std::string table = renderTable1(sharedResult().table1);
+  EXPECT_NE(table.find("Car"), std::string::npos);
+  const std::string summary = renderLossSummary(sharedResult().table1);
+  EXPECT_NE(summary.find("reduction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vanet::analysis

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "trace/reception_matrix.h"
+
+namespace vanet::analysis {
+namespace {
+
+/// The paper's optimality claim (Figs. 6-8): given the receptions across
+/// the platoon, each car recovers essentially every packet some platoon
+/// member holds. With a clean car-to-car channel and enough dark-area
+/// time, the delivered set must match the joint set within the car's
+/// request window almost exactly.
+class OptimalityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityProperty, AfterCoopEqualsJointWithinWindow) {
+  UrbanExperimentConfig config;
+  config.rounds = 1;
+  config.seed = GetParam();
+  // Clean car-to-car links: LOS, mild exponent, no burstiness.
+  config.channel.c2cReferenceLossDb = 30.0;
+  config.channel.shadowing.c2cSigmaDb = 0.5;
+  config.scenario.tailSeconds = 25.0;  // generous dark-area time
+  UrbanExperiment experiment(config);
+  const trace::RoundTrace trace = experiment.runRound(0);
+
+  for (const NodeId car : trace.carIds()) {
+    const trace::ReceptionMatrix matrix(trace, car);
+    if (matrix.maxSeq() == 0) continue;
+    // The car's request window: [first, last] directly received seq.
+    SeqNo first = 0;
+    SeqNo last = 0;
+    for (SeqNo seq = 1; seq <= matrix.maxSeq(); ++seq) {
+      if (matrix.received(car, seq)) {
+        if (first == 0) first = seq;
+        last = seq;
+      }
+    }
+    ASSERT_GT(first, 0) << "car " << car << " never heard its flow";
+
+    int jointInWindow = 0;
+    int heldInWindow = 0;
+    int violations = 0;
+    for (SeqNo seq = first; seq <= last; ++seq) {
+      const bool joint = matrix.joint(seq);
+      const bool held = matrix.afterCoop(seq);
+      EXPECT_LE(held, joint) << "car " << car << " seq " << seq;
+      if (joint) ++jointInWindow;
+      if (held) ++heldInWindow;
+      if (joint && !held) ++violations;
+    }
+    // Allow a whisker of slack (<2 %) for responses still in flight when
+    // the round ends; the paper's curves show the same hairline gaps.
+    EXPECT_LE(violations,
+              std::max(1, static_cast<int>(0.02 * jointInWindow)))
+        << "car " << car << ": " << heldInWindow << "/" << jointInWindow;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL));
+
+/// Baseline sanity: with cooperation disabled nothing is ever recovered.
+TEST(OptimalityBaselineTest, NoCooperationMeansNoRecoveries) {
+  UrbanExperimentConfig config;
+  config.rounds = 1;
+  config.seed = 99;
+  config.carq.cooperationEnabled = false;
+  UrbanExperiment experiment(config);
+  const trace::RoundTrace trace = experiment.runRound(0);
+  for (const NodeId car : trace.carIds()) {
+    const trace::ReceptionMatrix matrix(trace, car);
+    for (SeqNo seq = 1; seq <= matrix.maxSeq(); ++seq) {
+      EXPECT_EQ(matrix.afterCoop(seq), matrix.received(car, seq));
+    }
+  }
+}
+
+/// The recovered set never contains packets nobody received (no packet is
+/// conjured out of thin air), under any channel configuration.
+class NoFabricationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NoFabricationProperty, RecoveredSubsetOfJoint) {
+  UrbanExperimentConfig config;
+  config.rounds = 1;
+  config.seed = GetParam();
+  // Hostile channel: bursty losses everywhere.
+  channel::GilbertElliottParams burst;
+  burst.meanGoodSeconds = 2.0;
+  burst.meanBadSeconds = 0.5;
+  burst.lossInBad = 0.9;
+  config.channel.burst = burst;
+  UrbanExperiment experiment(config);
+  const trace::RoundTrace trace = experiment.runRound(0);
+  for (const NodeId car : trace.carIds()) {
+    const trace::ReceptionMatrix matrix(trace, car);
+    for (SeqNo seq = 1; seq <= matrix.maxSeq(); ++seq) {
+      if (matrix.afterCoop(seq)) {
+        EXPECT_TRUE(matrix.joint(seq)) << "car " << car << " seq " << seq;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoFabricationProperty,
+                         ::testing::Values(11ULL, 22ULL, 33ULL));
+
+}  // namespace
+}  // namespace vanet::analysis

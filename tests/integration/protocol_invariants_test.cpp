@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "../testing/scripted_link.h"
+#include "core/carq_agent.h"
+#include "mobility/mobility_model.h"
+#include "net/node.h"
+
+namespace vanet::carq {
+namespace {
+
+using mac::Frame;
+using mac::FrameKind;
+using sim::SimTime;
+
+/// Fuzz-style harness: a static 4-car platoon, an AP streaming three
+/// interleaved flows, and i.i.d. random frame drops on every link at a
+/// parameterised rate. After the dust settles, the C-ARQ bookkeeping
+/// invariants must hold no matter what was lost.
+class ProtocolInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ProtocolInvariants, HoldUnderRandomLoss) {
+  const auto [seed, dropProbability] = GetParam();
+
+  sim::Simulator sim;
+  vanet::testing::ScriptedLinkModel link;
+  auto dropRng = std::make_shared<Rng>(seed);
+  const double p = dropProbability;
+  link.setDropPredicate(
+      [dropRng, p](NodeId, NodeId) { return dropRng->bernoulli(p); });
+  mac::RadioEnvironment environment(sim, link, Rng{seed}.child("medium"));
+
+  mobility::StaticMobility apMobility{geom::Vec2{0.0, -10.0}};
+  net::Node apNode(sim, environment, kFirstApId, &apMobility,
+                   mac::RadioConfig{18.0}, mac::MacConfig{},
+                   Rng{seed}.child("ap"));
+
+  CarqConfig config;
+  config.helloPeriod = SimTime::millis(150.0);
+  config.receptionTimeout = SimTime::millis(500.0);
+  config.coopSlot = SimTime::millis(12.0);
+  config.unproductiveCycleBackoff = SimTime::millis(200.0);
+
+  const int carCount = 4;
+  std::vector<std::unique_ptr<mobility::StaticMobility>> mobilities;
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  std::vector<std::unique_ptr<CarqAgent>> agents;
+  for (int i = 0; i < carCount; ++i) {
+    const NodeId id = static_cast<NodeId>(i + 1);
+    mobilities.push_back(std::make_unique<mobility::StaticMobility>(
+        geom::Vec2{18.0 * static_cast<double>(i), 0.0}));
+    nodes.push_back(std::make_unique<net::Node>(
+        sim, environment, id, mobilities.back().get(),
+        mac::RadioConfig{18.0}, mac::MacConfig{},
+        Rng{seed}.child("node").child(static_cast<std::uint64_t>(id))));
+    agents.push_back(std::make_unique<CarqAgent>(
+        *nodes.back(), config,
+        Rng{seed}.child("agent").child(static_cast<std::uint64_t>(id))));
+    agents.back()->start();
+  }
+  sim.runUntil(SimTime::seconds(1.0));  // HELLO exchange (lossy!)
+
+  // Stream 3 flows x 40 packets through the lossy medium.
+  Rng apRng = Rng{seed}.child("ap-schedule");
+  for (SeqNo seq = 1; seq <= 40; ++seq) {
+    for (FlowId flow = 1; flow <= 3; ++flow) {
+      Frame frame;
+      frame.kind = FrameKind::kData;
+      frame.src = kFirstApId;
+      frame.bytes = 1000;
+      frame.payload = mac::DataPayload{flow, seq, 0};
+      apNode.mac().enqueue(std::move(frame), channel::PhyMode::kDsss1Mbps);
+    }
+    sim.runUntil(sim.now() +
+                 SimTime::millis(60.0 + apRng.uniform(0.0, 10.0)));
+  }
+  // Dark area: let the Cooperative-ARQ phase run its cycles.
+  sim.runUntil(sim.now() + SimTime::seconds(12.0));
+
+  // ---- invariants ----
+  for (int i = 0; i < carCount; ++i) {
+    const CarqAgent& agent = *agents[i];
+    const CarqCounters& c = agent.counters();
+    const PacketStore& store = agent.store();
+
+    // Bookkeeping consistency.
+    EXPECT_EQ(store.recoveredCount(), c.recovered) << "car " << i + 1;
+    EXPECT_LE(c.recovered, c.coopDataReceived) << "car " << i + 1;
+    EXPECT_LE(c.requestSeqsSent, c.requestsSent * 64) << "car " << i + 1;
+    EXPECT_GE(c.requestSeqsSent, c.requestsSent) << "car " << i + 1;
+
+    // The window rule: nothing outside [firstSeen, lastSeen] is held.
+    for (SeqNo seq = 1; seq <= 40; ++seq) {
+      if (store.hasOwn(seq)) {
+        EXPECT_GE(seq, store.firstSeen());
+        EXPECT_LE(seq, store.lastSeen());
+      }
+    }
+
+  }
+
+  // Global: total recoveries cannot exceed total cooperator responses.
+  std::uint64_t totalRecovered = 0;
+  std::uint64_t totalResponses = 0;
+  std::uint64_t totalSuppressed = 0;
+  std::uint64_t totalRequestsReceived = 0;
+  for (const auto& agent : agents) {
+    totalRecovered += agent->counters().recovered;
+    totalResponses += agent->counters().coopDataSent;
+    totalSuppressed += agent->counters().responsesSuppressed;
+    totalRequestsReceived += agent->counters().requestsReceived;
+  }
+  EXPECT_LE(totalRecovered, totalResponses);
+  // A response can only be suppressed if it was first scheduled by a
+  // received request.
+  EXPECT_LE(totalSuppressed, totalRequestsReceived * 64);
+
+  // Liveness / eventual optimality at moderate loss: after 12 s of
+  // cycling, any packet still missing in-window must be missing because
+  // no cooperator holds a copy (edge losses fall outside the paper's
+  // request window; jointly-lost packets are unrecoverable by design).
+  if (dropProbability <= 0.2) {
+    for (int i = 0; i < 3; ++i) {  // cars with a flow of their own
+      const NodeId dest = static_cast<NodeId>(i + 1);
+      const auto& store = agents[static_cast<std::size_t>(i)]->store();
+      for (const SeqNo seq : store.missingInWindow()) {
+        for (const auto& other : agents) {
+          if (other->id() == dest) continue;
+          EXPECT_FALSE(other->store().hasBuffered(dest, seq))
+              << "car " << dest << " seq " << seq << " is held by car "
+              << other->id() << " but was never recovered";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ProtocolInvariants,
+    ::testing::Combine(::testing::Values(1ULL, 7ULL, 42ULL, 2008ULL),
+                       ::testing::Values(0.05, 0.2, 0.5)));
+
+}  // namespace
+}  // namespace vanet::carq

@@ -1,0 +1,77 @@
+#include "mac/airtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vanet::mac {
+namespace {
+
+using channel::PhyMode;
+using sim::SimTime;
+
+TEST(AirtimeTest, Dsss1MbpsThousandBytes) {
+  // 192 us PLCP + (28 + 1000) * 8 bits at 1 Mbps = 192 + 8224 us.
+  const SimTime t = frameAirtime(PhyMode::kDsss1Mbps, 1000);
+  EXPECT_NEAR(t.toMillis(), 8.416, 0.001);
+}
+
+TEST(AirtimeTest, Dsss2MbpsHalvesPayloadTime) {
+  const SimTime t1 = frameAirtime(PhyMode::kDsss1Mbps, 1000);
+  const SimTime t2 = frameAirtime(PhyMode::kDsss2Mbps, 1000);
+  const double payloadUs1 = t1.toMillis() * 1000.0 - 192.0;
+  const double payloadUs2 = t2.toMillis() * 1000.0 - 192.0;
+  EXPECT_NEAR(payloadUs2, payloadUs1 / 2.0, 0.5);
+}
+
+TEST(AirtimeTest, LongerPayloadsTakeLonger) {
+  for (const PhyMode mode :
+       {PhyMode::kDsss1Mbps, PhyMode::kCck11Mbps, PhyMode::kErpOfdm6Mbps,
+        PhyMode::kErpOfdm54Mbps}) {
+    SimTime prev = SimTime::zero();
+    for (int bytes = 0; bytes <= 1500; bytes += 100) {
+      const SimTime t = frameAirtime(mode, bytes);
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(AirtimeTest, FasterModesAreFaster) {
+  const int bytes = 1000;
+  EXPECT_LT(frameAirtime(PhyMode::kDsss2Mbps, bytes),
+            frameAirtime(PhyMode::kDsss1Mbps, bytes));
+  EXPECT_LT(frameAirtime(PhyMode::kCck11Mbps, bytes),
+            frameAirtime(PhyMode::kCck5_5Mbps, bytes));
+  EXPECT_LT(frameAirtime(PhyMode::kErpOfdm54Mbps, bytes),
+            frameAirtime(PhyMode::kErpOfdm6Mbps, bytes));
+}
+
+TEST(AirtimeTest, OfdmSymbolQuantisation) {
+  // ERP frames are a 20 us preamble plus whole 4 us symbols.
+  const SimTime t = frameAirtime(PhyMode::kErpOfdm6Mbps, 100);
+  const double usAfterPreamble = t.toMillis() * 1000.0 - 20.0;
+  const double symbols = usAfterPreamble / 4.0;
+  EXPECT_NEAR(symbols, std::round(symbols), 1e-6);
+}
+
+TEST(AirtimeTest, FrameBitsIncludesMacOverhead) {
+  EXPECT_EQ(frameBits(0), kMacOverheadBytes * 8);
+  EXPECT_EQ(frameBits(1000), (kMacOverheadBytes + 1000) * 8);
+}
+
+TEST(AirtimeTest, TimingConstants) {
+  EXPECT_EQ(kSifs, SimTime::micros(10.0));
+  EXPECT_EQ(kSlotTime, SimTime::micros(20.0));
+  EXPECT_EQ(kDifs, SimTime::micros(50.0));
+}
+
+TEST(AirtimeTest, PaperDataFrameFitsInCoopSlot) {
+  // The default coop slot (12 ms) must exceed one CoopData airtime
+  // (1016-byte payload at 1 Mbps) so ordered-backoff suppression works.
+  const SimTime coopData = frameAirtime(PhyMode::kDsss1Mbps, 1016);
+  EXPECT_LT(coopData, SimTime::millis(12.0));
+}
+
+}  // namespace
+}  // namespace vanet::mac

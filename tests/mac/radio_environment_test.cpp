@@ -1,0 +1,230 @@
+#include "mac/radio_environment.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/medium_fixture.h"
+#include "mac/airtime.h"
+
+namespace vanet::mac {
+namespace {
+
+using channel::PhyMode;
+using sim::SimTime;
+using vanet::testing::MediumHarness;
+
+TEST(RadioEnvironmentTest, BroadcastReachesAllOtherRadios) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  h.addRadio(3, {40.0, 0.0});
+  int rx2 = 0;
+  int rx3 = 0;
+  h.radio(1).setRxCallback([&rx2](const Frame&, const RxInfo&) { ++rx2; });
+  h.radio(2).setRxCallback([&rx3](const Frame&, const RxInfo&) { ++rx3; });
+
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(rx2, 1);
+  EXPECT_EQ(rx3, 1);
+  EXPECT_EQ(h.environment().stats().framesDelivered, 2u);
+}
+
+TEST(RadioEnvironmentTest, SenderDoesNotHearItself) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  int rx1 = 0;
+  h.radio(0).setRxCallback([&rx1](const Frame&, const RxInfo&) { ++rx1; });
+  h.radio(1).setRxCallback([](const Frame&, const RxInfo&) {});
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(rx1, 0);
+}
+
+TEST(RadioEnvironmentTest, DeliveryHappensAtAirtimeEnd) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  SimTime deliveredAt{};
+  h.radio(1).setRxCallback(
+      [&](const Frame&, const RxInfo& info) { deliveredAt = info.at; });
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1, 1000),
+                      PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(deliveredAt, frameAirtime(PhyMode::kDsss1Mbps, 1000));
+}
+
+TEST(RadioEnvironmentTest, OutOfRangeReceiverMissesFrame) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {50000.0, 0.0});  // 50 km away
+  int rx = 0;
+  h.radio(1).setRxCallback([&rx](const Frame&, const RxInfo&) { ++rx; });
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(rx, 0);
+  EXPECT_EQ(h.environment().stats().framesBelowSensitivity, 1u);
+}
+
+TEST(RadioEnvironmentTest, HalfDuplexReceiverMissesOverlap) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  int rx2 = 0;
+  h.radio(1).setRxCallback([&rx2](const Frame&, const RxInfo&) { ++rx2; });
+  h.radio(0).setRxCallback([](const Frame&, const RxInfo&) {});
+  // Both transmit at t=0: each is deaf to the other's frame.
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  h.radio(1).transmit(MediumHarness::dataFrame(1, 1), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(rx2, 0);
+  EXPECT_EQ(h.environment().stats().framesHalfDuplexMissed, 2u);
+}
+
+TEST(RadioEnvironmentTest, CollisionAtEquidistantReceiverDestroysBoth) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {100.0, 0.0});
+  h.addRadio(3, {50.0, 40.0});  // equidistant from 1 and 2 -> SINR ~ 0 dB
+  int rx3 = 0;
+  h.radio(2).setRxCallback([&rx3](const Frame&, const RxInfo&) { ++rx3; });
+  h.radio(0).transmit(MediumHarness::dataFrame(3, 1), PhyMode::kDsss1Mbps);
+  h.radio(1).transmit(MediumHarness::dataFrame(3, 2), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(rx3, 0);
+  EXPECT_EQ(h.environment().stats().framesCollided, 2u);
+}
+
+TEST(RadioEnvironmentTest, CaptureStrongFrameOverWeakInterferer) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});     // strong: 10 m from receiver
+  h.addRadio(2, {500.0, 0.0});   // weak interferer: 490 m away
+  h.addRadio(3, {10.0, 0.0});
+  int rx3 = 0;
+  h.radio(2).setRxCallback([&rx3](const Frame& f, const RxInfo&) {
+    if (dataOf(f).seq == 1) ++rx3;
+  });
+  h.radio(0).transmit(MediumHarness::dataFrame(3, 1), PhyMode::kDsss1Mbps);
+  h.radio(1).transmit(MediumHarness::dataFrame(3, 2), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(rx3, 1);  // near frame captured despite overlap
+}
+
+TEST(RadioEnvironmentTest, ChannelBusyDuringTransmission) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  h.radio(1).setRxCallback([](const Frame&, const RxInfo&) {});
+  EXPECT_FALSE(h.environment().channelBusy(h.radio(1)));
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  EXPECT_TRUE(h.environment().channelBusy(h.radio(1)));
+  EXPECT_TRUE(h.environment().channelBusy(h.radio(0)));  // own tx
+  const SimTime end = h.environment().channelBusyUntil(h.radio(1));
+  EXPECT_EQ(end, frameAirtime(PhyMode::kDsss1Mbps, 1000));
+  h.sim().run();
+  EXPECT_FALSE(h.environment().channelBusy(h.radio(1)));
+}
+
+TEST(RadioEnvironmentTest, FarTransmitterDoesNotTriggerCarrierSense) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {50000.0, 0.0});
+  h.radio(1).setRxCallback([](const Frame&, const RxInfo&) {});
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  EXPECT_FALSE(h.environment().channelBusy(h.radio(1)));
+}
+
+TEST(RadioEnvironmentTest, RxInfoCarriesPlausibleValues) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {10.0, 0.0});
+  RxInfo seen;
+  h.radio(1).setRxCallback(
+      [&seen](const Frame&, const RxInfo& info) { seen = info; });
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  EXPECT_EQ(seen.src, 1);
+  // 18 dBm - (40 + 20 log10 10) = -42 dBm at 10 m (free-space-like).
+  EXPECT_NEAR(seen.rxPowerDbm, -42.0, 0.5);
+  EXPECT_GT(seen.sinrDb, 40.0);
+}
+
+TEST(RadioEnvironmentTest, StatsCountTransmissions) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  h.radio(1).setRxCallback([](const Frame&, const RxInfo&) {});
+  for (int i = 0; i < 5; ++i) {
+    h.radio(0).transmit(MediumHarness::dataFrame(2, i), PhyMode::kDsss1Mbps);
+    h.sim().run();
+  }
+  EXPECT_EQ(h.environment().stats().framesTransmitted, 5u);
+  EXPECT_EQ(h.environment().stats().framesDelivered, 5u);
+  EXPECT_EQ(h.radio(0).framesSent(), 5u);
+  EXPECT_EQ(h.radio(1).framesReceived(), 5u);
+}
+
+TEST(RadioEnvironmentTest, CorruptFramesDeliveredOnlyToOptedInRadios) {
+  // A weak (but detected) CCK-11 link produces decode failures; radios
+  // that opted in receive the corrupt frames with their SINR.
+  auto weak = std::make_unique<channel::CompositeLinkModel>(
+      std::make_unique<channel::LogDistancePathLoss>(2.0, 40.0),
+      // car-to-car at 20 m: ~ -80 dBm -> SNR ~14 dB, under the CCK-11
+      // cliff for 1028-byte frames.
+      std::make_unique<channel::LogDistancePathLoss>(2.4, 66.8),
+      std::make_unique<channel::NoShadowing>(),
+      std::make_unique<channel::NoFading>(), channel::LinkBudget{});
+  vanet::testing::MediumHarness h(std::move(weak));
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {20.0, 0.0});
+  h.addRadio(3, {20.0, 1.0});
+  int corrupt2 = 0;
+  double sinr2 = 0.0;
+  h.radio(1).setRxCallback([](const Frame&, const RxInfo&) {});
+  h.radio(1).setCorruptRxCallback([&](const Frame&, const RxInfo& info) {
+    ++corrupt2;
+    sinr2 = info.sinrDb;
+  });
+  int corrupt3 = 0;
+  h.radio(2).setRxCallback([](const Frame&, const RxInfo&) {});
+  // radio 3 does NOT opt in.
+  int delivered = 0;
+  h.radio(1).setRxCallback([&delivered](const Frame&, const RxInfo&) { ++delivered; });
+  for (int i = 0; i < 60; ++i) {
+    h.radio(0).transmit(MediumHarness::dataFrame(2, i), PhyMode::kCck11Mbps);
+    h.sim().run();
+  }
+  EXPECT_GT(corrupt2, 10);  // most copies fail at ~14 dB
+  EXPECT_EQ(corrupt3, 0);
+  EXPECT_NEAR(sinr2, 14.0, 1.5);
+  EXPECT_EQ(h.environment().stats().framesCorruptDelivered,
+            static_cast<std::uint64_t>(corrupt2));
+  EXPECT_GT(h.environment().stats().framesChannelError, 0u);
+}
+
+TEST(RadioEnvironmentTest, BelowSensitivityNeverSurfacesCorruptFrames) {
+  vanet::testing::MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.addRadio(2, {50000.0, 0.0});
+  int corrupt = 0;
+  h.radio(1).setCorruptRxCallback(
+      [&corrupt](const Frame&, const RxInfo&) { ++corrupt; });
+  h.radio(1).setRxCallback([](const Frame&, const RxInfo&) {});
+  for (int i = 0; i < 20; ++i) {
+    h.radio(0).transmit(MediumHarness::dataFrame(2, i), PhyMode::kDsss1Mbps);
+    h.sim().run();
+  }
+  EXPECT_EQ(corrupt, 0);  // undetectable frames contribute no soft energy
+}
+
+TEST(RadioEnvironmentDeathTest, DoubleTransmitAsserts) {
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  EXPECT_DEATH(
+      h.radio(0).transmit(MediumHarness::dataFrame(2, 2), PhyMode::kDsss1Mbps),
+      "already transmitting");
+}
+
+}  // namespace
+}  // namespace vanet::mac

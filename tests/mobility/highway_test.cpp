@@ -1,0 +1,78 @@
+#include "mobility/highway.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::mobility {
+namespace {
+
+using sim::SimTime;
+
+TEST(HighwayTest, RoadAndApLayout) {
+  const HighwayScenario scenario(HighwayConfig{}, 42);
+  EXPECT_DOUBLE_EQ(scenario.path().length(), 6000.0);
+  EXPECT_DOUBLE_EQ(scenario.apArc(0), 500.0);
+  EXPECT_DOUBLE_EQ(scenario.apArc(4), 4500.0);
+}
+
+TEST(HighwayTest, RoundHasApsOffTheRoad) {
+  const HighwayScenario scenario(HighwayConfig{}, 42);
+  const HighwayRound r = scenario.makeRound(0);
+  ASSERT_EQ(r.apPositions.size(), 5u);
+  for (const auto& ap : r.apPositions) {
+    EXPECT_DOUBLE_EQ(ap.y, -12.0);
+  }
+  EXPECT_DOUBLE_EQ(r.apPositions[1].x - r.apPositions[0].x, 1000.0);
+}
+
+TEST(HighwayTest, CarsTraverseWholeRoad) {
+  const HighwayScenario scenario(HighwayConfig{}, 7);
+  const HighwayRound r = scenario.makeRound(0);
+  for (const auto& car : r.cars) {
+    EXPECT_EQ(car->positionAt(SimTime::zero()).x, 0.0);
+    EXPECT_EQ(car->positionAt(r.roundEnd).x, 6000.0);
+  }
+}
+
+TEST(HighwayTest, PlatoonOrderPreserved) {
+  const HighwayScenario scenario(HighwayConfig{}, 11);
+  const HighwayRound r = scenario.makeRound(1);
+  for (double t = 0.0; t < r.roundEnd.toSeconds(); t += 5.0) {
+    double prev = 1e18;
+    for (const auto& car : r.cars) {
+      const double s = car->arcAt(SimTime::seconds(t));
+      EXPECT_LE(s, prev + 1e-9);
+      prev = s;
+    }
+  }
+}
+
+TEST(HighwayTest, SpeedRoughlyMatchesConfig) {
+  HighwayConfig config;
+  config.speedMps = 30.0;
+  config.edgeSpeedSigma = 0.0;
+  const HighwayScenario scenario(config, 3);
+  const HighwayRound r = scenario.makeRound(0);
+  const auto* leader = r.cars[0].get();
+  const double travel =
+      (leader->arrivalTime() - leader->departureTime()).toSeconds();
+  EXPECT_NEAR(travel, 6000.0 / 30.0, 1.0);
+}
+
+TEST(HighwayTest, DeterministicRounds) {
+  const HighwayScenario scenario(HighwayConfig{}, 5);
+  const HighwayRound a = scenario.makeRound(2);
+  const HighwayRound b = scenario.makeRound(2);
+  EXPECT_EQ(a.cars[0]->arrivalTime(), b.cars[0]->arrivalTime());
+  EXPECT_EQ(a.roundEnd, b.roundEnd);
+}
+
+TEST(HighwayDeathTest, ApsMustFitOnRoad) {
+  HighwayConfig config;
+  config.roadLengthMetres = 1000.0;
+  config.apCount = 5;
+  config.apSpacing = 1000.0;
+  EXPECT_DEATH(HighwayScenario(config, 1), "APs must fit");
+}
+
+}  // namespace
+}  // namespace vanet::mobility

@@ -1,0 +1,103 @@
+#include "mobility/path_mobility.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::mobility {
+namespace {
+
+using sim::SimTime;
+
+SchedulePathMobility straightLine() {
+  // 100 m straight road covered in 10 s (10 m/s).
+  return SchedulePathMobility{
+      geom::Polyline{{{0.0, 0.0}, {100.0, 0.0}}},
+      {SimTime::seconds(5.0), SimTime::seconds(15.0)}};
+}
+
+TEST(SchedulePathMobilityTest, WaitsAtStartBeforeDeparture) {
+  const auto m = straightLine();
+  EXPECT_EQ(m.positionAt(SimTime::zero()), (geom::Vec2{0.0, 0.0}));
+  EXPECT_EQ(m.positionAt(SimTime::seconds(4.9)), (geom::Vec2{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(m.speedAt(SimTime::seconds(1.0)), 0.0);
+}
+
+TEST(SchedulePathMobilityTest, ParksAtEndAfterArrival) {
+  const auto m = straightLine();
+  EXPECT_EQ(m.positionAt(SimTime::seconds(15.0)), (geom::Vec2{100.0, 0.0}));
+  EXPECT_EQ(m.positionAt(SimTime::seconds(100.0)), (geom::Vec2{100.0, 0.0}));
+  EXPECT_DOUBLE_EQ(m.speedAt(SimTime::seconds(20.0)), 0.0);
+}
+
+TEST(SchedulePathMobilityTest, LinearProgressBetweenVertices) {
+  const auto m = straightLine();
+  EXPECT_NEAR(m.positionAt(SimTime::seconds(10.0)).x, 50.0, 1e-9);
+  EXPECT_NEAR(m.arcAt(SimTime::seconds(7.5)), 25.0, 1e-9);
+  EXPECT_NEAR(m.speedAt(SimTime::seconds(10.0)), 10.0, 1e-9);
+}
+
+TEST(SchedulePathMobilityTest, PerSegmentSpeeds) {
+  // Two segments at different speeds: 10 m in 1 s, then 10 m in 5 s.
+  const SchedulePathMobility m{
+      geom::Polyline{{{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}},
+      {SimTime::zero(), SimTime::seconds(1.0), SimTime::seconds(6.0)}};
+  EXPECT_NEAR(m.speedAt(SimTime::seconds(0.5)), 10.0, 1e-9);
+  EXPECT_NEAR(m.speedAt(SimTime::seconds(3.0)), 2.0, 1e-9);
+}
+
+TEST(SchedulePathMobilityTest, TimeAtArcIsInverse) {
+  const auto m = straightLine();
+  for (double s = 0.0; s <= 100.0; s += 12.5) {
+    const SimTime t = m.timeAtArc(s);
+    EXPECT_NEAR(m.arcAt(t), s, 1e-6) << "arc " << s;
+  }
+}
+
+TEST(SchedulePathMobilityTest, TimeAtArcClampsToSchedule) {
+  const auto m = straightLine();
+  EXPECT_EQ(m.timeAtArc(-5.0), SimTime::seconds(5.0));
+  EXPECT_EQ(m.timeAtArc(1e9), SimTime::seconds(15.0));
+}
+
+TEST(SchedulePathMobilityTest, DepartureAndArrival) {
+  const auto m = straightLine();
+  EXPECT_EQ(m.departureTime(), SimTime::seconds(5.0));
+  EXPECT_EQ(m.arrivalTime(), SimTime::seconds(15.0));
+}
+
+TEST(SchedulePathMobilityTest, ContinuityProperty) {
+  // |pos(t+dt) - pos(t)| <= vmax * dt for a fine sweep.
+  const SchedulePathMobility m{
+      geom::Polyline{{{0.0, 0.0}, {30.0, 0.0}, {30.0, 40.0}}},
+      {SimTime::zero(), SimTime::seconds(3.0), SimTime::seconds(11.0)}};
+  const double vmax = 10.0 + 1e-9;  // fastest segment is 10 m/s
+  const double dt = 0.05;
+  for (double t = -1.0; t < 13.0; t += dt) {
+    const geom::Vec2 p0 = m.positionAt(SimTime::seconds(t));
+    const geom::Vec2 p1 = m.positionAt(SimTime::seconds(t + dt));
+    EXPECT_LE(geom::distance(p0, p1), vmax * dt + 1e-6) << "t=" << t;
+  }
+}
+
+TEST(StaticMobilityTest, NeverMoves) {
+  const StaticMobility m{{7.0, -3.0}};
+  EXPECT_EQ(m.positionAt(SimTime::zero()), (geom::Vec2{7.0, -3.0}));
+  EXPECT_EQ(m.positionAt(SimTime::seconds(1e6)), (geom::Vec2{7.0, -3.0}));
+  EXPECT_DOUBLE_EQ(m.speedAt(SimTime::seconds(5.0)), 0.0);
+}
+
+TEST(SchedulePathMobilityDeathTest, RejectsMismatchedSchedule) {
+  EXPECT_DEATH(SchedulePathMobility(
+                   geom::Polyline{{{0.0, 0.0}, {1.0, 0.0}}},
+                   {SimTime::zero()}),
+               "one arrival time per path vertex");
+}
+
+TEST(SchedulePathMobilityDeathTest, RejectsNonMonotoneTimes) {
+  EXPECT_DEATH(SchedulePathMobility(
+                   geom::Polyline{{{0.0, 0.0}, {1.0, 0.0}}},
+                   {SimTime::seconds(2.0), SimTime::seconds(1.0)}),
+               "strictly increasing");
+}
+
+}  // namespace
+}  // namespace vanet::mobility

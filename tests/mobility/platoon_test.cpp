@@ -1,0 +1,120 @@
+#include "mobility/platoon.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::mobility {
+namespace {
+
+using sim::SimTime;
+
+TEST(SubdivideTest, SplitsLongSegments) {
+  const geom::Polyline p{{{0.0, 0.0}, {100.0, 0.0}}};
+  const geom::Polyline fine = subdivide(p, 10.0);
+  EXPECT_EQ(fine.vertices().size(), 11u);
+  EXPECT_DOUBLE_EQ(fine.length(), 100.0);
+  EXPECT_EQ(fine.vertices().front(), p.vertices().front());
+  EXPECT_EQ(fine.vertices().back(), p.vertices().back());
+}
+
+TEST(SubdivideTest, KeepsShortSegments) {
+  const geom::Polyline p{{{0.0, 0.0}, {3.0, 0.0}, {3.0, 6.0}}};
+  const geom::Polyline fine = subdivide(p, 10.0);
+  EXPECT_EQ(fine.vertices().size(), 3u);
+}
+
+TEST(SubdivideTest, NoSegmentExceedsLimit) {
+  const geom::Polyline p{{{0.0, 0.0}, {37.0, 0.0}, {37.0, 23.0}}};
+  const geom::Polyline fine = subdivide(p, 5.0);
+  const auto& v = fine.vertices();
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(geom::distance(v[i - 1], v[i]), 5.0 + 1e-9);
+  }
+}
+
+TEST(LeaderScheduleTest, MatchesBaseSpeedWithoutNoise) {
+  Rng rng{1};
+  const geom::Polyline p{{{0.0, 0.0}, {100.0, 0.0}}};
+  const auto times =
+      leaderVertexTimes(p, 10.0, 0.0, SimTime::seconds(2.0), rng);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], SimTime::seconds(2.0));
+  EXPECT_NEAR(times[1].toSeconds(), 12.0, 1e-9);
+}
+
+TEST(LeaderScheduleTest, TimesStrictlyIncrease) {
+  Rng rng{7};
+  const geom::Polyline p =
+      subdivide(geom::makeRectangleLoop(100.0, 50.0), 10.0);
+  const auto times = leaderVertexTimes(p, 8.0, 0.3, SimTime::zero(), rng);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+TEST(FollowerScheduleTest, ConstantDelayShiftsTimes) {
+  Rng rngLeader{1};
+  Rng rngFollower{2};
+  const geom::Polyline p{{{0.0, 0.0}, {50.0, 0.0}, {100.0, 0.0}}};
+  const auto leader =
+      leaderVertexTimes(p, 10.0, 0.0, SimTime::zero(), rngLeader);
+  const auto follower = followerVertexTimes(p, leader, constantDelay(3.0),
+                                            0.0, rngFollower);
+  ASSERT_EQ(follower.size(), leader.size());
+  for (std::size_t i = 0; i < leader.size(); ++i) {
+    EXPECT_NEAR((follower[i] - leader[i]).toSeconds(), 3.0, 1e-9);
+  }
+}
+
+TEST(FollowerScheduleTest, MonotoneEvenWithNoise) {
+  Rng rngLeader{1};
+  const geom::Polyline p =
+      subdivide(geom::Polyline{{{0.0, 0.0}, {500.0, 0.0}}}, 5.0);
+  const auto leader =
+      leaderVertexTimes(p, 10.0, 0.1, SimTime::zero(), rngLeader);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng{seed};
+    const auto follower =
+        followerVertexTimes(p, leader, constantDelay(2.0), 0.5, rng);
+    for (std::size_t i = 1; i < follower.size(); ++i) {
+      EXPECT_GT(follower[i], follower[i - 1]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FollowerScheduleTest, NeverOvertakesReference) {
+  Rng rngLeader{3};
+  Rng rngFollower{4};
+  const geom::Polyline p =
+      subdivide(geom::Polyline{{{0.0, 0.0}, {300.0, 0.0}}}, 10.0);
+  const auto leader =
+      leaderVertexTimes(p, 10.0, 0.1, SimTime::zero(), rngLeader);
+  const auto follower = followerVertexTimes(p, leader, constantDelay(1.0),
+                                            0.3, rngFollower);
+  for (std::size_t i = 0; i < leader.size(); ++i) {
+    EXPECT_GT(follower[i], leader[i]);
+  }
+}
+
+TEST(DelayProfileTest, ConstantDelay) {
+  const DelayProfile d = constantDelay(4.0);
+  EXPECT_DOUBLE_EQ(d(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(d(1e6), 4.0);
+}
+
+TEST(DelayProfileTest, RampDelayInterpolates) {
+  const DelayProfile d = rampDelay(4.0, 1.0, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(d(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(d(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(d(150.0), 2.5);
+  EXPECT_DOUBLE_EQ(d(200.0), 1.0);
+  EXPECT_DOUBLE_EQ(d(500.0), 1.0);
+}
+
+TEST(DelayProfileTest, RampCanOpenGaps) {
+  const DelayProfile d = rampDelay(1.0, 5.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(d(5.0), 3.0);
+  EXPECT_LT(d(0.0), d(10.0));
+}
+
+}  // namespace
+}  // namespace vanet::mobility

@@ -1,0 +1,174 @@
+#include "mobility/urban_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::mobility {
+namespace {
+
+using sim::SimTime;
+
+UrbanLoopConfig defaultConfig() { return UrbanLoopConfig{}; }
+
+TEST(UrbanLoopTest, LapGeometry) {
+  const UrbanLoopScenario scenario(defaultConfig(), 42);
+  const auto& path = scenario.path();
+  EXPECT_DOUBLE_EQ(scenario.lapLength(), 2 * 160.0 + 2 * 90.0);
+  // The round path is two consecutive laps (cars never park mid-round).
+  EXPECT_DOUBLE_EQ(path.length(), 2.0 * scenario.lapLength());
+  // Each lap starts and ends at (0, loopHeight).
+  EXPECT_EQ(path.vertices().front(), (geom::Vec2{0.0, 90.0}));
+  EXPECT_EQ(path.vertices().back(), (geom::Vec2{0.0, 90.0}));
+  EXPECT_EQ(path.pointAt(scenario.lapLength()), (geom::Vec2{0.0, 90.0}));
+  // Covered street spans [H, H+W] and lies on y = 0.
+  EXPECT_EQ(path.pointAt(scenario.coveredStreetBeginArc()),
+            (geom::Vec2{0.0, 0.0}));
+  EXPECT_EQ(path.pointAt(scenario.coveredStreetEndArc()),
+            (geom::Vec2{160.0, 0.0}));
+}
+
+TEST(UrbanLoopTest, ApSitsBehindTheKerb) {
+  const UrbanLoopScenario scenario(defaultConfig(), 42);
+  const geom::Vec2 ap = scenario.apPosition();
+  EXPECT_DOUBLE_EQ(ap.x, 80.0);
+  EXPECT_DOUBLE_EQ(ap.y, -8.0);
+}
+
+TEST(UrbanLoopTest, RoundIsDeterministicPerSeed) {
+  const UrbanLoopScenario scenario(defaultConfig(), 42);
+  const UrbanRound a = scenario.makeRound(3);
+  const UrbanRound b = scenario.makeRound(3);
+  ASSERT_EQ(a.cars.size(), b.cars.size());
+  EXPECT_EQ(a.flowStart, b.flowStart);
+  EXPECT_EQ(a.roundEnd, b.roundEnd);
+  for (std::size_t i = 0; i < a.cars.size(); ++i) {
+    for (double t = 0.0; t < 120.0; t += 7.0) {
+      EXPECT_EQ(a.cars[i]->positionAt(SimTime::seconds(t)),
+                b.cars[i]->positionAt(SimTime::seconds(t)));
+    }
+  }
+}
+
+TEST(UrbanLoopTest, RoundsDifferFromEachOther) {
+  const UrbanLoopScenario scenario(defaultConfig(), 42);
+  const UrbanRound a = scenario.makeRound(0);
+  const UrbanRound b = scenario.makeRound(1);
+  EXPECT_NE(a.cars[0]->arrivalTime(), b.cars[0]->arrivalTime());
+}
+
+TEST(UrbanLoopTest, CarsDepartInOrderAndNeverOvertake) {
+  const UrbanLoopScenario scenario(defaultConfig(), 7);
+  for (int round = 0; round < 5; ++round) {
+    const UrbanRound r = scenario.makeRound(round);
+    ASSERT_EQ(r.cars.size(), 3u);
+    for (double t = 0.0; t < r.roundEnd.toSeconds(); t += 1.0) {
+      const double s1 = r.cars[0]->arcAt(SimTime::seconds(t));
+      const double s2 = r.cars[1]->arcAt(SimTime::seconds(t));
+      const double s3 = r.cars[2]->arcAt(SimTime::seconds(t));
+      EXPECT_GE(s1, s2 - 1e-9) << "round " << round << " t " << t;
+      EXPECT_GE(s2, s3 - 1e-9) << "round " << round << " t " << t;
+    }
+  }
+}
+
+TEST(UrbanLoopTest, CornerCConvergenceShrinksCar3Gap) {
+  const UrbanLoopScenario scenario(defaultConfig(), 11);
+  double entryGapSum = 0.0;
+  double exitGapSum = 0.0;
+  const int rounds = 10;
+  for (int round = 0; round < rounds; ++round) {
+    const UrbanRound r = scenario.makeRound(round);
+    // Time gap between car 2 and car 3 at street begin vs street end.
+    const double begin = scenario.coveredStreetBeginArc();
+    const double end = scenario.coveredStreetEndArc();
+    const auto* car2 =
+        dynamic_cast<const SchedulePathMobility*>(r.cars[1].get());
+    const auto* car3 =
+        dynamic_cast<const SchedulePathMobility*>(r.cars[2].get());
+    ASSERT_NE(car2, nullptr);
+    ASSERT_NE(car3, nullptr);
+    entryGapSum +=
+        (car3->timeAtArc(begin) - car2->timeAtArc(begin)).toSeconds();
+    exitGapSum += (car3->timeAtArc(end) - car2->timeAtArc(end)).toSeconds();
+  }
+  const double entryGap = entryGapSum / rounds;
+  const double exitGap = exitGapSum / rounds;
+  EXPECT_GT(entryGap, 2.0);  // ~gapSeconds at corner C
+  EXPECT_LT(exitGap, 1.8);   // converged by street end
+  EXPECT_LT(exitGap, entryGap / 2.0);
+}
+
+TEST(UrbanLoopTest, FlowStartsBeforeCoverage) {
+  const UrbanLoopScenario scenario(defaultConfig(), 13);
+  const UrbanRound r = scenario.makeRound(0);
+  const auto* leader =
+      dynamic_cast<const SchedulePathMobility*>(r.cars[0].get());
+  ASSERT_NE(leader, nullptr);
+  // At flowStart the leader is still on the approach street (x == 0, y > 0).
+  const geom::Vec2 pos = leader->positionAt(r.flowStart);
+  EXPECT_DOUBLE_EQ(pos.x, 0.0);
+  EXPECT_GT(pos.y, 0.0);
+  EXPECT_LE(pos.y, scenario.config().flowTriggerLeadMetres + 1.0);
+}
+
+TEST(UrbanLoopTest, RoundEndsWhileCarsStillDrive) {
+  // Cars must never be parked (co-located) during the simulated round:
+  // the round ends while everyone is still in motion on lap two.
+  const UrbanLoopScenario scenario(defaultConfig(), 17);
+  const UrbanRound r = scenario.makeRound(2);
+  for (const auto& car : r.cars) {
+    EXPECT_GT(car->arrivalTime(), r.roundEnd);
+    EXPECT_GT(car->speedAt(r.roundEnd), 0.0);
+  }
+  // And flows stop before the leader re-enters coverage on lap two.
+  const auto* leader =
+      dynamic_cast<const SchedulePathMobility*>(r.cars[0].get());
+  const double lapTwoCoverageArc =
+      scenario.lapLength() + scenario.coveredStreetBeginArc();
+  EXPECT_LE(r.flowStop, leader->timeAtArc(lapTwoCoverageArc));
+}
+
+TEST(UrbanLoopTest, CarsKeepTheirGapsThroughTheDarkArea) {
+  // The co-location artifact this guards against: if cars parked at the
+  // lap end, inter-car distance would collapse to ~0 and even a dead
+  // car-to-car channel could "recover" everything.
+  const UrbanLoopScenario scenario(defaultConfig(), 23);
+  const UrbanRound r = scenario.makeRound(1);
+  for (double t = r.cars[0]->departureTime().toSeconds() + 30.0;
+       t < r.roundEnd.toSeconds(); t += 2.0) {
+    for (std::size_t i = 0; i + 1 < r.cars.size(); ++i) {
+      const double d =
+          geom::distance(r.cars[i]->positionAt(SimTime::seconds(t)),
+                         r.cars[i + 1]->positionAt(SimTime::seconds(t)));
+      EXPECT_GT(d, 1.5) << "cars " << i + 1 << "/" << i + 2 << " at t=" << t;
+    }
+  }
+}
+
+TEST(UrbanLoopTest, ConfigurablePlatoonSize) {
+  UrbanLoopConfig config = defaultConfig();
+  config.carCount = 6;
+  const UrbanLoopScenario scenario(config, 19);
+  const UrbanRound r = scenario.makeRound(0);
+  EXPECT_EQ(r.cars.size(), 6u);
+}
+
+TEST(UrbanLoopTest, DisablingCornerCKeepsGaps) {
+  UrbanLoopConfig config = defaultConfig();
+  config.cornerCCloseGapSeconds = config.gapSeconds;  // disabled
+  config.gapJitterSigma = 0.0;
+  config.delayNoiseSigma = 0.0;
+  const UrbanLoopScenario scenario(config, 23);
+  const UrbanRound r = scenario.makeRound(0);
+  const auto* car2 = dynamic_cast<const SchedulePathMobility*>(r.cars[1].get());
+  const auto* car3 = dynamic_cast<const SchedulePathMobility*>(r.cars[2].get());
+  const double begin = scenario.coveredStreetBeginArc();
+  const double end = scenario.coveredStreetEndArc();
+  const double entryGap =
+      (car3->timeAtArc(begin) - car2->timeAtArc(begin)).toSeconds();
+  const double exitGap =
+      (car3->timeAtArc(end) - car2->timeAtArc(end)).toSeconds();
+  EXPECT_NEAR(entryGap, exitGap, 0.5);
+}
+
+}  // namespace
+}  // namespace vanet::mobility

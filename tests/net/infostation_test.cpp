@@ -1,0 +1,172 @@
+#include "net/infostation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "../testing/medium_fixture.h"
+#include "net/node.h"
+
+namespace vanet::net {
+namespace {
+
+using channel::PhyMode;
+using sim::SimTime;
+
+struct ApHarness {
+  ApHarness()
+      : link(vanet::testing::perfectLinkModel()),
+        environment(sim, *link, Rng{1}.child("medium")),
+        apMobility(geom::Vec2{0.0, 0.0}),
+        apNode(sim, environment, kFirstApId, &apMobility, mac::RadioConfig{},
+               mac::MacConfig{}, Rng{2}),
+        carMobility(geom::Vec2{30.0, 0.0}),
+        carNode(sim, environment, 1, &carMobility, mac::RadioConfig{},
+                mac::MacConfig{}, Rng{3}) {}
+
+  sim::Simulator sim;
+  std::unique_ptr<channel::LinkModel> link;
+  mac::RadioEnvironment environment;
+  mobility::StaticMobility apMobility;
+  Node apNode;
+  mobility::StaticMobility carMobility;
+  Node carNode;
+};
+
+InfostationConfig baseConfig() {
+  InfostationConfig config;
+  config.flows = {1, 2, 3};
+  config.packetsPerSecondPerFlow = 5.0;
+  config.payloadBytes = 1000;
+  config.start = SimTime::seconds(1.0);
+  config.stop = SimTime::seconds(3.0);
+  return config;
+}
+
+TEST(InfostationTest, RoundRobinAcrossFlows) {
+  ApHarness h;
+  std::vector<FlowId> flowOrder;
+  InfostationServer server(h.apNode, baseConfig(),
+                           [&](FlowId flow, SeqNo, int, SimTime) {
+                             flowOrder.push_back(flow);
+                           });
+  server.start();
+  h.sim.runUntil(SimTime::seconds(1.35));
+  ASSERT_GE(flowOrder.size(), 5u);
+  EXPECT_EQ(flowOrder[0], 1);
+  EXPECT_EQ(flowOrder[1], 2);
+  EXPECT_EQ(flowOrder[2], 3);
+  EXPECT_EQ(flowOrder[3], 1);
+  EXPECT_EQ(flowOrder[4], 2);
+}
+
+TEST(InfostationTest, AggregateRateIsFlowsTimesPerFlowRate) {
+  ApHarness h;
+  int frames = 0;
+  InfostationServer server(h.apNode, baseConfig(),
+                           [&](FlowId, SeqNo, int, SimTime) { ++frames; });
+  server.start();
+  h.sim.runUntil(SimTime::seconds(3.5));
+  // 2 s of activity at 15 frames/s.
+  EXPECT_NEAR(frames, 30, 1);
+}
+
+TEST(InfostationTest, SequenceNumbersPerFlowStartAtOneAndIncrement) {
+  ApHarness h;
+  std::map<FlowId, std::vector<SeqNo>> seqs;
+  InfostationServer server(h.apNode, baseConfig(),
+                           [&](FlowId flow, SeqNo seq, int, SimTime) {
+                             seqs[flow].push_back(seq);
+                           });
+  server.start();
+  h.sim.runUntil(SimTime::seconds(3.0));
+  for (const auto& [flow, list] : seqs) {
+    ASSERT_FALSE(list.empty());
+    EXPECT_EQ(list.front(), 1);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_EQ(list[i], list[i - 1] + 1) << "flow " << flow;
+    }
+  }
+}
+
+TEST(InfostationTest, StopsAtConfiguredStop) {
+  ApHarness h;
+  SimTime lastTx{};
+  InfostationServer server(
+      h.apNode, baseConfig(),
+      [&](FlowId, SeqNo, int, SimTime at) { lastTx = at; });
+  server.start();
+  h.sim.run();
+  EXPECT_LT(lastTx, SimTime::seconds(3.0));
+  EXPECT_GT(lastTx, SimTime::seconds(2.7));
+}
+
+TEST(InfostationTest, RepeatCountSendsCopiesWithinSameBudget) {
+  ApHarness h;
+  InfostationConfig config = baseConfig();
+  config.repeatCount = 2;
+  std::map<FlowId, std::vector<std::pair<SeqNo, int>>> log;
+  InfostationServer server(h.apNode, config,
+                           [&](FlowId flow, SeqNo seq, int copy, SimTime) {
+                             log[flow].emplace_back(seq, copy);
+                           });
+  server.start();
+  int frames = 0;
+  h.sim.runUntil(SimTime::seconds(3.5));
+  for (const auto& [flow, list] : log) {
+    frames += static_cast<int>(list.size());
+    // Each seq appears as copy 0 then copy 1 before the next seq.
+    for (std::size_t i = 0; i + 1 < list.size(); i += 2) {
+      EXPECT_EQ(list[i].first, list[i + 1].first);
+      EXPECT_EQ(list[i].second, 0);
+      EXPECT_EQ(list[i + 1].second, 1);
+    }
+  }
+  EXPECT_NEAR(frames, 30, 1);  // channel budget unchanged
+}
+
+TEST(InfostationTest, FileCyclingWrapsSequenceSpace) {
+  ApHarness h;
+  InfostationConfig config = baseConfig();
+  config.flows = {1};
+  config.packetsPerSecondPerFlow = 20.0;
+  config.cycleLength = 5;
+  config.stop = SimTime::seconds(2.0);
+  std::vector<SeqNo> seqs;
+  InfostationServer server(h.apNode, config,
+                           [&](FlowId, SeqNo seq, int, SimTime) {
+                             seqs.push_back(seq);
+                           });
+  server.start();
+  h.sim.runUntil(SimTime::seconds(2.5));
+  ASSERT_GE(seqs.size(), 15u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], static_cast<SeqNo>(1 + i % 5));
+  }
+}
+
+TEST(InfostationTest, FramesActuallyReachTheAir) {
+  ApHarness h;
+  int rx = 0;
+  h.carNode.mac().setRxHandler(
+      [&rx](const mac::Frame& f, const mac::RxInfo&) {
+        if (f.kind == mac::FrameKind::kData) ++rx;
+      });
+  InfostationServer server(h.apNode, baseConfig(), nullptr);
+  server.start();
+  h.sim.run();
+  EXPECT_NEAR(rx, 30, 2);  // clean channel: nearly everything decodes
+}
+
+TEST(InfostationTest, NextSeqReportsUpcoming) {
+  ApHarness h;
+  InfostationServer server(h.apNode, baseConfig(), nullptr);
+  EXPECT_EQ(server.nextSeq(1), 1);
+  server.start();
+  h.sim.runUntil(SimTime::seconds(1.5));
+  EXPECT_GT(server.nextSeq(1), 1);
+}
+
+}  // namespace
+}  // namespace vanet::net

@@ -1,0 +1,178 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vanet::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pendingCount(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(SimTime::seconds(3.0), [&] { order.push_back(3); });
+  sim.scheduleAt(SimTime::seconds(1.0), [&] { order.push_back(1); });
+  sim.scheduleAt(SimTime::seconds(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(3.0));
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    sim.scheduleAt(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen{};
+  sim.scheduleAt(SimTime::seconds(5.0), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::seconds(5.0));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime seen{};
+  sim.scheduleAt(SimTime::seconds(1.0), [&] {
+    sim.scheduleAfter(SimTime::seconds(2.0), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::seconds(3.0));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.scheduleAt(SimTime::seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.isPending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.isPending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  const EventId id = sim.scheduleAt(SimTime::seconds(1.0), [] {});
+  sim.run();
+  sim.cancel(id);  // must not crash
+  EXPECT_FALSE(sim.isPending(id));
+}
+
+TEST(SimulatorTest, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim =
+      sim.scheduleAt(SimTime::seconds(2.0), [&] { fired = true; });
+  sim.scheduleAt(SimTime::seconds(1.0), [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.scheduleAt(SimTime::seconds(1.0), [&] { ++count; });
+  sim.scheduleAt(SimTime::seconds(2.0), [&] { ++count; });
+  sim.scheduleAt(SimTime::seconds(3.0), [&] { ++count; });
+  sim.runUntil(SimTime::seconds(2.0));
+  EXPECT_EQ(count, 2);  // 2.0 inclusive
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.0));
+  EXPECT_EQ(sim.pendingCount(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithEmptyQueue) {
+  Simulator sim;
+  sim.runUntil(SimTime::seconds(10.0));
+  EXPECT_EQ(sim.now(), SimTime::seconds(10.0));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.scheduleAt(SimTime::seconds(1.0), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.scheduleAt(SimTime::seconds(2.0), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pendingCount(), 1u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.scheduleAt(SimTime::seconds(1.0), [&] { ++count; });
+  sim.scheduleAt(SimTime::seconds(2.0), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventsScheduledFromEventsRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.scheduleAfter(SimTime::millis(1.0), recurse);
+    }
+  };
+  sim.scheduleAt(SimTime::zero(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executedCount(), 100u);
+}
+
+TEST(SimulatorTest, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.scheduleAt(SimTime::seconds(1.0), [] {});
+  sim.scheduleAt(SimTime::seconds(2.0), [] {});
+  EXPECT_EQ(sim.pendingCount(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pendingCount(), 1u);
+}
+
+// Property: random schedules always execute in non-decreasing time order.
+class SimulatorOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorOrderProperty, MonotoneExecution) {
+  Simulator sim;
+  vanet::Rng rng{GetParam()};
+  std::vector<double> firedAt;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    sim.scheduleAt(SimTime::seconds(t),
+                   [&firedAt, &sim] { firedAt.push_back(sim.now().toSeconds()); });
+  }
+  sim.run();
+  ASSERT_EQ(firedAt.size(), 500u);
+  for (std::size_t i = 1; i < firedAt.size(); ++i) {
+    EXPECT_LE(firedAt[i - 1], firedAt[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrderProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 99ULL));
+
+}  // namespace
+}  // namespace vanet::sim

@@ -1,0 +1,72 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vanet::sim {
+namespace {
+
+TEST(SimTimeTest, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_EQ(SimTime::seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::millis(1.0).ns(), 1'000'000);
+  EXPECT_EQ(SimTime::micros(1.0).ns(), 1'000);
+  EXPECT_EQ(SimTime::nanos(17).ns(), 17);
+}
+
+TEST(SimTimeTest, RoundTripSeconds) {
+  const SimTime t = SimTime::seconds(12.345678912);
+  EXPECT_NEAR(t.toSeconds(), 12.345678912, 1e-9);
+  EXPECT_NEAR(t.toMillis(), 12345.678912, 1e-6);
+}
+
+TEST(SimTimeTest, RoundsToNearestNanosecond) {
+  EXPECT_EQ(SimTime::micros(0.0015).ns(), 2);  // 1.5 ns rounds up
+  EXPECT_EQ(SimTime::micros(0.0004).ns(), 0);
+}
+
+TEST(SimTimeTest, NegativeDurations) {
+  const SimTime t = SimTime::seconds(-2.5);
+  EXPECT_EQ(t.ns(), -2'500'000'000);
+  EXPECT_LT(t, SimTime::zero());
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::seconds(2.0);
+  const SimTime b = SimTime::millis(500.0);
+  EXPECT_EQ((a + b).toSeconds(), 2.5);
+  EXPECT_EQ((a - b).toSeconds(), 1.5);
+  EXPECT_EQ((b * 4).toSeconds(), 2.0);
+  EXPECT_EQ((4 * b).toSeconds(), 2.0);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.toSeconds(), 2.5);
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::millis(1.0), SimTime::millis(2.0));
+  EXPECT_LE(SimTime::millis(2.0), SimTime::millis(2.0));
+  EXPECT_GT(SimTime::seconds(1.0), SimTime::millis(999.0));
+  EXPECT_EQ(SimTime::seconds(0.001), SimTime::millis(1.0));
+}
+
+TEST(SimTimeTest, MaxIsLaterThanEverything) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+}
+
+TEST(SimTimeTest, StreamOutput) {
+  std::ostringstream os;
+  os << SimTime::seconds(1.5);
+  EXPECT_EQ(os.str(), "1.5s");
+}
+
+}  // namespace
+}  // namespace vanet::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+/// A link model for protocol tests: physically near-perfect (free-space,
+/// no shadowing, no fading) with a scriptable per-frame drop hook, so
+/// tests can lose exactly the frames they mean to lose. The hook rides on
+/// the burst-loss path, which the radio environment consults once per
+/// (frame, receiver) after SINR evaluation.
+
+#include <functional>
+#include <tuple>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "channel/link_model.h"
+
+namespace vanet::testing {
+
+class ScriptedLinkModel final : public channel::LinkModel {
+ public:
+  /// Near-perfect physics (free-space-ish, no shadowing, no fading).
+  ScriptedLinkModel()
+      : ScriptedLinkModel(std::make_unique<channel::CompositeLinkModel>(
+            std::make_unique<channel::LogDistancePathLoss>(2.0, 40.0),
+            std::make_unique<channel::LogDistancePathLoss>(2.0, 40.0),
+            std::make_unique<channel::NoShadowing>(),
+            std::make_unique<channel::NoFading>(), channel::LinkBudget{})) {}
+
+  /// Custom physics with the scripted drop hook layered on top.
+  explicit ScriptedLinkModel(std::unique_ptr<channel::CompositeLinkModel> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Matches any frame kind in dropNext.
+  static constexpr int kAnyFrameClass = -1;
+
+  /// Drops the next `count` frames on the directed link tx -> rx. When
+  /// `frameClass` is given (the MAC's FrameKind as int), only frames of
+  /// that kind are dropped and counted.
+  void dropNext(NodeId tx, NodeId rx, int count = 1,
+                int frameClass = kAnyFrameClass) {
+    dropCounters_[{tx, rx, frameClass}] += count;
+  }
+
+  /// Arbitrary predicate consulted per (tx, rx) frame after counters.
+  void setDropPredicate(std::function<bool(NodeId, NodeId)> predicate) {
+    predicate_ = std::move(predicate);
+  }
+
+  double meanRxPowerDbm(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                        NodeId rx, geom::Vec2 rxPos) override {
+    return inner_->meanRxPowerDbm(tx, txPos, txPowerDbm, rx, rxPos);
+  }
+  double fadedRxPowerDbm(double meanDbm, Rng& rng) override {
+    return inner_->fadedRxPowerDbm(meanDbm, rng);
+  }
+  double successProbability(channel::PhyMode mode, double sinrDb,
+                            int bits) const override {
+    return inner_->successProbability(mode, sinrDb, bits);
+  }
+  bool burstLoss(NodeId tx, NodeId rx, sim::SimTime /*now*/,
+                 int frameClass) override {
+    for (const int match : {frameClass, kAnyFrameClass}) {
+      const auto it = dropCounters_.find({tx, rx, match});
+      if (it != dropCounters_.end() && it->second > 0) {
+        --it->second;
+        return true;
+      }
+    }
+    return predicate_ && predicate_(tx, rx);
+  }
+  const channel::LinkBudget& budget() const override {
+    return inner_->budget();
+  }
+
+ private:
+  std::unique_ptr<channel::CompositeLinkModel> inner_;
+  std::map<std::tuple<NodeId, NodeId, int>, int> dropCounters_;
+  std::function<bool(NodeId, NodeId)> predicate_;
+};
+
+}  // namespace vanet::testing

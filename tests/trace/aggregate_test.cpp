@@ -1,0 +1,169 @@
+#include "trace/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::trace {
+namespace {
+
+using sim::SimTime;
+
+/// Builds a round where, for each car's flow, `txCount` packets are
+/// transmitted inside the car's window, the destination directly receives
+/// all but `lostBefore`, and recovers `recoveredCount` of the lost ones
+/// (which another car overheard).
+RoundTrace syntheticRound(int txCount, int lostBefore, int recoveredCount) {
+  RoundTrace trace{{1, 2}};
+  for (const NodeId car : {1, 2}) {
+    const NodeId helper = car == 1 ? 2 : 1;
+    for (SeqNo seq = 1; seq <= txCount; ++seq) {
+      const double t = static_cast<double>(seq);
+      trace.recordApTx(car, seq, 0, SimTime::seconds(t));
+      if (seq > lostBefore) {
+        trace.recordOverhear(car, car, seq, SimTime::seconds(t));
+      } else {
+        // Lost at destination; the helper overheard it.
+        trace.recordOverhear(helper, car, seq, SimTime::seconds(t));
+      }
+    }
+    // The destination's window must span all transmissions: make sure it
+    // received the first and last packet (adjust bookkeeping packets).
+    trace.recordOverhear(car, car, 1, SimTime::seconds(1.0));
+    trace.recordOverhear(car, car, txCount,
+                         SimTime::seconds(static_cast<double>(txCount)));
+    for (SeqNo seq = 2; seq <= 1 + recoveredCount && seq <= lostBefore; ++seq) {
+      trace.recordRecovered(car, seq, SimTime::seconds(100.0));
+    }
+  }
+  return trace;
+}
+
+TEST(Table1AccumulatorTest, SingleRoundCounts) {
+  // 10 packets; seqs 1..3 "lost" but seq 1 then marked received for the
+  // window, so before-losses are seqs 2,3 = 2; one of them recovered.
+  Table1Accumulator acc;
+  acc.addRound(syntheticRound(10, 3, 1));
+  const Table1Data data = acc.data();
+  EXPECT_EQ(data.rounds, 1);
+  ASSERT_EQ(data.rows.size(), 2u);
+  for (const auto& row : data.rows) {
+    EXPECT_DOUBLE_EQ(row.txByAp.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(row.lostBefore.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(row.lostAfter.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(row.lostJoint.mean(), 0.0);  // helper heard everything
+    EXPECT_DOUBLE_EQ(row.pctLostBefore.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(row.pctLostAfter.mean(), 10.0);
+  }
+}
+
+TEST(Table1AccumulatorTest, MeansAcrossRounds) {
+  Table1Accumulator acc;
+  acc.addRound(syntheticRound(10, 3, 1));  // 2 lost before, 1 after
+  acc.addRound(syntheticRound(10, 5, 3));  // 4 lost before, 1 after
+  const Table1Data data = acc.data();
+  EXPECT_EQ(data.rounds, 2);
+  const auto& row = data.rows.front();
+  EXPECT_DOUBLE_EQ(row.lostBefore.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(row.lostAfter.mean(), 1.0);
+  EXPECT_GT(row.lostBefore.stddev(), 0.0);
+}
+
+TEST(Table1AccumulatorTest, CarThatNeverHeardApRecordsZeros) {
+  RoundTrace trace{{1, 2}};
+  trace.recordApTx(1, 1, 0, SimTime::seconds(1.0));
+  trace.recordApTx(2, 1, 0, SimTime::seconds(1.1));
+  trace.recordOverhear(1, 1, 1, SimTime::seconds(1.0));
+  Table1Accumulator acc;
+  acc.addRound(trace);
+  const Table1Data data = acc.data();
+  const auto& row2 = data.rows.back();
+  EXPECT_EQ(row2.car, 2);
+  EXPECT_DOUBLE_EQ(row2.txByAp.mean(), 0.0);
+  EXPECT_EQ(row2.pctLostBefore.count(), 0u);  // no percentage sample
+}
+
+TEST(Table1AccumulatorTest, AfterNeverExceedsBeforeAndJointIsLowerBound) {
+  Table1Accumulator acc;
+  for (int r = 0; r < 5; ++r) {
+    acc.addRound(syntheticRound(20, 4 + r, r));
+  }
+  for (const auto& row : acc.data().rows) {
+    EXPECT_LE(row.lostAfter.mean(), row.lostBefore.mean());
+    EXPECT_LE(row.lostJoint.mean(), row.lostAfter.mean());
+  }
+}
+
+TEST(FigureAccumulatorTest, SeriesProbabilities) {
+  FigureAccumulator acc;
+  // Round A: car 1 receives seq 1 and 2; round B: only seq 1.
+  RoundTrace a{{1, 2}};
+  a.recordApTx(1, 1, 0, SimTime::seconds(1.0));
+  a.recordApTx(1, 2, 0, SimTime::seconds(2.0));
+  a.recordOverhear(1, 1, 1, SimTime::seconds(1.0));
+  a.recordOverhear(1, 1, 2, SimTime::seconds(2.0));
+  acc.addRound(a);
+  RoundTrace b{{1, 2}};
+  b.recordApTx(1, 1, 0, SimTime::seconds(1.0));
+  b.recordApTx(1, 2, 0, SimTime::seconds(2.0));
+  b.recordOverhear(1, 1, 1, SimTime::seconds(1.0));
+  b.recordOverhear(1, 1, 2, SimTime::seconds(2.0));
+  // Pretend car 1 missed seq 2 in round b: rebuild without it.
+  RoundTrace b2{{1, 2}};
+  b2.recordApTx(1, 1, 0, SimTime::seconds(1.0));
+  b2.recordApTx(1, 2, 0, SimTime::seconds(2.0));
+  b2.recordOverhear(1, 1, 1, SimTime::seconds(1.0));
+  b2.recordOverhear(1, 1, 2, SimTime::seconds(2.0));
+  // (window end must cover seq 2's tx for it to count as lost)
+  acc.addRound(b2);
+
+  const auto& figure = acc.flows().at(1);
+  const auto means = figure.rxByCar.at(1).means();
+  ASSERT_GE(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 1.0);
+  EXPECT_DOUBLE_EQ(means[1], 1.0);
+  EXPECT_EQ(acc.rounds(), 2);
+}
+
+TEST(FigureAccumulatorTest, AfterCoopAndJointSeries) {
+  FigureAccumulator acc;
+  RoundTrace trace{{1, 2}};
+  for (SeqNo seq = 1; seq <= 3; ++seq) {
+    trace.recordApTx(1, seq, 0, SimTime::seconds(static_cast<double>(seq)));
+  }
+  trace.recordOverhear(1, 1, 1, SimTime::seconds(1.0));
+  trace.recordOverhear(2, 1, 2, SimTime::seconds(2.0));
+  trace.recordOverhear(1, 1, 3, SimTime::seconds(3.0));
+  trace.recordRecovered(1, 2, SimTime::seconds(50.0));
+  acc.addRound(trace);
+
+  const auto& figure = acc.flows().at(1);
+  const auto after = figure.afterCoop.means();
+  const auto joint = figure.joint.means();
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_DOUBLE_EQ(after[0], 1.0);
+  EXPECT_DOUBLE_EQ(after[1], 1.0);  // recovered
+  EXPECT_DOUBLE_EQ(after[2], 1.0);
+  EXPECT_DOUBLE_EQ(joint[1], 1.0);
+  // afterCoop <= joint for every index.
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_LE(after[i], joint[i] + 1e-12);
+  }
+}
+
+TEST(FigureAccumulatorTest, RegionBoundariesWithinDomain) {
+  FigureAccumulator acc;
+  RoundTrace trace{{1, 2}};
+  for (SeqNo seq = 1; seq <= 20; ++seq) {
+    trace.recordApTx(1, seq, 0, SimTime::seconds(static_cast<double>(seq)));
+    trace.recordOverhear(1, 1, seq, SimTime::seconds(static_cast<double>(seq)));
+  }
+  // Car 2 only joins from t=10: boundary12 must land around seq 10.
+  trace.recordOverhear(2, 1, 10, SimTime::seconds(10.0));
+  acc.addRound(trace);
+  const auto& figure = acc.flows().at(1);
+  EXPECT_NEAR(figure.regionBoundary12.mean(), 10.0, 1.0);
+  EXPECT_GE(figure.regionBoundary23.mean(), figure.regionBoundary12.mean());
+  EXPECT_LE(figure.regionBoundary23.mean(), 20.0);
+}
+
+}  // namespace
+}  // namespace vanet::trace

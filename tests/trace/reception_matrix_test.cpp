@@ -1,0 +1,86 @@
+#include "trace/reception_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::trace {
+namespace {
+
+using sim::SimTime;
+
+RoundTrace scriptedRound() {
+  RoundTrace trace{{1, 2, 3}};
+  // Flow 1: seqs 1..4 transmitted.
+  for (SeqNo seq = 1; seq <= 4; ++seq) {
+    trace.recordApTx(1, seq, 0, SimTime::seconds(static_cast<double>(seq)));
+  }
+  // Car 1 receives 1 and 4; car 2 receives 2; car 3 receives nothing.
+  trace.recordOverhear(1, 1, 1, SimTime::seconds(1.0));
+  trace.recordOverhear(1, 1, 4, SimTime::seconds(4.0));
+  trace.recordOverhear(2, 1, 2, SimTime::seconds(2.0));
+  // Car 1 recovers seq 2 via cooperation.
+  trace.recordRecovered(1, 2, SimTime::seconds(20.0));
+  return trace;
+}
+
+TEST(ReceptionMatrixTest, DimensionsFromTrace) {
+  const RoundTrace trace = scriptedRound();
+  const ReceptionMatrix matrix(trace, 1);
+  EXPECT_EQ(matrix.flow(), 1);
+  EXPECT_EQ(matrix.maxSeq(), 4);
+  EXPECT_EQ(matrix.carIds().size(), 3u);
+}
+
+TEST(ReceptionMatrixTest, DirectReceptions) {
+  const ReceptionMatrix matrix(scriptedRound(), 1);
+  EXPECT_TRUE(matrix.received(1, 1));
+  EXPECT_FALSE(matrix.received(1, 2));
+  EXPECT_TRUE(matrix.received(2, 2));
+  EXPECT_FALSE(matrix.received(3, 1));
+  EXPECT_EQ(matrix.receivedCount(1), 2);
+  EXPECT_EQ(matrix.receivedCount(2), 1);
+  EXPECT_EQ(matrix.receivedCount(3), 0);
+}
+
+TEST(ReceptionMatrixTest, JointIsUnionOfCars) {
+  const ReceptionMatrix matrix(scriptedRound(), 1);
+  EXPECT_TRUE(matrix.joint(1));
+  EXPECT_TRUE(matrix.joint(2));
+  EXPECT_FALSE(matrix.joint(3));
+  EXPECT_TRUE(matrix.joint(4));
+  EXPECT_EQ(matrix.jointCount(), 3);
+}
+
+TEST(ReceptionMatrixTest, AfterCoopIsDirectPlusRecovered) {
+  const ReceptionMatrix matrix(scriptedRound(), 1);
+  EXPECT_TRUE(matrix.afterCoop(1));   // direct
+  EXPECT_TRUE(matrix.afterCoop(2));   // recovered
+  EXPECT_FALSE(matrix.afterCoop(3));  // lost everywhere
+  EXPECT_TRUE(matrix.afterCoop(4));
+  EXPECT_EQ(matrix.afterCoopCount(), 3);
+}
+
+TEST(ReceptionMatrixTest, OptimalityInvariantHolds) {
+  // afterCoop can never exceed joint: a car cannot end up with packets no
+  // platoon member received.
+  const ReceptionMatrix matrix(scriptedRound(), 1);
+  for (SeqNo seq = 1; seq <= matrix.maxSeq(); ++seq) {
+    EXPECT_LE(matrix.afterCoop(seq), matrix.joint(seq)) << "seq " << seq;
+  }
+}
+
+TEST(ReceptionMatrixTest, EmptyFlow) {
+  RoundTrace trace{{1, 2}};
+  const ReceptionMatrix matrix(trace, 1);
+  EXPECT_EQ(matrix.maxSeq(), 0);
+  EXPECT_EQ(matrix.jointCount(), 0);
+}
+
+TEST(ReceptionMatrixDeathTest, RejectsUnknownCarAndBadSeq) {
+  const ReceptionMatrix matrix(scriptedRound(), 1);
+  EXPECT_DEATH(matrix.received(9, 1), "not part");
+  EXPECT_DEATH(matrix.received(1, 0), "out of range");
+  EXPECT_DEATH(matrix.joint(5), "out of range");
+}
+
+}  // namespace
+}  // namespace vanet::trace

@@ -1,0 +1,190 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vanet {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ZeroSeedIsNotDegenerate) {
+  Rng rng{0};
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    values.insert(rng.next());
+  }
+  EXPECT_GT(values.size(), 95u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBothEnds) {
+  Rng rng{11};
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniformInt(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of {2,3,4,5} appear
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniformInt(3, 3), 3);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng{17};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.015);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng{19};
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.08);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.08);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng{23};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(0.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.08);
+}
+
+TEST(RngTest, NamedChildrenAreIndependent) {
+  const Rng parent{42};
+  Rng a = parent.child("alpha");
+  Rng b = parent.child("beta");
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ChildDerivationIsStable) {
+  const Rng parent{42};
+  Rng a = parent.child("stream");
+  Rng b = parent.child("stream");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, ChildDerivationDoesNotPerturbParent) {
+  Rng parent1{42};
+  Rng parent2{42};
+  (void)parent1.child("x");
+  (void)parent1.child("y");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(parent1.next(), parent2.next());
+  }
+}
+
+TEST(RngTest, IndexedChildrenDiffer) {
+  const Rng parent{42};
+  Rng a = parent.child(std::uint64_t{0});
+  Rng b = parent.child(std::uint64_t{1});
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, HashIsFnv1aReference) {
+  // Reference value for the empty string per FNV-1a spec.
+  EXPECT_EQ(Rng::hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Rng::hash("a"), Rng::hash("b"));
+}
+
+// Property sweep: uniform() mean stays near 0.5 across many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng{GetParam()};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace vanet

@@ -1,0 +1,178 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vanet {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng{5};
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ConfidenceIntervalBasics) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.confidence95(), 0.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.confidence95(), 0.0);  // n < 2
+  s.add(3.0);
+  // n=2: t(1)=12.706, sd=sqrt(2), se=1 -> CI = 12.706.
+  EXPECT_NEAR(s.confidence95(), 12.706, 1e-9);
+  EXPECT_NEAR(s.stderrOfMean(), 1.0, 1e-12);
+}
+
+TEST(RunningStatsTest, ConfidenceShrinksWithSamples) {
+  Rng rng{21};
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0.0, 1.0));
+  EXPECT_GT(small.confidence95(), large.confidence95());
+  // Large n: CI ~ 1.96 / sqrt(n).
+  EXPECT_NEAR(large.confidence95(), 1.96 * large.stddev() / std::sqrt(1000.0),
+              1e-9);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.binCount(0), 2u);
+  EXPECT_EQ(h.binCount(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+}
+
+TEST(HistogramTest, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng{3};
+  for (int i = 0; i < 100000; ++i) {
+    h.add(rng.uniform());
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(SeriesAccumulatorTest, GrowsOnDemand) {
+  SeriesAccumulator acc;
+  acc.add(5, 1.0);
+  EXPECT_EQ(acc.size(), 6u);
+  EXPECT_EQ(acc.at(5).count(), 1u);
+  EXPECT_EQ(acc.at(0).count(), 0u);
+}
+
+TEST(SeriesAccumulatorTest, MeansPerIndex) {
+  SeriesAccumulator acc;
+  acc.add(0, 1.0);
+  acc.add(0, 0.0);
+  acc.add(1, 1.0);
+  const auto means = acc.means();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 0.5);
+  EXPECT_DOUBLE_EQ(means[1], 1.0);
+}
+
+TEST(SeriesAccumulatorTest, SmoothingAveragesNeighbours) {
+  SeriesAccumulator acc;
+  for (std::size_t i = 0; i < 5; ++i) {
+    acc.add(i, i == 2 ? 1.0 : 0.0);  // impulse at index 2
+  }
+  const auto smooth = acc.smoothedMeans(1);
+  ASSERT_EQ(smooth.size(), 5u);
+  EXPECT_DOUBLE_EQ(smooth[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(smooth[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(smooth[3], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(smooth[0], 0.0);
+}
+
+TEST(SeriesAccumulatorTest, ZeroSmoothingIsIdentity) {
+  SeriesAccumulator acc;
+  acc.add(0, 0.25);
+  acc.add(1, 0.75);
+  EXPECT_EQ(acc.smoothedMeans(0), acc.means());
+}
+
+}  // namespace
+}  // namespace vanet
