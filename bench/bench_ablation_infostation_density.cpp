@@ -7,11 +7,13 @@
 /// completion time, and completion rate within the road. Expected: with
 /// C-ARQ the platoon fills its gaps between APs and completes the file
 /// one-to-several AP visits earlier.
+///
+/// The on/off comparison is one campaign-engine grid (coop axis x --repl
+/// replications) executed in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
 
-#include "analysis/experiment.h"
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -21,45 +23,37 @@ int main(int argc, char** argv) {
       "Ablation: Infostation density / file download (AP visits to finish)",
       "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
 
-  const SeqNo fileSize = static_cast<SeqNo>(flags.getInt("file", 220));
-  std::cout << "file size: " << fileSize << " packets per car\n\n";
+  runner::CampaignConfig campaign = bench::campaignFromFlags(
+      flags, "highway_file", /*defaultRounds=*/5, /*defaultReplications=*/2);
+  campaign.base.set("aps", flags.getInt("aps", 8));
+  campaign.base.set("spacing", flags.getDouble("spacing", 700.0));
+  campaign.base.set("speed_kmh", flags.getDouble("speed-kmh", 50.0));
+  campaign.base.set("file", flags.getInt("file", 220));
+  campaign.grid.add("coop", {0.0, 1.0});
+  const runner::CampaignResult result = runner::runCampaign(campaign);
+
+  std::cout << "file size: " << campaign.base.getInt("file", 220)
+            << " packets per car\n\n";
   std::cout << std::left << std::setw(10) << "coop" << std::right
             << std::setw(12) << "completed" << std::setw(16) << "AP visits"
             << std::setw(18) << "time to finish" << "\n";
-
-  for (const bool coop : {false, true}) {
-    analysis::HighwayExperimentConfig config;
-    config.rounds = flags.getInt("rounds", 10);
-    config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
-    config.scenario.carCount = flags.getInt("cars", 3);
-    config.scenario.apCount = flags.getInt("aps", 8);
-    config.scenario.apSpacing = flags.getDouble("spacing", 700.0);
-    config.scenario.roadLengthMetres =
-        config.scenario.firstApArc +
-        config.scenario.apSpacing * (config.scenario.apCount - 1) + 500.0;
-    config.scenario.speedMps = flags.getDouble("speed-kmh", 50.0) / 3.6;
-    config.carq.fileSizeSeqs = fileSize;
-    config.carq.cooperationEnabled = coop;
-    analysis::HighwayExperiment experiment(config);
-    const auto result = experiment.run();
-
-    RunningStats visits;
-    RunningStats seconds;
-    int completed = 0;
-    int total = 0;
-    for (const auto& [car, carResult] : result.cars) {
-      completed += carResult.completedRounds;
-      total += config.rounds;
-      visits.merge(carResult.apVisitsToComplete);
-      seconds.merge(carResult.timeToCompleteSeconds);
-    }
-    std::cout << std::left << std::setw(10) << (coop ? "on" : "off")
+  for (const runner::GridPointSummary& point : result.points) {
+    const double completed = point.metrics.at("completed_rounds").sum();
+    const double attempted = point.metrics.at("attempted_rounds").sum();
+    std::cout << std::left << std::setw(10)
+              << (point.params.getBool("coop", true) ? "on" : "off")
               << std::right << std::fixed << std::setprecision(1)
               << std::setw(8) << completed << "/" << std::left << std::setw(3)
-              << total << std::right << std::setw(16) << visits.mean()
-              << std::setw(16) << seconds.mean() << " s\n";
+              << attempted << std::right << std::setw(16)
+              << point.metrics.at("ap_visits").mean() << std::setw(16)
+              << point.metrics.at("time_to_complete_s").mean() << " s\n";
   }
+  std::cout << "\n"
+            << result.jobCount << " jobs in " << std::setprecision(2)
+            << result.wallSeconds << " s (" << result.jobsPerSecond
+            << " jobs/s, " << result.threads << " threads)\n";
   std::cout << "\nexpected shape: cooperation completes the same file with"
                " fewer AP visits and earlier\n";
+  bench::maybeWriteCampaign(flags, "ablation_infostation_density", result);
   return 0;
 }

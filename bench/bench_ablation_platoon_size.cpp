@@ -5,9 +5,13 @@
 /// (virtual-car) bound. Expected: the joint bound and realised after-coop
 /// losses fall monotonically (with diminishing returns) as the platoon
 /// grows; a lone car gains nothing.
+///
+/// The sweep is one campaign-engine grid (cars axis x --repl
+/// replications) executed in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -17,28 +21,37 @@ int main(int argc, char** argv) {
   bench::printHeader("Ablation: platoon size sweep",
                      "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
 
+  runner::CampaignConfig campaign = bench::campaignFromFlags(
+      flags, "urban", /*defaultRounds=*/5, /*defaultReplications=*/3);
+  bench::applyUrbanFlags(flags, campaign.base);
+  std::vector<double> sizes;
+  for (int cars = 1; cars <= flags.getInt("max-cars", 6); ++cars) {
+    sizes.push_back(cars);
+  }
+  campaign.grid.add("cars", sizes);
+  const runner::CampaignResult result = runner::runCampaign(campaign);
+
   std::cout << std::left << std::setw(8) << "cars" << std::right
             << std::setw(14) << "car1 bef." << std::setw(14) << "car1 aft."
             << std::setw(14) << "car1 joint" << std::setw(16)
             << "CoopData/round" << "\n";
-
-  const int maxCars = flags.getInt("max-cars", 6);
-  for (int cars = 1; cars <= maxCars; ++cars) {
-    analysis::UrbanExperimentConfig config =
-        bench::urbanConfigFromFlags(flags);
-    config.rounds = flags.getInt("rounds", 15);
-    config.scenario.carCount = cars;
-    analysis::UrbanExperiment experiment(config);
-    const auto result = experiment.run();
-    const auto& car1 = result.table1.rows.front();
-    std::cout << std::left << std::setw(8) << cars << std::right << std::fixed
-              << std::setprecision(1) << std::setw(13)
-              << car1.pctLostBefore.mean() << "%" << std::setw(13)
-              << car1.pctLostAfter.mean() << "%" << std::setw(13)
-              << car1.pctLostJoint.mean() << "%" << std::setw(16)
-              << result.totals.coopDataPerRound.mean() << "\n";
+  for (const runner::GridPointSummary& point : result.points) {
+    std::cout << std::left << std::setw(8) << point.params.getInt("cars", 0)
+              << std::right << std::fixed << std::setprecision(1)
+              << std::setw(13)
+              << point.metrics.at("car1_pct_lost_before").mean() << "%"
+              << std::setw(13)
+              << point.metrics.at("car1_pct_lost_after").mean() << "%"
+              << std::setw(13)
+              << point.metrics.at("car1_pct_lost_joint").mean() << "%"
+              << std::setw(16) << point.totals.coopDataPerRound.mean() << "\n";
   }
+  std::cout << "\n"
+            << result.jobCount << " jobs in " << std::setprecision(2)
+            << result.wallSeconds << " s (" << result.jobsPerSecond
+            << " jobs/s, " << result.threads << " threads)\n";
   std::cout << "\nexpected shape: after-coop and joint columns fall with"
                " platoon size, flattening after 3-4 cars\n";
+  bench::maybeWriteCampaign(flags, "ablation_platoon_size", result);
   return 0;
 }

@@ -9,6 +9,10 @@
 ///   --seed=S      master seed (default 2008)
 ///   --cars=N      platoon size (default 3)
 ///   --csv=DIR     also write CSV outputs into DIR
+///
+/// Campaign-engine benches additionally accept:
+///   --repl=N      independent replications per grid point
+///   --threads=N   worker threads (0 = hardware concurrency)
 
 #include <iostream>
 #include <string>
@@ -17,6 +21,8 @@
 #include "analysis/experiment.h"
 #include "analysis/figures.h"
 #include "analysis/table1.h"
+#include "runner/campaign.h"
+#include "runner/emit.h"
 #include "util/flags.h"
 
 namespace vanet::bench {
@@ -46,6 +52,54 @@ inline analysis::UrbanExperimentConfig urbanConfigFromFlags(
     config.channel.nakagamiM = flags.getDouble("nakagami", 0.0);
   }
   return config;
+}
+
+/// Common campaign skeleton from the shared flags. `defaultRounds` are
+/// rounds *per replication*: a bench that used to run 30 serial rounds now
+/// runs e.g. 3 replications x 10 rounds, which merge to the same sample
+/// count but parallelise.
+inline runner::CampaignConfig campaignFromFlags(const Flags& flags,
+                                                std::string scenario,
+                                                int defaultRounds,
+                                                int defaultReplications) {
+  runner::CampaignConfig config;
+  config.scenario = std::move(scenario);
+  config.masterSeed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
+  config.replications = flags.getInt("repl", defaultReplications);
+  config.threads = flags.getInt("threads", 0);
+  config.base.set("rounds", flags.getInt("rounds", defaultRounds));
+  config.base.set("cars", flags.getInt("cars", 3));
+  return config;
+}
+
+/// Urban-scenario overrides mirroring urbanConfigFromFlags().
+inline void applyUrbanFlags(const Flags& flags, runner::ParamSet& base) {
+  if (flags.has("speed-kmh")) {
+    base.set("speed_kmh", flags.getDouble("speed-kmh", 20.0));
+  }
+  if (flags.getBool("no-coop", false)) base.set("coop", 0);
+  if (flags.getBool("batched", false)) base.set("batched", 1);
+  if (flags.getBool("gossip", false)) base.set("gossip", 1);
+  if (flags.getBool("fc", false)) base.set("fc", 1);
+  if (flags.has("repeat")) base.set("repeat", flags.getInt("repeat", 1));
+  if (flags.has("nakagami")) {
+    base.set("nakagami", flags.getDouble("nakagami", 0.0));
+  }
+}
+
+/// Writes the campaign CSV + JSON summaries when --csv is given.
+inline void maybeWriteCampaign(const Flags& flags, const std::string& name,
+                               const runner::CampaignResult& result) {
+  const std::string dir = flags.getString("csv", "");
+  if (dir.empty()) return;
+  const std::string csvPath = dir + "/" + name + "_campaign.csv";
+  if (runner::writeCampaignCsv(csvPath, result)) {
+    std::cout << "wrote " << csvPath << "\n";
+  }
+  const std::string jsonPath = dir + "/" + name + "_campaign.json";
+  if (runner::writeCampaignJson(jsonPath, result)) {
+    std::cout << "wrote " << jsonPath << "\n";
+  }
 }
 
 inline void printHeader(const std::string& title, const std::string& paperRef) {

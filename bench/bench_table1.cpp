@@ -1,8 +1,11 @@
 /// \file bench_table1.cpp
 /// Regenerates the paper's Table 1: per-car mean and standard deviation of
 /// packets transmitted by the AP in the car's association window, packets
-/// lost before cooperation and packets lost after cooperation, over 30
-/// rounds of the urban loop.
+/// lost before cooperation and packets lost after cooperation.
+///
+/// Runs on the campaign engine: --repl independent replications of
+/// --rounds laps each (default 3 x 10, merging to the paper's 30 rounds)
+/// execute in parallel on --threads workers and merge deterministically.
 ///
 /// Paper reference values (ICDCS 2008, Table 1):
 ///   car 1: 130.4 tx, 30.5 lost (23.4 %) -> 13.7 (10.5 %)
@@ -22,23 +25,28 @@ int main(int argc, char** argv) {
   bench::printHeader("Table 1: packets received and lost per car",
                      "Morillo-Pozo et al., ICDCS'08 W, Table 1");
 
-  analysis::UrbanExperimentConfig config = bench::urbanConfigFromFlags(flags);
-  analysis::UrbanExperiment experiment(config);
-  const analysis::UrbanExperimentResult result = experiment.run();
+  runner::CampaignConfig campaign = bench::campaignFromFlags(
+      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
+  bench::applyUrbanFlags(flags, campaign.base);
+  const runner::CampaignResult result = runner::runCampaign(campaign);
+  const runner::GridPointSummary& point = result.points.front();
 
-  std::cout << analysis::renderTable1(result.table1) << "\n";
-  std::cout << analysis::renderLossSummary(result.table1) << "\n";
+  std::cout << analysis::renderTable1(point.table1) << "\n";
+  std::cout << analysis::renderLossSummary(point.table1) << "\n";
 
   std::cout << "protocol activity per car-round (mean): "
-            << result.totals.requestsPerRound.mean() << " REQUESTs, "
-            << result.totals.coopDataPerRound.mean() << " CoopData, "
-            << result.totals.suppressedPerRound.mean() << " suppressed, "
-            << result.totals.bufferedPerRound.mean() << " buffered\n";
+            << point.totals.requestsPerRound.mean() << " REQUESTs, "
+            << point.totals.coopDataPerRound.mean() << " CoopData, "
+            << point.totals.suppressedPerRound.mean() << " suppressed, "
+            << point.totals.bufferedPerRound.mean() << " buffered\n";
+  std::cout << result.jobCount << " jobs in " << result.wallSeconds << " s ("
+            << result.jobsPerSecond << " jobs/s, " << result.threads
+            << " threads)\n";
 
   const std::string dir = flags.getString("csv", "");
-  if (!dir.empty()) {
-    analysis::writeTable1Csv(dir + "/table1.csv", result.table1);
+  if (!dir.empty() && analysis::writeTable1Csv(dir + "/table1.csv", point.table1)) {
     std::cout << "wrote " << dir << "/table1.csv\n";
   }
+  bench::maybeWriteCampaign(flags, "table1", result);
   return 0;
 }

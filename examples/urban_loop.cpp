@@ -3,7 +3,7 @@
 /// per-flow reception figures, protocol activity counters, and optional
 /// CSV export for external plotting.
 ///
-///   $ ./urban_loop --rounds=30 --seed=2008 --cars=3 \
+///   $ ./urban_loop --rounds=30 --seed=2008 --cars=3
 ///       [--speed-kmh=20] [--no-coop] [--batched] [--csv=outdir]
 ///       [--figures] (print Figures 3-8 as well)
 

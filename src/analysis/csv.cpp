@@ -51,4 +51,51 @@ bool writeTable1Csv(const std::string& path, const trace::Table1Data& data) {
   return static_cast<bool>(out);
 }
 
+namespace {
+
+void appendCell(std::string& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string renderCsv(const std::vector<std::string>& headers,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i > 0) out += ',';
+    appendCell(out, headers[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      appendCell(out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool writeRowsCsv(const std::string& path,
+                  const std::vector<std::string>& headers,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("cannot open " << path << " for writing");
+    return false;
+  }
+  out << renderCsv(headers, rows);
+  return static_cast<bool>(out);
+}
+
 }  // namespace vanet::analysis

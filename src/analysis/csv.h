@@ -21,4 +21,15 @@ bool writeSeriesCsv(const std::string& path, const std::string& indexName,
 /// Writes the Table 1 aggregate (one row per car).
 bool writeTable1Csv(const std::string& path, const trace::Table1Data& data);
 
+/// Renders a generic table (header row plus pre-formatted cells) as CSV
+/// text. Cells containing commas, quotes or newlines are quoted per RFC
+/// 4180. Used by the campaign engine's emitters.
+std::string renderCsv(const std::vector<std::string>& headers,
+                      const std::vector<std::vector<std::string>>& rows);
+
+/// Writes renderCsv() output to `path`; false (and logs) on I/O failure.
+bool writeRowsCsv(const std::string& path,
+                  const std::vector<std::string>& headers,
+                  const std::vector<std::vector<std::string>>& rows);
+
 }  // namespace vanet::analysis

@@ -33,16 +33,6 @@ void addCounters(ProtocolTotals& totals, const carq::CarqCounters& c,
   totals.bufferedPerRound.add(static_cast<double>(buffered));
 }
 
-void addMedium(mac::MediumStats& into, const mac::MediumStats& from) {
-  into.framesTransmitted += from.framesTransmitted;
-  into.framesDelivered += from.framesDelivered;
-  into.framesBelowSensitivity += from.framesBelowSensitivity;
-  into.framesCollided += from.framesCollided;
-  into.framesChannelError += from.framesChannelError;
-  into.framesBurstLost += from.framesBurstLost;
-  into.framesHalfDuplexMissed += from.framesHalfDuplexMissed;
-}
-
 }  // namespace
 
 std::unique_ptr<channel::CompositeLinkModel> buildLinkModel(
@@ -158,7 +148,7 @@ trace::RoundTrace UrbanExperiment::runRound(int roundIndex,
       addCounters(*totals, agents[i]->counters(),
                   agents[i]->store().bufferedCount());
     }
-    addMedium(totals->medium, environment.stats());
+    totals->medium.merge(environment.stats());
   }
   return roundTrace;
 }
@@ -304,7 +294,7 @@ HighwayExperimentResult HighwayExperiment::run() {
         carResult.timeToCompleteSeconds.add(p.completeAt.toSeconds());
       }
     }
-    addMedium(result.totals.medium, environment.stats());
+    result.totals.medium.merge(environment.stats());
   }
 
   result.table1 = table1.data();

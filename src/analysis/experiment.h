@@ -65,6 +65,17 @@ struct ProtocolTotals {
   RunningStats hellosPerRound;
   RunningStats bufferedPerRound;
   mac::MediumStats medium;  ///< summed over rounds
+
+  /// Merges totals of another run (parallel-combining form).
+  void merge(const ProtocolTotals& other) noexcept {
+    requestsPerRound.merge(other.requestsPerRound);
+    requestSeqsPerRound.merge(other.requestSeqsPerRound);
+    coopDataPerRound.merge(other.coopDataPerRound);
+    suppressedPerRound.merge(other.suppressedPerRound);
+    hellosPerRound.merge(other.hellosPerRound);
+    bufferedPerRound.merge(other.bufferedPerRound);
+    medium.merge(other.medium);
+  }
 };
 
 // --------------------------------------------------------------- urban

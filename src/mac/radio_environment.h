@@ -30,6 +30,18 @@ struct MediumStats {
   std::uint64_t framesBurstLost = 0;
   std::uint64_t framesHalfDuplexMissed = 0;
   std::uint64_t framesCorruptDelivered = 0;  ///< surfaced for soft combining
+
+  /// Adds another counter block (rounds of one run, or parallel runs).
+  void merge(const MediumStats& other) noexcept {
+    framesTransmitted += other.framesTransmitted;
+    framesDelivered += other.framesDelivered;
+    framesBelowSensitivity += other.framesBelowSensitivity;
+    framesCollided += other.framesCollided;
+    framesChannelError += other.framesChannelError;
+    framesBurstLost += other.framesBurstLost;
+    framesHalfDuplexMissed += other.framesHalfDuplexMissed;
+    framesCorruptDelivered += other.framesCorruptDelivered;
+  }
 };
 
 /// Broadcast wireless medium shared by all attached radios.

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file campaign.h
+/// The parallel campaign executor. A campaign names a registered
+/// scenario, a sweep grid and a replication count; the executor expands
+/// the grid into independent (config, seed, replication) jobs, runs them
+/// on a thread pool, and merges per-grid-point results *in job order* so
+/// the merged output is bit-identical no matter how many threads ran or
+/// how the scheduler interleaved them. Per-job determinism comes from
+/// Rng::deriveStreamSeed(masterSeed, jobIndex): each job owns a private
+/// RNG stream that is a pure function of the master seed and its index.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/registry.h"
+#include "runner/sweep.h"
+#include "util/stats.h"
+
+namespace vanet::runner {
+
+/// What to run. `base` overrides the scenario's registered defaults, the
+/// grid's axes override `base` per point.
+struct CampaignConfig {
+  std::string scenario;
+  ParamSet base;
+  SweepGrid grid;
+  int replications = 1;
+  std::uint64_t masterSeed = 2008;
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+/// One grid point after merging its replications (in job order).
+struct GridPointSummary {
+  std::size_t gridIndex = 0;
+  ParamSet params;                  ///< fully resolved (defaults+base+axes)
+  trace::Table1Data table1;         ///< merged over replications
+  analysis::ProtocolTotals totals;  ///< merged over replications
+  /// Per-metric aggregate over the point's jobs: each job contributes one
+  /// sample per metric it reported.
+  std::map<std::string, RunningStats> metrics;
+  int replications = 0;
+  int rounds = 0;  ///< total simulated rounds across replications
+};
+
+/// The merged campaign outcome plus throughput accounting.
+struct CampaignResult {
+  std::string scenario;
+  std::uint64_t masterSeed = 0;
+  int threads = 0;           ///< workers actually used
+  std::size_t jobCount = 0;  ///< grid points x replications
+  double wallSeconds = 0.0;
+  double jobsPerSecond = 0.0;
+  std::vector<GridPointSummary> points;  ///< in grid order
+};
+
+/// Expands, executes and merges `config`.
+///
+/// Throws std::invalid_argument when the scenario is unknown or the
+/// replication count is < 1. Worker exceptions are rethrown on the
+/// calling thread after the pool drains.
+CampaignResult runCampaign(const CampaignConfig& config);
+
+}  // namespace vanet::runner

@@ -1,0 +1,229 @@
+#include "runner/emit.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "analysis/csv.h"
+#include "util/log.h"
+
+namespace vanet::runner {
+namespace {
+
+/// Shortest round-trip, locale-independent double rendering (std::to_chars
+/// never consults LC_NUMERIC): equal bit patterns render to equal text, so
+/// byte comparison of emitted artefacts is a bit-identity check on the
+/// underlying stats.
+std::string num(double value) {
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  return ec == std::errc() ? std::string(buffer, end) : std::string("nan");
+}
+
+std::string jsonString(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void appendStats(std::string& out, const RunningStats& stats) {
+  out += "{\"count\":" + std::to_string(stats.count());
+  out += ",\"mean\":" + num(stats.mean());
+  out += ",\"stddev\":" + num(stats.stddev());
+  out += ",\"min\":" + num(stats.min());
+  out += ",\"max\":" + num(stats.max());
+  out += ",\"sum\":" + num(stats.sum());
+  out += "}";
+}
+
+/// Sorted union of metric names over every grid point.
+std::set<std::string> metricNames(const CampaignResult& result) {
+  std::set<std::string> names;
+  for (const GridPointSummary& point : result.points) {
+    for (const auto& [name, stats] : point.metrics) {
+      names.insert(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string campaignCsv(const CampaignResult& result) {
+  const std::set<std::string> metrics = metricNames(result);
+  // Swept axes vary by point only through params; emit every resolved
+  // param so a row is self-describing.
+  std::set<std::string> paramNames;
+  for (const GridPointSummary& point : result.points) {
+    for (const auto& [name, value] : point.params.values()) {
+      paramNames.insert(name);
+    }
+  }
+
+  // "total_rounds" = simulated rounds merged into the row (the resolved
+  // per-replication "rounds" param appears among the param columns).
+  std::vector<std::string> headers{"grid_index", "replications",
+                                   "total_rounds"};
+  for (const std::string& name : paramNames) headers.push_back(name);
+  for (const std::string& name : metrics) {
+    headers.push_back(name + "_mean");
+    headers.push_back(name + "_stddev");
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.points.size());
+  for (const GridPointSummary& point : result.points) {
+    std::vector<std::string> row{std::to_string(point.gridIndex),
+                                 std::to_string(point.replications),
+                                 std::to_string(point.rounds)};
+    for (const std::string& name : paramNames) {
+      row.push_back(point.params.has(name) ? num(point.params.get(name, 0.0))
+                                           : std::string());
+    }
+    for (const std::string& name : metrics) {
+      const auto it = point.metrics.find(name);
+      if (it != point.metrics.end()) {
+        row.push_back(num(it->second.mean()));
+        row.push_back(num(it->second.stddev()));
+      } else {
+        row.emplace_back();
+        row.emplace_back();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return analysis::renderCsv(headers, rows);
+}
+
+bool writeCampaignCsv(const std::string& path, const CampaignResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("cannot open " << path << " for writing");
+    return false;
+  }
+  out << campaignCsv(result);
+  return static_cast<bool>(out);
+}
+
+std::string campaignPointsJson(const CampaignResult& result) {
+  std::string out = "[";
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const GridPointSummary& point = result.points[p];
+    if (p > 0) out += ",";
+    out += "\n  {\"grid_index\":" + std::to_string(point.gridIndex);
+    out += ",\"replications\":" + std::to_string(point.replications);
+    out += ",\"rounds\":" + std::to_string(point.rounds);
+    out += ",\"params\":{";
+    bool first = true;
+    for (const auto& [name, value] : point.params.values()) {
+      if (!first) out += ",";
+      first = false;
+      out += jsonString(name) + ":" + num(value);
+    }
+    out += "},\"table1\":[";
+    for (std::size_t r = 0; r < point.table1.rows.size(); ++r) {
+      const trace::Table1Row& row = point.table1.rows[r];
+      if (r > 0) out += ",";
+      out += "{\"car\":" + std::to_string(row.car);
+      out += ",\"tx_by_ap\":";
+      appendStats(out, row.txByAp);
+      out += ",\"lost_before\":";
+      appendStats(out, row.lostBefore);
+      out += ",\"lost_after\":";
+      appendStats(out, row.lostAfter);
+      out += ",\"lost_joint\":";
+      appendStats(out, row.lostJoint);
+      out += ",\"pct_lost_before\":";
+      appendStats(out, row.pctLostBefore);
+      out += ",\"pct_lost_after\":";
+      appendStats(out, row.pctLostAfter);
+      out += ",\"pct_lost_joint\":";
+      appendStats(out, row.pctLostJoint);
+      out += "}";
+    }
+    out += "],\"metrics\":{";
+    first = true;
+    for (const auto& [name, stats] : point.metrics) {
+      if (!first) out += ",";
+      first = false;
+      out += jsonString(name) + ":";
+      appendStats(out, stats);
+    }
+    out += "}}";
+  }
+  out += "\n]";
+  return out;
+}
+
+std::string campaignJson(const CampaignResult& result) {
+  std::string out = "{\n";
+  out += "\"scenario\":" + jsonString(result.scenario) + ",\n";
+  out += "\"master_seed\":" + std::to_string(result.masterSeed) + ",\n";
+  out += "\"threads\":" + std::to_string(result.threads) + ",\n";
+  out += "\"job_count\":" + std::to_string(result.jobCount) + ",\n";
+  out += "\"wall_seconds\":" + num(result.wallSeconds) + ",\n";
+  out += "\"jobs_per_second\":" + num(result.jobsPerSecond) + ",\n";
+  out += "\"points\":" + campaignPointsJson(result) + "\n}\n";
+  return out;
+}
+
+bool writeCampaignJson(const std::string& path, const CampaignResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("cannot open " << path << " for writing");
+    return false;
+  }
+  out << campaignJson(result);
+  return static_cast<bool>(out);
+}
+
+std::string renderCampaignSummary(const CampaignResult& result,
+                                  const SweepGrid& grid) {
+  std::ostringstream out;
+  out << "campaign: scenario=" << result.scenario
+      << " seed=" << result.masterSeed << " jobs=" << result.jobCount
+      << " threads=" << result.threads << "\n";
+  const std::set<std::string> metrics = metricNames(result);
+  for (const GridPointSummary& point : result.points) {
+    out << "  [" << point.gridIndex << "]";
+    for (const SweepAxis& axis : grid.axes()) {
+      out << " " << axis.name << "=" << point.params.get(axis.name, 0.0);
+    }
+    out << " (" << point.replications << " repl, " << point.rounds
+        << " rounds)";
+    for (const std::string& name : metrics) {
+      const auto it = point.metrics.find(name);
+      if (it == point.metrics.end()) continue;
+      char cell[64];
+      std::snprintf(cell, sizeof cell, " %s=%.2f", name.c_str(),
+                    it->second.mean());
+      out << cell;
+    }
+    out << "\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof footer,
+                "wall %.2fs, %.2f jobs/s on %d thread(s)\n",
+                result.wallSeconds, result.jobsPerSecond, result.threads);
+  out << footer;
+  return out.str();
+}
+
+}  // namespace vanet::runner

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file emit.h
+/// Campaign emitters: a per-grid-point CSV table (via analysis/csv), a
+/// machine-readable JSON summary, and a human console rendering with
+/// wall-clock / jobs-per-second throughput.
+///
+/// campaignPointsJson() and campaignCsv() render only deterministic
+/// fields with full-precision (%.17g) numbers: two campaigns whose merged
+/// results are bit-identical render byte-identical text, which is exactly
+/// what the determinism tests and bench_runner_scaling compare.
+
+#include <string>
+
+#include "runner/campaign.h"
+
+namespace vanet::runner {
+
+/// One CSV row per grid point: grid index, every swept axis value,
+/// replications, rounds, then mean/stddev of every metric (sorted union
+/// of metric names over the campaign). Deterministic.
+std::string campaignCsv(const CampaignResult& result);
+
+/// Writes campaignCsv() to `path`; false (and logs) on I/O failure.
+bool writeCampaignCsv(const std::string& path, const CampaignResult& result);
+
+/// The "points" JSON array: fully resolved params, merged Table 1 rows,
+/// and metric aggregates per grid point. Deterministic.
+std::string campaignPointsJson(const CampaignResult& result);
+
+/// The full JSON document: campaign header (scenario, seed, threads,
+/// wall-clock, jobs/sec) plus campaignPointsJson().
+std::string campaignJson(const CampaignResult& result);
+
+/// Writes campaignJson() to `path`; false (and logs) on I/O failure.
+bool writeCampaignJson(const std::string& path, const CampaignResult& result);
+
+/// Human summary: one line per grid point (axis values and headline
+/// metrics) plus the throughput footer.
+std::string renderCampaignSummary(const CampaignResult& result,
+                                  const SweepGrid& grid);
+
+}  // namespace vanet::runner

@@ -1,0 +1,52 @@
+#include "runner/registry.h"
+
+#include "util/assert.h"
+
+namespace vanet::runner {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    detail::registerBuiltinScenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(ScenarioInfo info) {
+  VANET_ASSERT(!info.name.empty(), "scenario name must not be empty");
+  VANET_ASSERT(info.run != nullptr, "scenario must have a run function");
+  VANET_ASSERT(scenarios_.count(info.name) == 0,
+               "scenario name already registered");
+  scenarios_.emplace(info.name, std::move(info));
+}
+
+const ScenarioInfo* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it != scenarios_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, info] : scenarios_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+ParamSet ScenarioRegistry::defaults(const std::string& name) const {
+  ParamSet params;
+  if (const ScenarioInfo* info = find(name)) {
+    for (const ParamSpec& spec : info->params) {
+      params.set(spec.name, spec.defaultValue);
+    }
+  }
+  return params;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(ScenarioInfo info) {
+  ScenarioRegistry::global().add(std::move(info));
+}
+
+}  // namespace vanet::runner

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file registry.h
+/// Scenario registry of the campaign engine. An experiment family
+/// (urban loop, highway drive-thru, infostation file download, ...)
+/// registers itself under a name together with the parameters it
+/// understands; campaigns then refer to scenarios purely by name, and
+/// benches share one parameter vocabulary instead of hand-rolling flag
+/// parsing each (this subsumes the per-bench config code that used to
+/// live in bench/bench_common.h).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "runner/params.h"
+#include "trace/aggregate.h"
+
+namespace vanet::runner {
+
+/// One tunable a scenario accepts, with its default.
+struct ParamSpec {
+  std::string name;
+  double defaultValue = 0.0;
+  std::string help;
+};
+
+/// Everything one job needs: resolved parameters and a private seed.
+struct JobContext {
+  ParamSet params;
+  std::uint64_t seed = 0;    ///< per-job stream; see Rng::deriveStreamSeed
+  int replication = 0;       ///< 0-based replication index at this point
+  std::size_t jobIndex = 0;  ///< global index in the campaign work-list
+};
+
+/// What one job returns. `table1` and `totals` merge across replications
+/// with the library's parallel-combining merges; `metrics` are scalar
+/// outcomes (lexicographically ordered by name) that aggregate into one
+/// RunningStats per metric at each grid point.
+struct JobResult {
+  trace::Table1Data table1;
+  analysis::ProtocolTotals totals;
+  std::map<std::string, double> metrics;
+  int rounds = 0;
+};
+
+using ScenarioFn = std::function<JobResult(const JobContext&)>;
+
+/// A registered scenario: name, documentation, accepted parameters, and
+/// the factory that runs one job.
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  std::vector<ParamSpec> params;
+  ScenarioFn run;
+};
+
+/// Name -> scenario map. The built-in scenarios ("urban", "highway",
+/// "highway_file") are registered on first access of global(); user code
+/// adds its own via ScenarioRegistrar or add().
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, built-ins included.
+  static ScenarioRegistry& global();
+
+  /// Registers `info`; the name must be new and `info.run` non-null.
+  void add(ScenarioInfo info);
+
+  /// Looks `name` up; nullptr when unknown.
+  const ScenarioInfo* find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// The defaults of `name` as a ParamSet; empty set when unknown.
+  ParamSet defaults(const std::string& name) const;
+
+ private:
+  std::map<std::string, ScenarioInfo> scenarios_;
+};
+
+/// Registers a scenario at static-initialisation time:
+///   static ScenarioRegistrar r{{ "mine", "...", {...}, runFn }};
+/// Note: inside a static library, self-registration only fires when the
+/// translation unit is linked in; the built-ins are therefore pulled in
+/// explicitly by ScenarioRegistry::global().
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(ScenarioInfo info);
+};
+
+namespace detail {
+/// Defined in scenarios.cpp; called once by global().
+void registerBuiltinScenarios(ScenarioRegistry& registry);
+}  // namespace detail
+
+}  // namespace vanet::runner

@@ -1,0 +1,212 @@
+/// \file scenarios.cpp
+/// Built-in scenarios of the campaign engine, adapting the analysis-layer
+/// experiment drivers to the registry's (params, seed) -> JobResult shape.
+/// Parameter names are the one vocabulary every bench and sweep shares:
+///
+///   common    rounds, cars, speed_kmh, coop, nakagami
+///   urban     batched, gossip, fc, repeat, gap_seconds
+///   highway   aps, spacing, first_ap_arc, road_length, gap_seconds
+///   highway_file  file (packets per car; aps/spacing as above)
+
+#include "analysis/experiment.h"
+#include "runner/registry.h"
+
+namespace vanet::runner {
+namespace {
+
+analysis::UrbanExperimentConfig urbanConfig(const JobContext& job) {
+  analysis::UrbanExperimentConfig config;
+  config.rounds = job.params.getInt("rounds", 30);
+  config.seed = job.seed;
+  config.scenario.carCount = job.params.getInt("cars", 3);
+  config.scenario.baseSpeedMps = job.params.get("speed_kmh", 20.0) / 3.6;
+  config.scenario.gapSeconds =
+      job.params.get("gap_seconds", config.scenario.gapSeconds);
+  config.repeatCount = job.params.getInt("repeat", 1);
+  config.carq.cooperationEnabled = job.params.getBool("coop", true);
+  if (job.params.getBool("batched", false)) {
+    config.carq.requestMode = carq::RequestMode::kBatched;
+  }
+  config.carq.gossipWindowExtension = job.params.getBool("gossip", false);
+  config.carq.frameCombining = job.params.getBool("fc", false);
+  if (job.params.has("nakagami")) {
+    config.channel.nakagamiM = job.params.get("nakagami", 0.0);
+  }
+  return config;
+}
+
+analysis::HighwayExperimentConfig highwayConfig(const JobContext& job) {
+  analysis::HighwayExperimentConfig config;
+  config.rounds = job.params.getInt("rounds", 15);
+  config.seed = job.seed;
+  config.scenario.carCount = job.params.getInt("cars", 3);
+  config.scenario.speedMps = job.params.get("speed_kmh", 80.0) / 3.6;
+  config.scenario.apCount = job.params.getInt("aps", 1);
+  config.scenario.apSpacing =
+      job.params.get("spacing", config.scenario.apSpacing);
+  config.scenario.firstApArc =
+      job.params.get("first_ap_arc", config.scenario.firstApArc);
+  config.scenario.gapSeconds =
+      job.params.get("gap_seconds", config.scenario.gapSeconds);
+  // road_length <= 0 auto-sizes the road to cover every AP plus run-out.
+  const double roadLength = job.params.get("road_length", 0.0);
+  config.scenario.roadLengthMetres =
+      roadLength > 0.0
+          ? roadLength
+          : config.scenario.firstApArc +
+                config.scenario.apSpacing * (config.scenario.apCount - 1) +
+                500.0;
+  config.carq.cooperationEnabled = job.params.getBool("coop", true);
+  if (job.params.has("nakagami")) {
+    config.channel.nakagamiM = job.params.get("nakagami", 0.0);
+  }
+  return config;
+}
+
+/// Fleet-mean Table 1 metrics plus the lead car's columns (the platoon
+/// studies read car 1, the sweeps read the fleet average).
+void addTable1Metrics(const trace::Table1Data& table1,
+                      std::map<std::string, double>& metrics) {
+  if (table1.rows.empty()) return;
+  double tx = 0.0;
+  double before = 0.0;
+  double after = 0.0;
+  double joint = 0.0;
+  for (const trace::Table1Row& row : table1.rows) {
+    tx += row.txByAp.mean();
+    before += row.pctLostBefore.mean();
+    after += row.pctLostAfter.mean();
+    joint += row.pctLostJoint.mean();
+  }
+  const auto cars = static_cast<double>(table1.rows.size());
+  metrics["tx_by_ap"] = tx / cars;
+  metrics["pct_lost_before"] = before / cars;
+  metrics["pct_lost_after"] = after / cars;
+  metrics["pct_lost_joint"] = joint / cars;
+  const trace::Table1Row& car1 = table1.rows.front();
+  metrics["car1_pct_lost_before"] = car1.pctLostBefore.mean();
+  metrics["car1_pct_lost_after"] = car1.pctLostAfter.mean();
+  metrics["car1_pct_lost_joint"] = car1.pctLostJoint.mean();
+}
+
+void addProtocolMetrics(const analysis::ProtocolTotals& totals,
+                        std::map<std::string, double>& metrics) {
+  metrics["requests_per_round"] = totals.requestsPerRound.mean();
+  metrics["coop_data_per_round"] = totals.coopDataPerRound.mean();
+  metrics["suppressed_per_round"] = totals.suppressedPerRound.mean();
+  metrics["buffered_per_round"] = totals.bufferedPerRound.mean();
+}
+
+JobResult runUrban(const JobContext& job) {
+  analysis::UrbanExperiment experiment(urbanConfig(job));
+  const analysis::UrbanExperimentResult result = experiment.run();
+  JobResult out;
+  out.table1 = result.table1;
+  out.totals = result.totals;
+  out.rounds = result.rounds;
+  addTable1Metrics(out.table1, out.metrics);
+  addProtocolMetrics(out.totals, out.metrics);
+  return out;
+}
+
+JobResult runHighway(const JobContext& job) {
+  analysis::HighwayExperiment experiment(highwayConfig(job));
+  const analysis::HighwayExperimentResult result = experiment.run();
+  JobResult out;
+  out.table1 = result.table1;
+  out.totals = result.totals;
+  out.rounds = result.rounds;
+  addTable1Metrics(out.table1, out.metrics);
+  addProtocolMetrics(out.totals, out.metrics);
+  return out;
+}
+
+JobResult runHighwayFile(const JobContext& job) {
+  analysis::HighwayExperimentConfig config = highwayConfig(job);
+  config.rounds = job.params.getInt("rounds", 10);
+  config.carq.fileSizeSeqs =
+      static_cast<SeqNo>(job.params.getInt("file", 220));
+  analysis::HighwayExperiment experiment(config);
+  const analysis::HighwayExperimentResult result = experiment.run();
+  JobResult out;
+  out.table1 = result.table1;
+  out.totals = result.totals;
+  out.rounds = result.rounds;
+  RunningStats visits;
+  RunningStats seconds;
+  int completed = 0;
+  int attempts = 0;
+  for (const auto& [car, carResult] : result.cars) {
+    completed += carResult.completedRounds;
+    attempts += config.rounds;
+    visits.merge(carResult.apVisitsToComplete);
+    seconds.merge(carResult.timeToCompleteSeconds);
+  }
+  out.metrics["completed_rounds"] = completed;
+  out.metrics["attempted_rounds"] = attempts;
+  out.metrics["completed_fraction"] =
+      attempts > 0 ? static_cast<double>(completed) / attempts : 0.0;
+  out.metrics["ap_visits"] = visits.mean();
+  out.metrics["time_to_complete_s"] = seconds.mean();
+  addProtocolMetrics(out.totals, out.metrics);
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void registerBuiltinScenarios(ScenarioRegistry& registry) {
+  registry.add(ScenarioInfo{
+      "urban",
+      "The paper's testbed: a platoon laps the Figure-2 urban loop past a "
+      "window-mounted AP (Table 1, Figures 3-8).",
+      {
+          {"rounds", 30, "experiment rounds (laps)"},
+          {"cars", 3, "platoon size"},
+          {"speed_kmh", 20, "platoon base speed"},
+          {"gap_seconds", 4, "nominal inter-car headway"},
+          {"coop", 1, "C-ARQ cooperation on/off"},
+          {"batched", 0, "batched REQUEST mode"},
+          {"gossip", 0, "window-gossip extension"},
+          {"fc", 0, "frame combining"},
+          {"repeat", 1, "AP blind retransmissions"},
+      },
+      runUrban});
+  registry.add(ScenarioInfo{
+      "highway",
+      "Drive-thru: a platoon passes roadside infostations at speed "
+      "(Ott & Kutscher style single-AP sweeps).",
+      {
+          {"rounds", 15, "experiment rounds (passes)"},
+          {"cars", 3, "platoon size"},
+          {"speed_kmh", 80, "platoon speed"},
+          {"aps", 1, "infostation count"},
+          {"spacing", 1000, "infostation spacing, metres"},
+          {"first_ap_arc", 1200, "arc position of the first AP"},
+          {"road_length", 2400, "road length; <= 0 auto-sizes"},
+          {"gap_seconds", 1.5, "inter-car headway"},
+          {"coop", 1, "C-ARQ cooperation on/off"},
+      },
+      runHighway});
+  registry.add(ScenarioInfo{
+      "highway_file",
+      "Infostation file download (paper section 6): each car completes an "
+      "F-packet file across multiple AP visits.",
+      {
+          {"rounds", 10, "experiment rounds"},
+          {"cars", 3, "platoon size"},
+          {"speed_kmh", 50, "platoon speed"},
+          {"aps", 8, "infostation count"},
+          {"spacing", 700, "infostation spacing, metres"},
+          {"first_ap_arc", 500, "arc position of the first AP"},
+          {"road_length", 0, "road length; <= 0 auto-sizes"},
+          {"gap_seconds", 1.5, "inter-car headway"},
+          {"file", 220, "file size, packets per car"},
+          {"coop", 1, "C-ARQ cooperation on/off"},
+      },
+      runHighwayFile});
+}
+
+}  // namespace detail
+}  // namespace vanet::runner

@@ -1,0 +1,46 @@
+#include "runner/sweep.h"
+
+#include "util/assert.h"
+
+namespace vanet::runner {
+
+SweepGrid& SweepGrid::add(std::string name, std::vector<double> values) {
+  VANET_ASSERT(!values.empty(), "a sweep axis needs at least one value");
+  for (const SweepAxis& axis : axes_) {
+    VANET_ASSERT(axis.name != name, "duplicate sweep axis name");
+  }
+  axes_.push_back(SweepAxis{std::move(name), std::move(values)});
+  return *this;
+}
+
+std::size_t SweepGrid::pointCount() const noexcept {
+  std::size_t count = 1;
+  for (const SweepAxis& axis : axes_) {
+    count *= axis.values.size();
+  }
+  return count;
+}
+
+ParamSet SweepGrid::point(std::size_t index, const ParamSet& base) const {
+  VANET_ASSERT(index < pointCount(), "grid point index out of range");
+  ParamSet params = base;
+  // Decode `index` as mixed-radix digits, last axis fastest.
+  std::size_t rest = index;
+  for (auto axis = axes_.rbegin(); axis != axes_.rend(); ++axis) {
+    const std::size_t arity = axis->values.size();
+    params.set(axis->name, axis->values[rest % arity]);
+    rest /= arity;
+  }
+  return params;
+}
+
+std::vector<ParamSet> SweepGrid::expand(const ParamSet& base) const {
+  std::vector<ParamSet> points;
+  points.reserve(pointCount());
+  for (std::size_t i = 0; i < pointCount(); ++i) {
+    points.push_back(point(i, base));
+  }
+  return points;
+}
+
+}  // namespace vanet::runner

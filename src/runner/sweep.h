@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file sweep.h
+/// Declarative sweep grids: a cartesian product over named parameter axes
+/// (speed, car count, infostation spacing, cooperation on/off, ...) that
+/// expands into the work-list of independent grid points a campaign runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/params.h"
+
+namespace vanet::runner {
+
+/// One swept parameter and the values it takes.
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A cartesian product over axes. The first axis added varies slowest
+/// (outermost loop), the last varies fastest, so expansion order reads
+/// like nested for-loops in declaration order.
+class SweepGrid {
+ public:
+  /// Adds an axis; `values` must be non-empty and `name` must not repeat.
+  /// Returns *this for chaining.
+  SweepGrid& add(std::string name, std::vector<double> values);
+
+  std::size_t axisCount() const noexcept { return axes_.size(); }
+
+  /// Number of grid points: the product of axis sizes; 1 for an empty
+  /// grid (the single point that applies no overrides).
+  std::size_t pointCount() const noexcept;
+
+  /// Parameter overrides of grid point `index` (row-major over the axes,
+  /// first axis slowest), applied on top of a copy of `base`.
+  ParamSet point(std::size_t index, const ParamSet& base = {}) const;
+
+  /// All grid points in order.
+  std::vector<ParamSet> expand(const ParamSet& base = {}) const;
+
+  const std::vector<SweepAxis>& axes() const noexcept { return axes_; }
+
+ private:
+  std::vector<SweepAxis> axes_;
+};
+
+}  // namespace vanet::runner

@@ -47,6 +47,31 @@ void Table1Accumulator::addRound(const RoundTrace& trace) {
   }
 }
 
+void mergeRow(Table1Row& into, const Table1Row& from) {
+  VANET_ASSERT(into.car == from.car, "Table1Row merge must match car ids");
+  into.txByAp.merge(from.txByAp);
+  into.lostBefore.merge(from.lostBefore);
+  into.lostAfter.merge(from.lostAfter);
+  into.lostJoint.merge(from.lostJoint);
+  into.pctLostBefore.merge(from.pctLostBefore);
+  into.pctLostAfter.merge(from.pctLostAfter);
+  into.pctLostJoint.merge(from.pctLostJoint);
+}
+
+void Table1Data::merge(const Table1Data& other) {
+  rounds += other.rounds;
+  for (const Table1Row& theirs : other.rows) {
+    const auto at = std::lower_bound(
+        rows.begin(), rows.end(), theirs.car,
+        [](const Table1Row& row, NodeId car) { return row.car < car; });
+    if (at != rows.end() && at->car == theirs.car) {
+      mergeRow(*at, theirs);
+    } else {
+      rows.insert(at, theirs);
+    }
+  }
+}
+
 Table1Data Table1Accumulator::data() const {
   Table1Data out;
   out.rounds = rounds_;

@@ -27,10 +27,21 @@ struct Table1Row {
   RunningStats pctLostJoint;    ///< the optimal ("virtual car") bound
 };
 
+/// Merges another row for the same car (parallel-combining form); every
+/// RunningStats column merges cell-wise.
+void mergeRow(Table1Row& into, const Table1Row& from);
+
 /// All Table 1 rows plus the round count.
 struct Table1Data {
   std::vector<Table1Row> rows;
   int rounds = 0;
+
+  /// Merges another aggregate (for example a replication run under a
+  /// different seed): rows are matched by car id, new cars are inserted
+  /// keeping the rows sorted by id, and round counts add. Deterministic:
+  /// merging B into A always yields the same bytes regardless of how A
+  /// and B were computed.
+  void merge(const Table1Data& other);
 };
 
 /// Accumulates Table 1 across rounds.

@@ -103,6 +103,16 @@ std::uint64_t Rng::hash(std::string_view text) noexcept {
   return h;
 }
 
+std::uint64_t Rng::deriveStreamSeed(std::uint64_t masterSeed,
+                                    std::uint64_t streamIndex) noexcept {
+  // Two SplitMix64 rounds over an odd-multiplier combination; the golden
+  // ratio multiplier decorrelates neighbouring indices, the second round
+  // breaks the linearity of the first.
+  std::uint64_t mix = masterSeed ^ (0x9e3779b97f4a7c15ULL * (streamIndex + 1));
+  (void)splitmix64(mix);
+  return splitmix64(mix);
+}
+
 Rng Rng::child(std::string_view name) const noexcept {
   // Mix the label hash with a digest of the current state. The child seed is
   // a pure function of (parent construction seed, label): deriving children

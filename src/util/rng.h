@@ -55,6 +55,14 @@ class Rng {
   /// FNV-1a 64-bit hash, exposed for deterministic labelling elsewhere.
   static std::uint64_t hash(std::string_view text) noexcept;
 
+  /// Derives the seed of stream `streamIndex` of a family rooted at
+  /// `masterSeed` by SplitMix64 mixing. A pure function of its arguments:
+  /// the campaign runner uses it to give every (config, seed, replication)
+  /// job an independent RNG stream that is identical no matter which
+  /// thread, or in which order, the job runs.
+  static std::uint64_t deriveStreamSeed(std::uint64_t masterSeed,
+                                        std::uint64_t streamIndex) noexcept;
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cachedGaussian_ = 0.0;

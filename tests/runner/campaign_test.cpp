@@ -1,0 +1,142 @@
+#include "runner/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "runner/emit.h"
+#include "util/rng.h"
+
+namespace vanet::runner {
+namespace {
+
+/// A small but real campaign: 2x2 urban grid, 2 replications, tiny rounds.
+CampaignConfig tinyUrbanCampaign() {
+  CampaignConfig config;
+  config.scenario = "urban";
+  config.masterSeed = 2008;
+  config.replications = 2;
+  config.base.set("rounds", 2);
+  config.base.set("cars", 2);
+  config.grid.add("speed_kmh", {20.0, 30.0}).add("coop", {0.0, 1.0});
+  return config;
+}
+
+TEST(CampaignTest, RunsEveryJobAndMergesPerPoint) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 1;
+  const CampaignResult result = runCampaign(config);
+  EXPECT_EQ(result.jobCount, 8u);  // 4 grid points x 2 replications
+  ASSERT_EQ(result.points.size(), 4u);
+  for (const GridPointSummary& point : result.points) {
+    EXPECT_EQ(point.replications, 2);
+    EXPECT_EQ(point.rounds, 4);  // 2 replications x 2 rounds
+    EXPECT_EQ(point.table1.rounds, 4);
+    EXPECT_EQ(point.table1.rows.size(), 2u);  // 2 cars
+    // Each job contributes one sample per scalar metric.
+    EXPECT_EQ(point.metrics.at("pct_lost_before").count(), 2u);
+  }
+  EXPECT_GE(result.wallSeconds, 0.0);
+  EXPECT_GT(result.jobsPerSecond, 0.0);
+}
+
+TEST(CampaignTest, TwoThreadsProduceByteIdenticalMergedStats) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 1;
+  const CampaignResult serial = runCampaign(config);
+  config.threads = 2;
+  const CampaignResult parallel = runCampaign(config);
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 2);
+  // The emitted artefacts render every merged statistic at full precision,
+  // so string equality is bit-identity of the merged campaign.
+  EXPECT_EQ(campaignPointsJson(serial), campaignPointsJson(parallel));
+  EXPECT_EQ(campaignCsv(serial), campaignCsv(parallel));
+}
+
+TEST(CampaignTest, MasterSeedChangesResults) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult a = runCampaign(config);
+  config.masterSeed = 2009;
+  const CampaignResult b = runCampaign(config);
+  EXPECT_NE(campaignPointsJson(a), campaignPointsJson(b));
+}
+
+TEST(CampaignTest, ReplicationsUseDistinctSeeds) {
+  // The per-job stream seeds are a pure function of (master, index) and
+  // must not collide across a realistic campaign size.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t job = 0; job < 10000; ++job) {
+    seeds.insert(Rng::deriveStreamSeed(2008, job));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(CampaignTest, GridPointsKeepDeclarationOrder) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult result = runCampaign(config);
+  // speed_kmh varies slowest (declared first), coop fastest.
+  EXPECT_DOUBLE_EQ(result.points[0].params.get("speed_kmh", 0), 20.0);
+  EXPECT_DOUBLE_EQ(result.points[0].params.get("coop", -1), 0.0);
+  EXPECT_DOUBLE_EQ(result.points[1].params.get("coop", -1), 1.0);
+  EXPECT_DOUBLE_EQ(result.points[2].params.get("speed_kmh", 0), 30.0);
+  EXPECT_DOUBLE_EQ(result.points[3].params.get("coop", -1), 1.0);
+}
+
+TEST(CampaignTest, ScenarioDefaultsResolveIntoPointParams) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult result = runCampaign(config);
+  // "gossip" was never set by the campaign; the registered default lands
+  // in the resolved params so emitted rows are self-describing.
+  EXPECT_TRUE(result.points[0].params.has("gossip"));
+  EXPECT_EQ(result.points[0].params.getInt("rounds", -1), 2);
+}
+
+TEST(CampaignTest, WorkerExceptionPropagates) {
+  const std::string name = "campaign-test-throws";
+  if (ScenarioRegistry::global().find(name) == nullptr) {
+    ScenarioRegistry::global().add(ScenarioInfo{
+        name,
+        "always throws",
+        {},
+        [](const JobContext&) -> JobResult {
+          throw std::runtime_error("job failed");
+        }});
+  }
+  CampaignConfig config;
+  config.scenario = name;
+  config.replications = 3;
+  config.threads = 2;
+  EXPECT_THROW(runCampaign(config), std::runtime_error);
+}
+
+TEST(CampaignEmitTest, CsvHasHeaderAndOneRowPerPoint) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult result = runCampaign(config);
+  const std::string csv = campaignCsv(result);
+  const std::size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 1u + result.points.size());
+  EXPECT_EQ(csv.rfind("grid_index,replications,total_rounds", 0), 0u);
+  EXPECT_NE(csv.find("pct_lost_after_mean"), std::string::npos);
+}
+
+TEST(CampaignEmitTest, JsonCarriesHeaderAndPoints) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult result = runCampaign(config);
+  const std::string json = campaignJson(result);
+  EXPECT_NE(json.find("\"scenario\":\"urban\""), std::string::npos);
+  EXPECT_NE(json.find("\"master_seed\":2008"), std::string::npos);
+  EXPECT_NE(json.find("\"points\":["), std::string::npos);
+  EXPECT_NE(json.find("\"pct_lost_after\""), std::string::npos);
+  EXPECT_NE(json.find("\"table1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vanet::runner

@@ -1,0 +1,90 @@
+#include "runner/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runner/campaign.h"
+
+namespace vanet::runner {
+namespace {
+
+TEST(ScenarioRegistryTest, BuiltinScenariosAreRegistered) {
+  ScenarioRegistry& registry = ScenarioRegistry::global();
+  for (const char* name : {"urban", "highway", "highway_file"}) {
+    const ScenarioInfo* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_FALSE(info->description.empty());
+    EXPECT_FALSE(info->params.empty());
+    EXPECT_NE(info->run, nullptr);
+  }
+}
+
+TEST(ScenarioRegistryTest, UnknownScenarioIsNull) {
+  EXPECT_EQ(ScenarioRegistry::global().find("no-such-scenario"), nullptr);
+  EXPECT_EQ(ScenarioRegistry::global().find(""), nullptr);
+}
+
+TEST(ScenarioRegistryTest, NamesAreSortedAndContainBuiltins) {
+  const std::vector<std::string> names = ScenarioRegistry::global().names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "urban"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "highway"), names.end());
+}
+
+TEST(ScenarioRegistryTest, DefaultsComeFromParamSpecs) {
+  const ParamSet defaults = ScenarioRegistry::global().defaults("urban");
+  EXPECT_EQ(defaults.getInt("rounds", -1), 30);
+  EXPECT_EQ(defaults.getInt("cars", -1), 3);
+  EXPECT_TRUE(defaults.getBool("coop", false));
+  // Unknown scenario -> empty set.
+  EXPECT_EQ(ScenarioRegistry::global().defaults("nope").size(), 0u);
+}
+
+TEST(ScenarioRegistryTest, EveryBuiltinParamHasHelpText) {
+  for (const std::string& name : ScenarioRegistry::global().names()) {
+    const ScenarioInfo* info = ScenarioRegistry::global().find(name);
+    for (const ParamSpec& spec : info->params) {
+      EXPECT_FALSE(spec.help.empty()) << name << "." << spec.name;
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, UserScenarioRegistersAndRuns) {
+  const std::string name = "registry-test-dummy";
+  if (ScenarioRegistry::global().find(name) == nullptr) {
+    ScenarioRegistry::global().add(ScenarioInfo{
+        name,
+        "test scenario",
+        {{"x", 2.0, "test parameter"}},
+        [](const JobContext& job) {
+          JobResult result;
+          result.metrics["x_times_two"] = job.params.get("x", 0.0) * 2.0;
+          result.rounds = 1;
+          return result;
+        }});
+  }
+  const ScenarioInfo* info = ScenarioRegistry::global().find(name);
+  ASSERT_NE(info, nullptr);
+  JobContext context;
+  context.params = ScenarioRegistry::global().defaults(name);
+  const JobResult result = info->run(context);
+  EXPECT_DOUBLE_EQ(result.metrics.at("x_times_two"), 4.0);
+}
+
+TEST(ScenarioRegistryTest, UnknownScenarioCampaignThrows) {
+  CampaignConfig config;
+  config.scenario = "no-such-scenario";
+  EXPECT_THROW(runCampaign(config), std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, InvalidReplicationsThrow) {
+  CampaignConfig config;
+  config.scenario = "urban";
+  config.replications = 0;
+  EXPECT_THROW(runCampaign(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vanet::runner

@@ -165,6 +165,22 @@ TEST(RngTest, IndexedChildrenDiffer) {
   EXPECT_LT(equal, 5);
 }
 
+TEST(RngTest, DeriveStreamSeedIsStable) {
+  EXPECT_EQ(Rng::deriveStreamSeed(2008, 5), Rng::deriveStreamSeed(2008, 5));
+  EXPECT_NE(Rng::deriveStreamSeed(2008, 5), Rng::deriveStreamSeed(2008, 6));
+  EXPECT_NE(Rng::deriveStreamSeed(2008, 5), Rng::deriveStreamSeed(2009, 5));
+}
+
+TEST(RngTest, DeriveStreamSeedStreamsAreIndependent) {
+  Rng a{Rng::deriveStreamSeed(42, 0)};
+  Rng b{Rng::deriveStreamSeed(42, 1)};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
 TEST(RngTest, HashIsFnv1aReference) {
   // Reference value for the empty string per FNV-1a spec.
   EXPECT_EQ(Rng::hash(""), 0xcbf29ce484222325ULL);
