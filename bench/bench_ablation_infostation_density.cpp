@@ -48,10 +48,7 @@ int main(int argc, char** argv) {
               << point.metrics.at("ap_visits").mean() << std::setw(16)
               << point.metrics.at("time_to_complete_s").mean() << " s\n";
   }
-  std::cout << "\n"
-            << result.jobCount << " jobs in " << std::setprecision(2)
-            << result.wallSeconds << " s (" << result.jobsPerSecond
-            << " jobs/s, " << result.threads << " threads)\n";
+  bench::printThroughput(result);
   std::cout << "\nexpected shape: cooperation completes the same file with"
                " fewer AP visits and earlier\n";
   bench::maybeWriteCampaign(flags, "ablation_infostation_density", result);

@@ -46,10 +46,7 @@ int main(int argc, char** argv) {
               << point.metrics.at("car1_pct_lost_joint").mean() << "%"
               << std::setw(16) << point.totals.coopDataPerRound.mean() << "\n";
   }
-  std::cout << "\n"
-            << result.jobCount << " jobs in " << std::setprecision(2)
-            << result.wallSeconds << " s (" << result.jobsPerSecond
-            << " jobs/s, " << result.threads << " threads)\n";
+  bench::printThroughput(result);
   std::cout << "\nexpected shape: after-coop and joint columns fall with"
                " platoon size, flattening after 3-4 cars\n";
   bench::maybeWriteCampaign(flags, "ablation_platoon_size", result);

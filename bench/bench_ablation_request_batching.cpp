@@ -4,6 +4,9 @@
 /// the two modes on recovery quality (after-coop loss), request traffic
 /// and response traffic. Expected: batching preserves the loss reduction
 /// while cutting REQUEST frames by roughly the batch factor.
+///
+/// The comparison is one campaign-engine grid (batched axis x --repl
+/// replications) executed in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
@@ -17,39 +20,34 @@ int main(int argc, char** argv) {
       "Ablation: per-packet vs batched REQUESTs",
       "Morillo-Pozo et al., ICDCS'08 W, §3.3 (proposed optimisation)");
 
+  runner::CampaignConfig campaign = bench::campaignFromFlags(
+      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
+  bench::applyUrbanFlags(flags, campaign.base);
+  campaign.base.set("batch", flags.getInt("batch", 16));
+  campaign.grid.add("batched", {0.0, 1.0});
+  const runner::CampaignResult result = runner::runCampaign(campaign);
+
   std::cout << std::left << std::setw(14) << "mode" << std::right
             << std::setw(12) << "loss bef." << std::setw(12) << "loss aft."
             << std::setw(14) << "REQ/round" << std::setw(12) << "seqs/REQ"
             << std::setw(16) << "CoopData/round" << "\n";
-
-  for (const bool batched : {false, true}) {
-    analysis::UrbanExperimentConfig config =
-        bench::urbanConfigFromFlags(flags);
-    config.carq.requestMode =
-        batched ? carq::RequestMode::kBatched : carq::RequestMode::kPerPacket;
-    config.carq.maxBatchSeqs = flags.getInt("batch", 16);
-    analysis::UrbanExperiment experiment(config);
-    const auto result = experiment.run();
-
-    double before = 0.0;
-    double after = 0.0;
-    for (const auto& row : result.table1.rows) {
-      before += row.pctLostBefore.mean();
-      after += row.pctLostAfter.mean();
-    }
-    const auto cars = static_cast<double>(result.table1.rows.size());
-    const double requests = result.totals.requestsPerRound.mean();
-    const double seqs = result.totals.requestSeqsPerRound.mean();
-    const double coopData = result.totals.coopDataPerRound.mean();
+  for (const runner::GridPointSummary& point : result.points) {
+    const double requests = point.totals.requestsPerRound.mean();
+    const double seqs = point.totals.requestSeqsPerRound.mean();
     std::cout << std::left << std::setw(14)
-              << (batched ? "batched" : "per-packet") << std::right
-              << std::fixed << std::setprecision(1) << std::setw(11)
-              << before / cars << "%" << std::setw(11) << after / cars << "%"
+              << (point.params.getBool("batched", false) ? "batched"
+                                                         : "per-packet")
+              << std::right << std::fixed << std::setprecision(1)
+              << std::setw(11) << point.metrics.at("pct_lost_before").mean()
+              << "%" << std::setw(11)
+              << point.metrics.at("pct_lost_after").mean() << "%"
               << std::setw(14) << requests << std::setw(12)
               << (requests > 0.0 ? seqs / requests : 0.0) << std::setw(16)
-              << coopData << "\n";
+              << point.totals.coopDataPerRound.mean() << "\n";
   }
+  bench::printThroughput(result);
   std::cout << "\nexpected shape: equal loss columns, REQ/round shrinking by"
                " ~ the batch factor in batched mode\n";
+  bench::maybeWriteCampaign(flags, "ablation_request_batching", result);
   return 0;
 }

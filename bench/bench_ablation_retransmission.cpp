@@ -11,10 +11,12 @@
 /// repair, and unique packets delivered (the goodput proxy). Expected:
 /// blind repetition lowers loss but halves/thirds the offered window;
 /// C-ARQ delivers the most unique packets.
+///
+/// One campaign: five named cases (repeat + coop combos) x --repl
+/// replications, in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
-#include <string>
 
 #include "bench_common.h"
 
@@ -24,44 +26,32 @@ int main(int argc, char** argv) {
   bench::printHeader("Ablation: AP blind retransmissions vs Cooperative ARQ",
                      "Morillo-Pozo et al., ICDCS'08 W, §3.2 (future work)");
 
-  struct Variant {
-    std::string name;
-    int repeat;
-    bool coop;
+  runner::CampaignConfig campaign = bench::campaignFromFlags(
+      flags, "urban", /*defaultRounds=*/15, /*defaultReplications=*/1);
+  bench::applyUrbanFlags(flags, campaign.base);
+  campaign.cases = {
+      {"plain", {{"repeat", 1.0}, {"coop", 0.0}}},
+      {"blind-retx x2", {{"repeat", 2.0}, {"coop", 0.0}}},
+      {"blind-retx x3", {{"repeat", 3.0}, {"coop", 0.0}}},
+      {"c-arq", {{"repeat", 1.0}, {"coop", 1.0}}},
+      {"retx x2 + c-arq", {{"repeat", 2.0}, {"coop", 1.0}}},
   };
-  const Variant variants[] = {{"plain", 1, false},
-                              {"blind-retx x2", 2, false},
-                              {"blind-retx x3", 3, false},
-                              {"c-arq", 1, true},
-                              {"retx x2 + c-arq", 2, true}};
+  const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(18) << "variant" << std::right
             << std::setw(12) << "offered" << std::setw(12) << "loss"
             << std::setw(14) << "delivered" << "\n";
-
-  for (const Variant& variant : variants) {
-    analysis::UrbanExperimentConfig config =
-        bench::urbanConfigFromFlags(flags);
-    config.rounds = flags.getInt("rounds", 15);
-    config.repeatCount = variant.repeat;
-    config.carq.cooperationEnabled = variant.coop;
-    analysis::UrbanExperiment experiment(config);
-    const auto result = experiment.run();
-    double offered = 0.0;
-    double lostPct = 0.0;
-    double delivered = 0.0;
-    for (const auto& row : result.table1.rows) {
-      offered += row.txByAp.mean();
-      lostPct += row.pctLostAfter.mean();
-      delivered += row.txByAp.mean() - row.lostAfter.mean();
-    }
-    const auto cars = static_cast<double>(result.table1.rows.size());
-    std::cout << std::left << std::setw(18) << variant.name << std::right
+  for (const runner::GridPointSummary& point : result.points) {
+    std::cout << std::left << std::setw(18) << point.caseName << std::right
               << std::fixed << std::setprecision(1) << std::setw(12)
-              << offered / cars << std::setw(11) << lostPct / cars << "%"
-              << std::setw(14) << delivered / cars << "\n";
+              << point.metrics.at("tx_by_ap").mean() << std::setw(11)
+              << point.metrics.at("pct_lost_after").mean() << "%"
+              << std::setw(14) << point.metrics.at("delivered").mean()
+              << "\n";
   }
+  bench::printThroughput(result);
   std::cout << "\nexpected shape: blind repeats cut loss but shrink the"
                " offered window; c-arq tops the delivered column\n";
+  bench::maybeWriteCampaign(flags, "ablation_retransmission", result);
   return 0;
 }

@@ -43,10 +43,7 @@ int main(int argc, char** argv) {
               << "%" << std::setw(11)
               << point.metrics.at("pct_lost_joint").mean() << "%\n";
   }
-  std::cout << "\n"
-            << result.jobCount << " jobs in " << std::setprecision(2)
-            << result.wallSeconds << " s (" << result.jobsPerSecond
-            << " jobs/s, " << result.threads << " threads)\n";
+  bench::printThroughput(result);
   std::cout << "\nexpected shape: offered packets fall ~1/speed (the"
                " drive-thru window shrinks);\nloss percentages stay roughly"
                " speed-invariant without rate adaptation, and the\nafter-coop"

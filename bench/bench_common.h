@@ -1,19 +1,19 @@
 #pragma once
 
-/// Shared plumbing for the bench harnesses: flag-driven experiment
-/// configuration so every bench can be re-run with different rounds,
-/// seeds, or scenario tweaks, plus small printing helpers.
+/// Shared plumbing for the bench harnesses. Every bench runs on the
+/// campaign engine: the helpers here translate the shared CLI flags into
+/// a CampaignConfig, print throughput footers and write the emitted
+/// artefacts.
 ///
 /// Common flags (all benches):
-///   --rounds=N    experiment rounds (default: the paper's 30)
+///   --rounds=N    rounds per replication
 ///   --seed=S      master seed (default 2008)
 ///   --cars=N      platoon size (default 3)
-///   --csv=DIR     also write CSV outputs into DIR
-///
-/// Campaign-engine benches additionally accept:
 ///   --repl=N      independent replications per grid point
 ///   --threads=N   worker threads (0 = hardware concurrency)
+///   --csv=DIR     also write CSV/JSON outputs into DIR
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -26,33 +26,6 @@
 #include "util/flags.h"
 
 namespace vanet::bench {
-
-inline analysis::UrbanExperimentConfig urbanConfigFromFlags(
-    const Flags& flags) {
-  analysis::UrbanExperimentConfig config;
-  config.rounds = flags.getInt("rounds", 30);
-  config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
-  config.scenario.carCount = flags.getInt("cars", 3);
-  config.scenario.baseSpeedMps =
-      flags.getDouble("speed-kmh", 20.0) / 3.6;
-  config.repeatCount = flags.getInt("repeat", 1);
-  if (flags.getBool("no-coop", false)) {
-    config.carq.cooperationEnabled = false;
-  }
-  if (flags.getBool("batched", false)) {
-    config.carq.requestMode = carq::RequestMode::kBatched;
-  }
-  if (flags.getBool("gossip", false)) {
-    config.carq.gossipWindowExtension = true;
-  }
-  if (flags.getBool("fc", false)) {
-    config.carq.frameCombining = true;
-  }
-  if (flags.has("nakagami")) {
-    config.channel.nakagamiM = flags.getDouble("nakagami", 0.0);
-  }
-  return config;
-}
 
 /// Common campaign skeleton from the shared flags. `defaultRounds` are
 /// rounds *per replication*: a bench that used to run 30 serial rounds now
@@ -72,7 +45,7 @@ inline runner::CampaignConfig campaignFromFlags(const Flags& flags,
   return config;
 }
 
-/// Urban-scenario overrides mirroring urbanConfigFromFlags().
+/// Urban-scenario overrides from the optional tuning flags.
 inline void applyUrbanFlags(const Flags& flags, runner::ParamSet& base) {
   if (flags.has("speed-kmh")) {
     base.set("speed_kmh", flags.getDouble("speed-kmh", 20.0));
@@ -82,6 +55,7 @@ inline void applyUrbanFlags(const Flags& flags, runner::ParamSet& base) {
   if (flags.getBool("gossip", false)) base.set("gossip", 1);
   if (flags.getBool("fc", false)) base.set("fc", 1);
   if (flags.has("repeat")) base.set("repeat", flags.getInt("repeat", 1));
+  if (flags.has("phy")) base.set("phy", flags.getInt("phy", 0));
   if (flags.has("nakagami")) {
     base.set("nakagami", flags.getDouble("nakagami", 0.0));
   }
@@ -102,6 +76,30 @@ inline void maybeWriteCampaign(const Flags& flags, const std::string& name,
   }
 }
 
+/// Writes one figure-series CSV per (grid point, flow) when --csv is
+/// given (see runner::writeCampaignFigureCsvs for the naming).
+inline void maybeWriteFigures(const Flags& flags, const std::string& name,
+                              const runner::CampaignResult& result) {
+  const std::string dir = flags.getString("csv", "");
+  if (dir.empty()) return;
+  const std::size_t written =
+      runner::writeCampaignFigureCsvs(dir, name, result);
+  if (written > 0) {
+    std::cout << "wrote " << written << " figure CSV(s) under " << dir
+              << "/" << name << "*\n";
+  }
+}
+
+/// The per-bench throughput footer.
+inline void printThroughput(const runner::CampaignResult& result) {
+  char footer[128];
+  std::snprintf(footer, sizeof footer,
+                "\n%zu jobs in %.2f s (%.2f jobs/s, %d threads)\n",
+                result.jobCount, result.wallSeconds, result.jobsPerSecond,
+                result.threads);
+  std::cout << footer;
+}
+
 inline void printHeader(const std::string& title, const std::string& paperRef) {
   std::cout << "==============================================================="
                "=========\n";
@@ -109,27 +107,6 @@ inline void printHeader(const std::string& title, const std::string& paperRef) {
   std::cout << "reproduces: " << paperRef << "\n";
   std::cout << "==============================================================="
                "=========\n";
-}
-
-/// Writes the figure series of `flow` as CSV when --csv is given.
-inline void maybeWriteFigureCsv(const Flags& flags, const std::string& name,
-                                const trace::FlowFigure& figure) {
-  const std::string dir = flags.getString("csv", "");
-  if (dir.empty()) return;
-  std::vector<std::string> headers;
-  std::vector<std::vector<double>> columns;
-  for (const auto& [car, acc] : figure.rxByCar) {
-    headers.push_back("rx_car_" + std::to_string(car));
-    columns.push_back(acc.means());
-  }
-  headers.push_back("after_coop");
-  columns.push_back(figure.afterCoop.means());
-  headers.push_back("joint");
-  columns.push_back(figure.joint.means());
-  const std::string path = dir + "/" + name + ".csv";
-  if (analysis::writeSeriesCsv(path, "packet", headers, columns)) {
-    std::cout << "wrote " << path << "\n";
-  }
 }
 
 }  // namespace vanet::bench

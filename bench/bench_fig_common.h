@@ -1,7 +1,11 @@
 #pragma once
 
-/// Shared driver for the six figure benches (Figures 3-8): run the urban
-/// experiment and print one flow's reception or cooperation figure.
+/// Shared driver for the six figure benches (Figures 3-8): one urban
+/// campaign (a single grid point, --repl replications of --rounds laps
+/// each, defaulting to the paper's 3 x 10 = 30 rounds) whose
+/// per-replication FlowFigure series merge deterministically, then print
+/// one flow's reception or cooperation figure and optionally emit its
+/// mean +- CI series as CSV.
 
 #include <iostream>
 
@@ -17,12 +21,14 @@ inline int runFigureBench(int argc, char** argv, FlowId flow,
   const Flags flags(argc, argv);
   printHeader(title, paperRef);
 
-  analysis::UrbanExperimentConfig config = urbanConfigFromFlags(flags);
-  analysis::UrbanExperiment experiment(config);
-  const analysis::UrbanExperimentResult result = experiment.run();
+  runner::CampaignConfig campaign = campaignFromFlags(
+      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
+  applyUrbanFlags(flags, campaign.base);
+  const runner::CampaignResult result = runner::runCampaign(campaign);
+  const runner::GridPointSummary& point = result.points.front();
 
-  const auto it = result.figures.find(flow);
-  if (it == result.figures.end()) {
+  const auto it = point.figures.find(flow);
+  if (it == point.figures.end()) {
     std::cerr << "no figure data for flow " << flow
               << " (is --cars at least " << flow << "?)\n";
     return 1;
@@ -32,7 +38,16 @@ inline int runFigureBench(int argc, char** argv, FlowId flow,
   } else {
     std::cout << analysis::renderCoopFigure(it->second);
   }
-  maybeWriteFigureCsv(flags, "fig_flow" + std::to_string(flow), it->second);
+  printThroughput(result);
+  const std::string dir = flags.getString("csv", "");
+  if (!dir.empty()) {
+    const std::string path =
+        dir + "/fig_flow" + std::to_string(flow) + ".csv";
+    if (runner::writeFigureCsv(path, it->second)) {
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  maybeWriteCampaign(flags, "fig_flow" + std::to_string(flow), result);
   return 0;
 }
 

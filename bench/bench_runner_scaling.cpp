@@ -1,10 +1,17 @@
 /// \file bench_runner_scaling.cpp
 /// Parallel-scaling study of the campaign engine itself: one fixed
-/// highway campaign (speed x coop grid, --repl replications per point)
-/// executed with 1, 2 and N worker threads. Reports wall-clock, jobs/s
-/// and speedup per thread count, and verifies that the merged campaign
-/// is bit-identical across thread counts (the engine's core guarantee:
-/// results depend on (config, master seed) only, never on scheduling).
+/// campaign executed with 1, 2 and N worker threads. Reports wall-clock,
+/// jobs/s and speedup per thread count, and verifies that the merged
+/// campaign is bit-identical across thread counts (the engine's core
+/// guarantee: results depend on (config, master seed) only, never on
+/// scheduling).
+///
+/// Two modes:
+///   default     highway speed x coop grid; compares campaignPointsJson()
+///   --figures   urban campaign carrying FlowFigure series; compares the
+///               emitted figure CSVs (exercises FlowFigure::merge, the
+///               path the figure benches rely on)
+/// Either mode exits non-zero if any thread count changes the bytes.
 
 #include <iomanip>
 #include <iostream>
@@ -13,19 +20,47 @@
 
 #include "bench_common.h"
 
+namespace {
+
+/// Every figure CSV of the campaign, concatenated in point/flow order:
+/// byte equality of this string is bit-identity of every merged series.
+std::string allFigureCsvs(const vanet::runner::CampaignResult& result) {
+  std::string out;
+  for (const vanet::runner::GridPointSummary& point : result.points) {
+    for (const auto& [flow, figure] : point.figures) {
+      out += "# point " + std::to_string(point.gridIndex) + " flow " +
+             std::to_string(flow) + "\n";
+      out += vanet::runner::figureSeriesCsv(figure);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
-  bench::printHeader("Campaign engine: parallel scaling and determinism",
-                     "engine study (no paper counterpart)");
+  const bool figures = flags.getBool("figures", false);
+  bench::printHeader(
+      figures ? "Campaign engine: figure-series merge determinism"
+              : "Campaign engine: parallel scaling and determinism",
+      "engine study (no paper counterpart)");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "highway", /*defaultRounds=*/3, /*defaultReplications=*/4);
-  campaign.base.set("aps", 1);
-  campaign.base.set("road_length", 2400.0);
-  campaign.base.set("first_ap_arc", 1200.0);
-  campaign.grid.add("speed_kmh", {40.0, 60.0, 80.0, 100.0})
-      .add("coop", {0.0, 1.0});
+  runner::CampaignConfig campaign;
+  if (figures) {
+    campaign = bench::campaignFromFlags(flags, "urban", /*defaultRounds=*/3,
+                                        /*defaultReplications=*/4);
+    campaign.grid.add("gossip", {0.0, 1.0});
+  } else {
+    campaign = bench::campaignFromFlags(flags, "highway", /*defaultRounds=*/3,
+                                        /*defaultReplications=*/4);
+    campaign.base.set("aps", 1);
+    campaign.base.set("road_length", 2400.0);
+    campaign.base.set("first_ap_arc", 1200.0);
+    campaign.grid.add("speed_kmh", {40.0, 60.0, 80.0, 100.0})
+        .add("coop", {0.0, 1.0});
+  }
 
   const int hardware =
       static_cast<int>(std::thread::hardware_concurrency());
@@ -52,7 +87,8 @@ int main(int argc, char** argv) {
   for (const int threads : threadCounts) {
     campaign.threads = threads;
     const runner::CampaignResult result = runner::runCampaign(campaign);
-    const std::string merged = runner::campaignPointsJson(result);
+    const std::string merged = figures ? allFigureCsvs(result)
+                                       : runner::campaignPointsJson(result);
     if (reference.empty()) {
       reference = merged;
       serialWall = result.wallSeconds;
@@ -65,7 +101,9 @@ int main(int argc, char** argv) {
               << std::setw(11) << serialWall / result.wallSeconds << "x"
               << std::setw(16) << (identical ? "yes" : "NO") << "\n";
   }
-  std::cout << "\nmerged output bit-identical across thread counts: "
+  std::cout << "\n"
+            << (figures ? "figure CSVs" : "merged output")
+            << " bit-identical across thread counts: "
             << (allIdentical ? "yes" : "NO") << "\n";
   std::cout << "expected shape: jobs/s scales with threads up to the core"
                " count; the identical\ncolumn must read yes everywhere --"

@@ -39,9 +39,7 @@ int main(int argc, char** argv) {
             << point.totals.coopDataPerRound.mean() << " CoopData, "
             << point.totals.suppressedPerRound.mean() << " suppressed, "
             << point.totals.bufferedPerRound.mean() << " buffered\n";
-  std::cout << result.jobCount << " jobs in " << result.wallSeconds << " s ("
-            << result.jobsPerSecond << " jobs/s, " << result.threads
-            << " threads)\n";
+  bench::printThroughput(result);
 
   const std::string dir = flags.getString("csv", "");
   if (!dir.empty() && analysis::writeTable1Csv(dir + "/table1.csv", point.table1)) {

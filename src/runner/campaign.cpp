@@ -47,10 +47,25 @@ CampaignResult runCampaign(const CampaignConfig& config) {
   }
 
   // Resolve every grid point up front: scenario defaults, then the
-  // campaign base, then the axis values of the point.
+  // campaign base, then the case overrides, then the axis values of the
+  // point. Cases vary slowest, so the point list reads case-major.
   ParamSet base = ScenarioRegistry::global().defaults(config.scenario);
   base.apply(config.base);
-  const std::vector<ParamSet> points = config.grid.expand(base);
+  std::vector<ParamSet> points;
+  std::vector<std::string> caseNames;
+  if (config.cases.empty()) {
+    points = config.grid.expand(base);
+    caseNames.assign(points.size(), std::string());
+  } else {
+    for (const CampaignCase& campaignCase : config.cases) {
+      ParamSet caseBase = base;
+      caseBase.apply(campaignCase.overrides);
+      for (ParamSet& point : config.grid.expand(caseBase)) {
+        points.push_back(std::move(point));
+        caseNames.push_back(campaignCase.name);
+      }
+    }
+  }
 
   // Grid-major work-list: job i is replication i % replications of grid
   // point i / replications. The job index doubles as the RNG stream
@@ -120,12 +135,16 @@ CampaignResult runCampaign(const CampaignConfig& config) {
   for (std::size_t g = 0; g < points.size(); ++g) {
     GridPointSummary& point = merged.points[g];
     point.gridIndex = g;
+    point.caseName = caseNames[g];
     point.params = points[g];
   }
   for (std::size_t i = 0; i < jobCount; ++i) {
     GridPointSummary& point = merged.points[i / replications];
     const JobResult& result = results[i];
     point.table1.merge(result.table1);
+    for (const auto& [flow, figure] : result.figures) {
+      point.figures[flow].merge(figure);
+    }
     point.totals.merge(result.totals);
     for (const auto& [name, value] : result.metrics) {
       point.metrics[name].add(value);

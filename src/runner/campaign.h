@@ -21,11 +21,23 @@
 
 namespace vanet::runner {
 
-/// What to run. `base` overrides the scenario's registered defaults, the
-/// grid's axes override `base` per point.
+/// A named parameter combination that a study compares side by side
+/// ("plain" / "c-arq" / "c-arq+fc", or selection policies with their
+/// caps). Cases express *correlated* parameters a cartesian grid cannot:
+/// each case overrides several parameters at once.
+struct CampaignCase {
+  std::string name;
+  ParamSet overrides;
+};
+
+/// What to run. Parameters resolve, least specific first, as
+///   scenario defaults <- base <- case overrides <- grid axis values,
+/// and the expanded point list is cases (slowest) x grid points. An empty
+/// `cases` vector behaves like one unnamed case with no overrides.
 struct CampaignConfig {
   std::string scenario;
   ParamSet base;
+  std::vector<CampaignCase> cases;
   SweepGrid grid;
   int replications = 1;
   std::uint64_t masterSeed = 2008;
@@ -36,8 +48,12 @@ struct CampaignConfig {
 /// One grid point after merging its replications (in job order).
 struct GridPointSummary {
   std::size_t gridIndex = 0;
-  ParamSet params;                  ///< fully resolved (defaults+base+axes)
+  std::string caseName;             ///< owning case; empty without cases
+  ParamSet params;  ///< fully resolved (defaults+base+case+axes)
   trace::Table1Data table1;         ///< merged over replications
+  /// Per-flow figure series, merged over replications in job order
+  /// (empty for scenarios without figure traces).
+  std::map<FlowId, trace::FlowFigure> figures;
   analysis::ProtocolTotals totals;  ///< merged over replications
   /// Per-metric aggregate over the point's jobs: each job contributes one
   /// sample per metric it reported.

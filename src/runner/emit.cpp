@@ -1,5 +1,6 @@
 #include "runner/emit.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -64,6 +65,13 @@ std::set<std::string> metricNames(const CampaignResult& result) {
   return names;
 }
 
+bool anyCaseNames(const CampaignResult& result) {
+  for (const GridPointSummary& point : result.points) {
+    if (!point.caseName.empty()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string campaignCsv(const CampaignResult& result) {
@@ -78,9 +86,14 @@ std::string campaignCsv(const CampaignResult& result) {
   }
 
   // "total_rounds" = simulated rounds merged into the row (the resolved
-  // per-replication "rounds" param appears among the param columns).
-  std::vector<std::string> headers{"grid_index", "replications",
-                                   "total_rounds"};
+  // per-replication "rounds" param appears among the param columns). The
+  // "case" column only exists for campaigns that declared cases, so
+  // case-less campaigns keep their historical layout.
+  const bool withCases = anyCaseNames(result);
+  std::vector<std::string> headers{"grid_index"};
+  if (withCases) headers.push_back("case");
+  headers.push_back("replications");
+  headers.push_back("total_rounds");
   for (const std::string& name : paramNames) headers.push_back(name);
   for (const std::string& name : metrics) {
     headers.push_back(name + "_mean");
@@ -90,9 +103,10 @@ std::string campaignCsv(const CampaignResult& result) {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(result.points.size());
   for (const GridPointSummary& point : result.points) {
-    std::vector<std::string> row{std::to_string(point.gridIndex),
-                                 std::to_string(point.replications),
-                                 std::to_string(point.rounds)};
+    std::vector<std::string> row{std::to_string(point.gridIndex)};
+    if (withCases) row.push_back(point.caseName);
+    row.push_back(std::to_string(point.replications));
+    row.push_back(std::to_string(point.rounds));
     for (const std::string& name : paramNames) {
       row.push_back(point.params.has(name) ? num(point.params.get(name, 0.0))
                                            : std::string());
@@ -128,6 +142,9 @@ std::string campaignPointsJson(const CampaignResult& result) {
     const GridPointSummary& point = result.points[p];
     if (p > 0) out += ",";
     out += "\n  {\"grid_index\":" + std::to_string(point.gridIndex);
+    if (!point.caseName.empty()) {
+      out += ",\"case\":" + jsonString(point.caseName);
+    }
     out += ",\"replications\":" + std::to_string(point.replications);
     out += ",\"rounds\":" + std::to_string(point.rounds);
     out += ",\"params\":{";
@@ -203,6 +220,7 @@ std::string renderCampaignSummary(const CampaignResult& result,
   const std::set<std::string> metrics = metricNames(result);
   for (const GridPointSummary& point : result.points) {
     out << "  [" << point.gridIndex << "]";
+    if (!point.caseName.empty()) out << " " << point.caseName;
     for (const SweepAxis& axis : grid.axes()) {
       out << " " << axis.name << "=" << point.params.get(axis.name, 0.0);
     }
@@ -224,6 +242,76 @@ std::string renderCampaignSummary(const CampaignResult& result,
                 result.wallSeconds, result.jobsPerSecond, result.threads);
   out << footer;
   return out.str();
+}
+
+std::string figureSeriesCsv(const trace::FlowFigure& figure) {
+  std::vector<std::string> headers{"packet"};
+  // Columns in series-major order; every series pairs mean with the 95 %
+  // CI half-width so the CSV plots directly as mean +- CI curves.
+  std::vector<const SeriesAccumulator*> series;
+  for (const auto& [car, acc] : figure.rxByCar) {
+    headers.push_back("rx_car" + std::to_string(car) + "_mean");
+    headers.push_back("rx_car" + std::to_string(car) + "_ci95");
+    series.push_back(&acc);
+  }
+  headers.push_back("after_coop_mean");
+  headers.push_back("after_coop_ci95");
+  series.push_back(&figure.afterCoop);
+  headers.push_back("joint_mean");
+  headers.push_back("joint_ci95");
+  series.push_back(&figure.joint);
+  headers.push_back("joint_n");
+
+  std::size_t length = 0;
+  for (const SeriesAccumulator* acc : series) {
+    length = std::max(length, acc->size());
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (const SeriesAccumulator* acc : series) {
+      if (i < acc->size()) {
+        row.push_back(num(acc->at(i).mean()));
+        row.push_back(num(acc->at(i).confidence95()));
+      } else {
+        row.emplace_back();
+        row.emplace_back();
+      }
+    }
+    row.push_back(std::to_string(
+        i < figure.joint.size() ? figure.joint.at(i).count() : 0));
+    rows.push_back(std::move(row));
+  }
+  return analysis::renderCsv(headers, rows);
+}
+
+bool writeFigureCsv(const std::string& path, const trace::FlowFigure& figure) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("cannot open " << path << " for writing");
+    return false;
+  }
+  out << figureSeriesCsv(figure);
+  return static_cast<bool>(out);
+}
+
+std::size_t writeCampaignFigureCsvs(const std::string& dir,
+                                    const std::string& base,
+                                    const CampaignResult& result) {
+  std::size_t written = 0;
+  for (const GridPointSummary& point : result.points) {
+    for (const auto& [flow, figure] : point.figures) {
+      std::string path = dir + "/" + base;
+      if (result.points.size() > 1) {
+        path += "_p" + std::to_string(point.gridIndex);
+      }
+      path += "_flow" + std::to_string(flow) + ".csv";
+      if (!writeFigureCsv(path, figure)) return written;
+      ++written;
+    }
+  }
+  return written;
 }
 
 }  // namespace vanet::runner

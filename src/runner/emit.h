@@ -5,10 +5,11 @@
 /// machine-readable JSON summary, and a human console rendering with
 /// wall-clock / jobs-per-second throughput.
 ///
-/// campaignPointsJson() and campaignCsv() render only deterministic
-/// fields with full-precision (%.17g) numbers: two campaigns whose merged
-/// results are bit-identical render byte-identical text, which is exactly
-/// what the determinism tests and bench_runner_scaling compare.
+/// campaignPointsJson(), campaignCsv() and figureSeriesCsv() render only
+/// deterministic fields with full-precision (%.17g) numbers: two
+/// campaigns whose merged results are bit-identical render byte-identical
+/// text, which is exactly what the determinism tests and
+/// bench_runner_scaling compare.
 
 #include <string>
 
@@ -16,9 +17,10 @@
 
 namespace vanet::runner {
 
-/// One CSV row per grid point: grid index, every swept axis value,
-/// replications, rounds, then mean/stddev of every metric (sorted union
-/// of metric names over the campaign). Deterministic.
+/// One CSV row per grid point: grid index (plus the case name when the
+/// campaign declared cases), every swept axis value, replications,
+/// rounds, then mean/stddev of every metric (sorted union of metric names
+/// over the campaign). Deterministic.
 std::string campaignCsv(const CampaignResult& result);
 
 /// Writes campaignCsv() to `path`; false (and logs) on I/O failure.
@@ -35,9 +37,27 @@ std::string campaignJson(const CampaignResult& result);
 /// Writes campaignJson() to `path`; false (and logs) on I/O failure.
 bool writeCampaignJson(const std::string& path, const CampaignResult& result);
 
-/// Human summary: one line per grid point (axis values and headline
-/// metrics) plus the throughput footer.
+/// Human summary: one line per grid point (case name, axis values and
+/// headline metrics) plus the throughput footer.
 std::string renderCampaignSummary(const CampaignResult& result,
                                   const SweepGrid& grid);
+
+/// One figure series as CSV: a `packet` index column, then mean and
+/// 95 % CI half-width per per-car reception series, for the after-coop
+/// series and for the joint (any-car) series, plus the per-packet sample
+/// count of the joint series. Full-precision numbers: byte-comparing two
+/// renderings is a bit-identity check on the merged figure.
+std::string figureSeriesCsv(const trace::FlowFigure& figure);
+
+/// Writes figureSeriesCsv() to `path`; false (and logs) on I/O failure.
+bool writeFigureCsv(const std::string& path, const trace::FlowFigure& figure);
+
+/// Writes one CSV per (grid point, flow) of `result` into `dir`:
+///   dir/<base>_flow<F>.csv            for single-point campaigns,
+///   dir/<base>_p<G>_flow<F>.csv       otherwise.
+/// Returns the number of files written; stops and logs on I/O failure.
+std::size_t writeCampaignFigureCsvs(const std::string& dir,
+                                    const std::string& base,
+                                    const CampaignResult& result);
 
 }  // namespace vanet::runner

@@ -36,18 +36,27 @@ struct JobContext {
   std::size_t jobIndex = 0;  ///< global index in the campaign work-list
 };
 
-/// What one job returns. `table1` and `totals` merge across replications
-/// with the library's parallel-combining merges; `metrics` are scalar
-/// outcomes (lexicographically ordered by name) that aggregate into one
-/// RunningStats per metric at each grid point.
+/// What one job returns. `table1`, `figures` and `totals` merge across
+/// replications with the library's parallel-combining merges; `metrics`
+/// are scalar outcomes (lexicographically ordered by name) that aggregate
+/// into one RunningStats per metric at each grid point.
 struct JobResult {
   trace::Table1Data table1;
+  /// Per-flow Figure 3-8 series (empty for scenarios without figure
+  /// traces); merged per grid point via FlowFigure::merge.
+  std::map<FlowId, trace::FlowFigure> figures;
   analysis::ProtocolTotals totals;
   std::map<std::string, double> metrics;
   int rounds = 0;
 };
 
 using ScenarioFn = std::function<JobResult(const JobContext&)>;
+
+/// Maps the shared "phy" parameter value (0=DSSS-1M 1=DSSS-2M 2=CCK-5.5M
+/// 3=CCK-11M) to its PhyMode. The one place that defines the index
+/// vocabulary — benches rendering mode names must use it too. Throws
+/// std::invalid_argument when out of range.
+channel::PhyMode phyModeFromParam(int index);
 
 /// A registered scenario: name, documentation, accepted parameters, and
 /// the factory that runs one job.

@@ -82,6 +82,24 @@ Table1Data Table1Accumulator::data() const {
   return out;
 }
 
+void FlowFigure::merge(const FlowFigure& other) {
+  if (flow == 0) {
+    // A default-constructed figure adopts the other side's flow, so the
+    // merge folds cleanly from an empty identity element.
+    flow = other.flow;
+  } else {
+    VANET_ASSERT(other.flow == 0 || other.flow == flow,
+                 "FlowFigure merge must match flow ids");
+  }
+  for (const auto& [car, series] : other.rxByCar) {
+    rxByCar[car].merge(series);
+  }
+  afterCoop.merge(other.afterCoop);
+  joint.merge(other.joint);
+  regionBoundary12.merge(other.regionBoundary12);
+  regionBoundary23.merge(other.regionBoundary23);
+}
+
 void FigureAccumulator::addRound(const RoundTrace& trace) {
   ++rounds_;
   const auto& cars = trace.carIds();

@@ -69,6 +69,15 @@ struct FlowFigure {
   /// FigureAccumulator docs for the derivation).
   RunningStats regionBoundary12;
   RunningStats regionBoundary23;
+
+  /// Merges another figure of the same flow (for example a replication
+  /// run under a different seed): series merge cell-wise, per-car series
+  /// are matched by car id, and the boundary stats pool. Merging a
+  /// default-constructed figure is the identity, so the merge is usable
+  /// as a fold over per-replication figures; like the other
+  /// parallel-combining merges, folding in a fixed order yields
+  /// bit-identical bytes regardless of how the inputs were computed.
+  void merge(const FlowFigure& other);
 };
 
 /// Accumulates the figure series across rounds.

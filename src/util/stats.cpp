@@ -137,6 +137,15 @@ void SeriesAccumulator::add(std::size_t i, double value) {
   cells_[i].add(value);
 }
 
+void SeriesAccumulator::merge(const SeriesAccumulator& other) {
+  if (other.cells_.size() > cells_.size()) {
+    cells_.resize(other.cells_.size());
+  }
+  for (std::size_t i = 0; i < other.cells_.size(); ++i) {
+    cells_[i].merge(other.cells_[i]);
+  }
+}
+
 const RunningStats& SeriesAccumulator::at(std::size_t i) const {
   VANET_ASSERT(i < cells_.size(), "series index out of range");
   return cells_[i];

@@ -83,6 +83,12 @@ class SeriesAccumulator {
   /// Records `value` for index `i`.
   void add(std::size_t i, double value);
 
+  /// Merges another accumulator cell-wise (parallel-combining form): cell
+  /// i of the result carries every sample either side recorded for index
+  /// i. The series grows to the longer of the two; merging with an empty
+  /// accumulator is the identity.
+  void merge(const SeriesAccumulator& other);
+
   std::size_t size() const noexcept { return cells_.size(); }
   const RunningStats& at(std::size_t i) const;
 

@@ -1,0 +1,203 @@
+/// Tests for FlowFigure::merge and SeriesAccumulator::merge: the
+/// cross-replication figure combination the campaign engine folds in job
+/// order. Checks identity (merge with empty), associativity, and
+/// merge-order invariance against a serial reference accumulation over
+/// the same samples.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/aggregate.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace vanet::trace {
+namespace {
+
+/// One synthetic "replication": per-car reception samples over `packets`
+/// packet numbers, drawn from a deterministic stream.
+struct SyntheticRound {
+  std::vector<std::vector<double>> rxByCar;  ///< [car][packet]
+  std::vector<double> afterCoop;
+  std::vector<double> joint;
+  double boundary12 = 0.0;
+  double boundary23 = 0.0;
+};
+
+SyntheticRound makeRound(Rng& rng, std::size_t cars, std::size_t packets) {
+  SyntheticRound round;
+  round.rxByCar.resize(cars);
+  for (std::size_t car = 0; car < cars; ++car) {
+    for (std::size_t i = 0; i < packets; ++i) {
+      round.rxByCar[car].push_back(rng.bernoulli(0.7) ? 1.0 : 0.0);
+    }
+  }
+  for (std::size_t i = 0; i < packets; ++i) {
+    round.afterCoop.push_back(rng.bernoulli(0.9) ? 1.0 : 0.0);
+    round.joint.push_back(rng.bernoulli(0.95) ? 1.0 : 0.0);
+  }
+  round.boundary12 = rng.uniform(10.0, 20.0);
+  round.boundary23 = rng.uniform(80.0, 120.0);
+  return round;
+}
+
+void addRound(FlowFigure& figure, const SyntheticRound& round) {
+  for (std::size_t car = 0; car < round.rxByCar.size(); ++car) {
+    for (std::size_t i = 0; i < round.rxByCar[car].size(); ++i) {
+      figure.rxByCar[static_cast<NodeId>(car + 1)].add(
+          i, round.rxByCar[car][i]);
+    }
+  }
+  for (std::size_t i = 0; i < round.afterCoop.size(); ++i) {
+    figure.afterCoop.add(i, round.afterCoop[i]);
+    figure.joint.add(i, round.joint[i]);
+  }
+  figure.regionBoundary12.add(round.boundary12);
+  figure.regionBoundary23.add(round.boundary23);
+}
+
+/// A figure holding `rounds` synthetic rounds from the named stream, with
+/// per-round series lengths varying so merges must grow the series.
+FlowFigure makeFigure(std::uint64_t seed, int rounds,
+                      std::size_t packets = 40) {
+  Rng rng(seed);
+  FlowFigure figure;
+  figure.flow = 1;
+  for (int r = 0; r < rounds; ++r) {
+    addRound(figure, makeRound(rng, /*cars=*/3, packets + (r % 3) * 5));
+  }
+  return figure;
+}
+
+void expectStatsNear(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+void expectSeriesNear(const SeriesAccumulator& a, const SeriesAccumulator& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expectStatsNear(a.at(i), b.at(i));
+  }
+}
+
+void expectFiguresNear(const FlowFigure& a, const FlowFigure& b) {
+  EXPECT_EQ(a.flow, b.flow);
+  ASSERT_EQ(a.rxByCar.size(), b.rxByCar.size());
+  for (const auto& [car, series] : a.rxByCar) {
+    ASSERT_TRUE(b.rxByCar.count(car));
+    expectSeriesNear(series, b.rxByCar.at(car));
+  }
+  expectSeriesNear(a.afterCoop, b.afterCoop);
+  expectSeriesNear(a.joint, b.joint);
+  expectStatsNear(a.regionBoundary12, b.regionBoundary12);
+  expectStatsNear(a.regionBoundary23, b.regionBoundary23);
+}
+
+TEST(SeriesAccumulatorMergeTest, MergeWithEmptyIsIdentity) {
+  SeriesAccumulator series;
+  series.add(0, 1.0);
+  series.add(2, 0.5);
+  SeriesAccumulator copy = series;
+  copy.merge(SeriesAccumulator{});
+  expectSeriesNear(copy, series);
+
+  SeriesAccumulator empty;
+  empty.merge(series);
+  expectSeriesNear(empty, series);
+}
+
+TEST(SeriesAccumulatorMergeTest, GrowsToTheLongerSeries) {
+  SeriesAccumulator shorter;
+  shorter.add(0, 1.0);
+  SeriesAccumulator longer;
+  longer.add(4, 2.0);
+  shorter.merge(longer);
+  ASSERT_EQ(shorter.size(), 5u);
+  EXPECT_EQ(shorter.at(0).count(), 1u);
+  EXPECT_EQ(shorter.at(1).count(), 0u);
+  EXPECT_DOUBLE_EQ(shorter.at(4).mean(), 2.0);
+}
+
+TEST(FlowFigureMergeTest, MergeWithEmptyIsIdentity) {
+  const FlowFigure figure = makeFigure(1, 4);
+  FlowFigure merged = figure;
+  merged.merge(FlowFigure{});
+  expectFiguresNear(merged, figure);
+
+  FlowFigure empty;
+  empty.merge(figure);
+  expectFiguresNear(empty, figure);
+  EXPECT_EQ(empty.flow, figure.flow);  // adopted from the non-empty side
+}
+
+TEST(FlowFigureMergeTest, IsAssociative) {
+  const FlowFigure a = makeFigure(1, 3);
+  const FlowFigure b = makeFigure(2, 4);
+  const FlowFigure c = makeFigure(3, 2);
+
+  FlowFigure leftFold = a;  // (a + b) + c
+  leftFold.merge(b);
+  leftFold.merge(c);
+
+  FlowFigure bc = b;  // a + (b + c)
+  bc.merge(c);
+  FlowFigure rightFold = a;
+  rightFold.merge(bc);
+
+  expectFiguresNear(leftFold, rightFold);
+}
+
+TEST(FlowFigureMergeTest, MergeOrderMatchesSerialReference) {
+  // Serial reference: every round of every replication folded into one
+  // figure in a single pass.
+  Rng rng(7);
+  std::vector<SyntheticRound> rounds;
+  for (int r = 0; r < 12; ++r) {
+    rounds.push_back(makeRound(rng, 3, 40 + (r % 4) * 5));
+  }
+  FlowFigure reference;
+  reference.flow = 1;
+  for (const SyntheticRound& round : rounds) {
+    addRound(reference, round);
+  }
+
+  // Split the same rounds into per-replication figures and merge those in
+  // several different orders.
+  std::vector<FlowFigure> parts(4);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    parts[p].flow = 1;
+    for (std::size_t r = p * 3; r < (p + 1) * 3; ++r) {
+      addRound(parts[p], rounds[r]);
+    }
+  }
+  for (const std::vector<std::size_t>& order :
+       {std::vector<std::size_t>{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}) {
+    FlowFigure merged;
+    for (const std::size_t p : order) {
+      merged.merge(parts[p]);
+    }
+    expectFiguresNear(merged, reference);
+  }
+}
+
+TEST(FlowFigureMergeTest, CarsMissingOnOneSideAreKept) {
+  FlowFigure a;
+  a.flow = 2;
+  a.rxByCar[1].add(0, 1.0);
+  FlowFigure b;
+  b.flow = 2;
+  b.rxByCar[3].add(0, 0.0);
+  a.merge(b);
+  ASSERT_EQ(a.rxByCar.size(), 2u);
+  EXPECT_EQ(a.rxByCar.at(1).at(0).count(), 1u);
+  EXPECT_EQ(a.rxByCar.at(3).at(0).count(), 1u);
+}
+
+}  // namespace
+}  // namespace vanet::trace

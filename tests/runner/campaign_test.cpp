@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 
@@ -54,6 +55,69 @@ TEST(CampaignTest, TwoThreadsProduceByteIdenticalMergedStats) {
   // so string equality is bit-identity of the merged campaign.
   EXPECT_EQ(campaignPointsJson(serial), campaignPointsJson(parallel));
   EXPECT_EQ(campaignCsv(serial), campaignCsv(parallel));
+}
+
+TEST(CampaignTest, FigureSeriesMergeByteIdenticalAcrossThreads) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 1;
+  const CampaignResult serial = runCampaign(config);
+  config.threads = 2;
+  const CampaignResult parallel = runCampaign(config);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    // The urban scenario reports one figure per car; merged in job order
+    // they render byte-identically no matter how many threads ran.
+    ASSERT_EQ(serial.points[p].figures.size(), 2u);
+    ASSERT_EQ(parallel.points[p].figures.size(), 2u);
+    for (const auto& [flow, figure] : serial.points[p].figures) {
+      EXPECT_EQ(figureSeriesCsv(figure),
+                figureSeriesCsv(parallel.points[p].figures.at(flow)));
+    }
+  }
+}
+
+TEST(CampaignTest, CasesExpandCaseMajorAndLandInSummaries) {
+  CampaignConfig config;
+  config.scenario = "urban";
+  config.masterSeed = 2008;
+  config.replications = 1;
+  config.threads = 2;
+  config.base.set("rounds", 1);
+  config.base.set("cars", 2);
+  config.cases = {{"plain", {{"coop", 0.0}}}, {"c-arq", {{"coop", 1.0}}}};
+  config.grid.add("speed_kmh", {20.0, 30.0});
+  const CampaignResult result = runCampaign(config);
+  ASSERT_EQ(result.points.size(), 4u);  // 2 cases x 2 grid points
+  EXPECT_EQ(result.points[0].caseName, "plain");
+  EXPECT_DOUBLE_EQ(result.points[0].params.get("coop", -1), 0.0);
+  EXPECT_DOUBLE_EQ(result.points[0].params.get("speed_kmh", 0), 20.0);
+  EXPECT_EQ(result.points[1].caseName, "plain");
+  EXPECT_DOUBLE_EQ(result.points[1].params.get("speed_kmh", 0), 30.0);
+  EXPECT_EQ(result.points[2].caseName, "c-arq");
+  EXPECT_DOUBLE_EQ(result.points[2].params.get("coop", -1), 1.0);
+  // The case column appears in the CSV and JSON only for case campaigns.
+  const std::string csv = campaignCsv(result);
+  EXPECT_EQ(csv.rfind("grid_index,case,replications,total_rounds", 0), 0u);
+  EXPECT_NE(campaignPointsJson(result).find("\"case\":\"c-arq\""),
+            std::string::npos);
+}
+
+TEST(CampaignTest, CaseOverridesBeatBaseAndLoseToAxes) {
+  CampaignConfig config;
+  config.scenario = "urban";
+  config.replications = 1;
+  config.threads = 1;
+  config.base.set("rounds", 1);
+  config.base.set("cars", 2);
+  config.base.set("max_coop", 4);
+  config.cases = {{"capped", {{"max_coop", 2.0}, {"gossip", 1.0}}}};
+  config.grid.add("gossip", {0.0});
+  const CampaignResult result = runCampaign(config);
+  ASSERT_EQ(result.points.size(), 1u);
+  // case beats base...
+  EXPECT_DOUBLE_EQ(result.points[0].params.get("max_coop", -1), 2.0);
+  // ...but the swept axis beats the case.
+  EXPECT_DOUBLE_EQ(result.points[0].params.get("gossip", -1), 0.0);
 }
 
 TEST(CampaignTest, MasterSeedChangesResults) {
@@ -113,6 +177,22 @@ TEST(CampaignTest, WorkerExceptionPropagates) {
   config.replications = 3;
   config.threads = 2;
   EXPECT_THROW(runCampaign(config), std::runtime_error);
+}
+
+TEST(CampaignEmitTest, WritesOneFigureCsvPerPointAndFlow) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult result = runCampaign(config);
+  const std::string dir = ::testing::TempDir();
+  // 4 grid points x 2 flows; multi-point campaigns embed the grid index.
+  EXPECT_EQ(writeCampaignFigureCsvs(dir, "camp", result), 8u);
+  std::ifstream in(dir + "/camp_p2_flow1.csv");
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "packet,rx_car1_mean,rx_car1_ci95,rx_car2_mean,rx_car2_ci95,"
+            "after_coop_mean,after_coop_ci95,joint_mean,joint_ci95,joint_n");
 }
 
 TEST(CampaignEmitTest, CsvHasHeaderAndOneRowPerPoint) {
