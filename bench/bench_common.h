@@ -6,14 +6,18 @@
 /// artefacts.
 ///
 /// Common flags (all benches):
-///   --rounds=N    rounds per replication
-///   --seed=S      master seed (default 2008)
-///   --cars=N      platoon size (default 3)
-///   --repl=N      independent replications per grid point
-///   --threads=N   worker threads (0 = hardware concurrency)
-///   --csv=DIR     also write CSV/JSON outputs into DIR
+///   --rounds=N       rounds per replication
+///   --seed=S         master seed (default 2008)
+///   --cars=N         platoon size (default 3)
+///   --repl=N         independent replications per grid point
+///   --threads=N      worker threads (0 = hardware concurrency)
+///   --csv=DIR        also write CSV/JSON outputs into DIR
+///   --shard=i/N      run only shard i of N (whole grid points)
+///   --partial-out=F  write this shard's partial-result JSON to F
+///   --streaming      bounded-memory streaming accumulation
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -35,11 +39,14 @@ inline runner::CampaignConfig campaignFromFlags(const Flags& flags,
                                                 std::string scenario,
                                                 int defaultRounds,
                                                 int defaultReplications) {
+  const CampaignRunFlags run = campaignRunFlags(flags);
   runner::CampaignConfig config;
   config.scenario = std::move(scenario);
-  config.masterSeed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
+  config.masterSeed = run.seed;
   config.replications = flags.getInt("repl", defaultReplications);
-  config.threads = flags.getInt("threads", 0);
+  config.threads = run.threads;
+  config.shard = runner::Shard{run.shard.index, run.shard.count};
+  config.streaming = run.streaming;
   config.base.set("rounds", flags.getInt("rounds", defaultRounds));
   config.base.set("cars", flags.getInt("cars", 3));
   return config;
@@ -61,9 +68,26 @@ inline void applyUrbanFlags(const Flags& flags, runner::ParamSet& base) {
   }
 }
 
-/// Writes the campaign CSV + JSON summaries when --csv is given.
+/// Writes the shard's partial-result JSON when --partial-out is given.
+/// Only reached on a successful run: a failed campaign throws out of
+/// runCampaign before any summary exists, so a shard file is never
+/// truncated. A failed *write* exits non-zero -- a shard pipeline must
+/// never see success next to a missing or stale partial file.
+inline void maybeWritePartial(const Flags& flags,
+                              const runner::CampaignResult& result) {
+  const std::string path = flags.getString("partial-out", "");
+  if (path.empty()) return;
+  if (!runner::writeCampaignPartial(path, runner::campaignPartial(result))) {
+    std::exit(1);
+  }
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Writes the campaign CSV + JSON summaries when --csv is given, and the
+/// shard partial when --partial-out is given.
 inline void maybeWriteCampaign(const Flags& flags, const std::string& name,
                                const runner::CampaignResult& result) {
+  maybeWritePartial(flags, result);
   const std::string dir = flags.getString("csv", "");
   if (dir.empty()) return;
   const std::string csvPath = dir + "/" + name + "_campaign.csv";

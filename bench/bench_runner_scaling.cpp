@@ -6,16 +6,23 @@
 /// guarantee: results depend on (config, master seed) only, never on
 /// scheduling).
 ///
-/// Two modes:
+/// Four modes:
 ///   default     highway speed x coop grid; compares campaignPointsJson()
 ///   --figures   urban campaign carrying FlowFigure series; compares the
 ///               emitted figure CSVs (exercises FlowFigure::merge, the
 ///               path the figure benches rely on)
-/// Either mode exits non-zero if any thread count changes the bytes.
+///   --batched   streaming (bounded-memory) execution at each thread
+///               count against the buffered serial reference; also
+///               reports the reordering-window high-water mark
+///   --shard     splits the campaign into 2 and 3 shards, folds the
+///               partials back with the merge pipeline, and compares
+///               against the unsharded single-thread run
+/// Every mode exits non-zero if any variant changes the bytes.
 
 #include <iomanip>
 #include <iostream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -36,15 +43,70 @@ std::string allFigureCsvs(const vanet::runner::CampaignResult& result) {
   return out;
 }
 
+/// Runs the campaign once per shard, serializes each shard's summaries
+/// through the partial-result format, and folds them back -- the same
+/// round trip two processes and campaign_merge would perform.
+vanet::runner::CampaignResult runSharded(vanet::runner::CampaignConfig config,
+                                         int shardCount) {
+  std::vector<vanet::runner::CampaignPartial> partials;
+  partials.reserve(static_cast<std::size_t>(shardCount));
+  for (int shard = 0; shard < shardCount; ++shard) {
+    config.shard = vanet::runner::Shard{shard, shardCount};
+    const vanet::runner::CampaignResult result =
+        vanet::runner::runCampaign(config);
+    // Round-trip the bytes a shard process would write to disk.
+    partials.push_back(vanet::runner::parseCampaignPartial(
+        vanet::runner::campaignPartialJson(
+            vanet::runner::campaignPartial(result))));
+  }
+  return vanet::runner::resultFromPartials(std::move(partials));
+}
+
+int runShardMode(vanet::runner::CampaignConfig campaign) {
+  campaign.threads = 1;
+  campaign.shard = vanet::runner::Shard{};
+  const vanet::runner::CampaignResult reference =
+      vanet::runner::runCampaign(campaign);
+  const std::string referenceJson =
+      vanet::runner::campaignPointsJson(reference);
+  const std::string referenceCsv = vanet::runner::campaignCsv(reference);
+
+  std::cout << std::left << std::setw(10) << "shards" << std::right
+            << std::setw(16) << "identical" << "\n";
+  bool allIdentical = true;
+  campaign.threads = 2;
+  for (const int shards : {2, 3}) {
+    const vanet::runner::CampaignResult merged = runSharded(campaign, shards);
+    const bool identical =
+        vanet::runner::campaignPointsJson(merged) == referenceJson &&
+        vanet::runner::campaignCsv(merged) == referenceCsv;
+    allIdentical = allIdentical && identical;
+    std::cout << std::left << std::setw(10) << shards << std::right
+              << std::setw(16) << (identical ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\nsharded + merged output bit-identical to the 1-process"
+               " run: "
+            << (allIdentical ? "yes" : "NO") << "\n";
+  std::cout << "expected shape: a shard owns whole grid points (round-robin"
+               " by index), seeds\nstay derived from the global job index,"
+               " and the partial-file round trip is\nexact -- so merging"
+               " shard files reproduces the monolithic bytes\n";
+  return allIdentical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
   const bool figures = flags.getBool("figures", false);
+  const bool batched = flags.getBool("batched", false);
+  const bool shardMode = flags.getString("shard", "") == "true";
   bench::printHeader(
-      figures ? "Campaign engine: figure-series merge determinism"
-              : "Campaign engine: parallel scaling and determinism",
+      figures    ? "Campaign engine: figure-series merge determinism"
+      : batched  ? "Campaign engine: streaming (bounded-memory) determinism"
+      : shardMode? "Campaign engine: shard + merge determinism"
+                 : "Campaign engine: parallel scaling and determinism",
       "engine study (no paper counterpart)");
 
   runner::CampaignConfig campaign;
@@ -62,6 +124,8 @@ int main(int argc, char** argv) {
         .add("coop", {0.0, 1.0});
   }
 
+  if (shardMode) return runShardMode(std::move(campaign));
+
   const int hardware =
       static_cast<int>(std::thread::hardware_concurrency());
   std::vector<int> threadCounts{1, 2};
@@ -78,36 +142,59 @@ int main(int argc, char** argv) {
             << " jobs (hardware concurrency: " << hardware << ")\n\n";
   std::cout << std::left << std::setw(10) << "threads" << std::right
             << std::setw(12) << "wall s" << std::setw(12) << "jobs/s"
-            << std::setw(12) << "speedup" << std::setw(16) << "identical"
-            << "\n";
+            << std::setw(12) << "speedup" << std::setw(16) << "identical";
+  if (batched) std::cout << std::setw(14) << "peak buffered";
+  std::cout << "\n";
 
+  // The reference is always the buffered serial run; --batched then pits
+  // the streaming backend against it at every thread count.
+  campaign.streaming = false;
   std::string reference;
   double serialWall = 0.0;
   bool allIdentical = true;
+  bool first = true;
   for (const int threads : threadCounts) {
     campaign.threads = threads;
+    campaign.streaming = batched && !first;
     const runner::CampaignResult result = runner::runCampaign(campaign);
     const std::string merged = figures ? allFigureCsvs(result)
                                        : runner::campaignPointsJson(result);
-    if (reference.empty()) {
+    if (first) {
       reference = merged;
       serialWall = result.wallSeconds;
     }
+    first = false;
     const bool identical = merged == reference;
     allIdentical = allIdentical && identical;
     std::cout << std::left << std::setw(10) << threads << std::right
               << std::fixed << std::setprecision(2) << std::setw(12)
               << result.wallSeconds << std::setw(12) << result.jobsPerSecond
               << std::setw(11) << serialWall / result.wallSeconds << "x"
-              << std::setw(16) << (identical ? "yes" : "NO") << "\n";
+              << std::setw(16) << (identical ? "yes" : "NO");
+    if (batched) {
+      std::cout << std::setw(10) << result.peakBufferedResults
+                << (result.streaming ? " (cap " +
+                        std::to_string(runner::streamingWindowCap(threads)) +
+                        ")"
+                                     : " (all)");
+    }
+    std::cout << "\n";
   }
   std::cout << "\n"
             << (figures ? "figure CSVs" : "merged output")
-            << " bit-identical across thread counts: "
-            << (allIdentical ? "yes" : "NO") << "\n";
-  std::cout << "expected shape: jobs/s scales with threads up to the core"
-               " count; the identical\ncolumn must read yes everywhere --"
-               " the merge is in job order and every job owns\na private"
-               " RNG stream hashed from (master seed, job index)\n";
+            << " bit-identical across "
+            << (batched ? "backends and thread counts" : "thread counts")
+            << ": " << (allIdentical ? "yes" : "NO") << "\n";
+  if (batched) {
+    std::cout << "expected shape: streaming folds through a reordering"
+                 " window of at most\nstreamingWindowCap(threads) parked"
+                 " results (O(threads), not O(jobs)) and still\nmatches the"
+                 " buffered reference byte for byte\n";
+  } else {
+    std::cout << "expected shape: jobs/s scales with threads up to the core"
+                 " count; the identical\ncolumn must read yes everywhere --"
+                 " the merge is in job order and every job owns\na private"
+                 " RNG stream hashed from (master seed, job index)\n";
+  }
   return allIdentical ? 0 : 1;
 }

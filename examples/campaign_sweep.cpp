@@ -5,6 +5,11 @@
 ///
 ///   $ ./example_campaign_sweep [--repl=4] [--threads=0] [--seed=2008]
 ///       [--out=DIR] (write DIR/campaign.csv and DIR/campaign.json)
+///       [--shard=i/N] [--partial-out=FILE] [--streaming]
+///
+/// With --shard/--partial-out this runs one slice of the grid and writes
+/// a partial-result file for example_campaign_merge -- the two-process
+/// merged output is byte-identical to the single-process run.
 ///
 /// Scenarios are looked up by name in the global registry; run with
 /// --list to see every registered scenario and its parameters.
@@ -33,11 +38,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const CampaignRunFlags run = campaignRunFlags(flags);
   runner::CampaignConfig campaign;
   campaign.scenario = flags.getString("scenario", "highway");
-  campaign.masterSeed = static_cast<std::uint64_t>(flags.getInt("seed", 2008));
+  campaign.masterSeed = run.seed;
   campaign.replications = flags.getInt("repl", 4);
-  campaign.threads = flags.getInt("threads", 0);
+  campaign.threads = run.threads;
+  campaign.shard = runner::Shard{run.shard.index, run.shard.count};
+  campaign.streaming = run.streaming;
   campaign.base.set("rounds", flags.getInt("rounds", 3));
   campaign.base.set("aps", 1);
   campaign.base.set("road_length", 2400.0);
@@ -56,6 +64,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << runner::renderCampaignSummary(result, campaign.grid);
+
+  if (!run.partialOut.empty()) {
+    // A failed partial write must fail the process: the merge step would
+    // otherwise happily pick up a stale file from an earlier run.
+    if (!runner::writeCampaignPartial(run.partialOut,
+                                      runner::campaignPartial(result))) {
+      return 1;
+    }
+    std::cout << "wrote " << run.partialOut << "\n";
+  }
 
   const std::string dir = flags.getString("out", "");
   if (!dir.empty()) {

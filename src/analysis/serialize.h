@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file serialize.h
+/// JSON (de)serialization of the analysis-layer merge states
+/// (ProtocolTotals with its embedded mac::MediumStats counters), used by
+/// the campaign partial-result format. Like the trace serializers, the
+/// full merge-state round-trips bit-identically.
+
+#include <string>
+
+#include "analysis/experiment.h"
+#include "util/json.h"
+
+namespace vanet::analysis {
+
+/// ProtocolTotals as a JSON object.
+std::string protocolTotalsToJson(const ProtocolTotals& totals);
+
+/// Parses protocolTotalsToJson() output; throws std::runtime_error on
+/// malformed input.
+ProtocolTotals protocolTotalsFromJson(const json::Value& value);
+
+}  // namespace vanet::analysis

@@ -1,0 +1,249 @@
+#include "runner/accumulate.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/serialize.h"
+#include "trace/serialize.h"
+#include "util/json.h"
+#include "util/log.h"
+
+namespace vanet::runner {
+
+CampaignAccumulator::CampaignAccumulator(const CampaignPlan& plan)
+    : replications_(static_cast<std::size_t>(plan.replications())),
+      expectedJobs_(plan.shardJobCount()) {
+  points_.reserve(plan.shardPointIndices().size());
+  for (const std::size_t p : plan.shardPointIndices()) {
+    const PlannedPoint& planned = plan.points()[p];
+    GridPointSummary summary;
+    summary.gridIndex = planned.gridIndex;
+    summary.caseName = planned.caseName;
+    summary.params = planned.params;
+    points_.push_back(std::move(summary));
+  }
+}
+
+void CampaignAccumulator::fold(std::size_t localIndex,
+                               const JobResult& result) {
+  if (localIndex != folded_) {
+    throw std::logic_error("campaign fold out of order: got job " +
+                           std::to_string(localIndex) + ", expected " +
+                           std::to_string(folded_));
+  }
+  GridPointSummary& point = points_[localIndex / replications_];
+  point.table1.merge(result.table1);
+  for (const auto& [flow, figure] : result.figures) {
+    point.figures[flow].merge(figure);
+  }
+  point.totals.merge(result.totals);
+  for (const auto& [name, value] : result.metrics) {
+    point.metrics[name].add(value);
+  }
+  point.replications += 1;
+  point.rounds += result.rounds;
+  ++folded_;
+}
+
+std::vector<GridPointSummary> CampaignAccumulator::take() {
+  if (!complete()) {
+    throw std::logic_error("campaign fold incomplete: " +
+                           std::to_string(folded_) + " of " +
+                           std::to_string(expectedJobs_) + " jobs folded");
+  }
+  return std::move(points_);
+}
+
+namespace {
+
+std::string pointJson(const GridPointSummary& point) {
+  std::string out = "{\"grid_index\":" + std::to_string(point.gridIndex);
+  out += ",\"case\":" + json::quote(point.caseName);
+  out += ",\"replications\":" + std::to_string(point.replications);
+  out += ",\"rounds\":" + std::to_string(point.rounds);
+  out += ",\"params\":{";
+  bool first = true;
+  for (const auto& [name, value] : point.params.values()) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(name) + ":" + json::num(value);
+  }
+  out += "},\"table1\":" + trace::table1ToJson(point.table1);
+  out += ",\"figures\":[";
+  first = true;
+  for (const auto& [flow, figure] : point.figures) {
+    (void)flow;  // the figure serializes its own flow id
+    if (!first) out += ",";
+    first = false;
+    out += trace::flowFigureToJson(figure);
+  }
+  out += "],\"totals\":" + analysis::protocolTotalsToJson(point.totals);
+  out += ",\"metrics\":{";
+  first = true;
+  for (const auto& [name, stats] : point.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(name) + ":" + trace::runningStatsToJson(stats);
+  }
+  out += "}}";
+  return out;
+}
+
+GridPointSummary pointFromJson(const json::Value& value) {
+  GridPointSummary point;
+  point.gridIndex =
+      static_cast<std::size_t>(value.at("grid_index").asUInt64());
+  point.caseName = value.at("case").asString();
+  point.replications = static_cast<int>(value.at("replications").asInt64());
+  point.rounds = value.at("rounds").asInt64();
+  for (const auto& [name, param] : value.at("params").asObject()) {
+    point.params.set(name, param.asDouble());
+  }
+  point.table1 = trace::table1FromJson(value.at("table1"));
+  for (const json::Value& figure : value.at("figures").asArray()) {
+    trace::FlowFigure parsed = trace::flowFigureFromJson(figure);
+    const FlowId flow = parsed.flow;
+    point.figures[flow] = std::move(parsed);
+  }
+  point.totals = analysis::protocolTotalsFromJson(value.at("totals"));
+  for (const auto& [name, stats] : value.at("metrics").asObject()) {
+    point.metrics[name] = trace::runningStatsFromJson(stats);
+  }
+  return point;
+}
+
+}  // namespace
+
+std::string campaignPartialJson(const CampaignPartial& partial) {
+  std::string out = "{\n\"format\":\"vanet-campaign-partial\",\n";
+  out += "\"version\":" + std::to_string(CampaignPartial::kVersion) + ",\n";
+  out += "\"scenario\":" + json::quote(partial.scenario) + ",\n";
+  out += "\"master_seed\":" + std::to_string(partial.masterSeed) + ",\n";
+  out += "\"shard_index\":" + std::to_string(partial.shard.index) + ",\n";
+  out += "\"shard_count\":" + std::to_string(partial.shard.count) + ",\n";
+  out += "\"replications\":" + std::to_string(partial.replications) + ",\n";
+  out += "\"grid_points\":" + std::to_string(partial.totalPoints) + ",\n";
+  out += "\"job_count\":" + std::to_string(partial.totalJobs) + ",\n";
+  out += "\"points\":[";
+  bool first = true;
+  for (const GridPointSummary& point : partial.points) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n " + pointJson(point);
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+CampaignPartial parseCampaignPartial(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  if (doc.at("format").asString() != "vanet-campaign-partial") {
+    throw std::runtime_error("not a vanet campaign partial file");
+  }
+  const auto version = static_cast<int>(doc.at("version").asInt64());
+  if (version != CampaignPartial::kVersion) {
+    throw std::runtime_error(
+        "unsupported campaign partial version " + std::to_string(version) +
+        " (expected " + std::to_string(CampaignPartial::kVersion) + ")");
+  }
+  CampaignPartial partial;
+  partial.scenario = doc.at("scenario").asString();
+  partial.masterSeed = doc.at("master_seed").asUInt64();
+  partial.shard.index = static_cast<int>(doc.at("shard_index").asInt64());
+  partial.shard.count = static_cast<int>(doc.at("shard_count").asInt64());
+  partial.replications = static_cast<int>(doc.at("replications").asInt64());
+  partial.totalPoints =
+      static_cast<std::size_t>(doc.at("grid_points").asUInt64());
+  partial.totalJobs = static_cast<std::size_t>(doc.at("job_count").asUInt64());
+  for (const json::Value& point : doc.at("points").asArray()) {
+    partial.points.push_back(pointFromJson(point));
+  }
+  return partial;
+}
+
+bool writeCampaignPartial(const std::string& path,
+                          const CampaignPartial& partial) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("cannot open " << path << " for writing");
+    return false;
+  }
+  out << campaignPartialJson(partial);
+  return static_cast<bool>(out);
+}
+
+CampaignPartial readCampaignPartial(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path + " for reading");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parseCampaignPartial(text.str());
+  } catch (const std::runtime_error& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+std::vector<GridPointSummary> mergeCampaignPartials(
+    std::vector<CampaignPartial> partials) {
+  if (partials.empty()) {
+    throw std::runtime_error("no campaign partials to merge");
+  }
+  std::sort(partials.begin(), partials.end(),
+            [](const CampaignPartial& a, const CampaignPartial& b) {
+              return a.shard.index < b.shard.index;
+            });
+  const CampaignPartial& first = partials.front();
+  if (partials.size() != static_cast<std::size_t>(first.shard.count)) {
+    throw std::runtime_error(
+        "expected " + std::to_string(first.shard.count) +
+        " shard partials, got " + std::to_string(partials.size()));
+  }
+  std::vector<GridPointSummary> merged(first.totalPoints);
+  std::vector<bool> filled(first.totalPoints, false);
+  for (std::size_t s = 0; s < partials.size(); ++s) {
+    CampaignPartial& partial = partials[s];
+    if (partial.scenario != first.scenario ||
+        partial.masterSeed != first.masterSeed ||
+        partial.replications != first.replications ||
+        partial.totalPoints != first.totalPoints ||
+        partial.totalJobs != first.totalJobs ||
+        partial.shard.count != first.shard.count) {
+      throw std::runtime_error(
+          "shard partials describe different campaigns (shard " +
+          std::to_string(partial.shard.index) + " disagrees)");
+    }
+    if (partial.shard.index != static_cast<int>(s)) {
+      throw std::runtime_error("missing or duplicate shard " +
+                               std::to_string(s) + " in partial set");
+    }
+    for (GridPointSummary& point : partial.points) {
+      if (point.gridIndex >= merged.size()) {
+        throw std::runtime_error("partial grid index " +
+                                 std::to_string(point.gridIndex) +
+                                 " out of range");
+      }
+      if (filled[point.gridIndex]) {
+        throw std::runtime_error("grid point " +
+                                 std::to_string(point.gridIndex) +
+                                 " appears in more than one shard");
+      }
+      filled[point.gridIndex] = true;
+      merged[point.gridIndex] = std::move(point);
+    }
+  }
+  for (std::size_t p = 0; p < filled.size(); ++p) {
+    if (!filled[p]) {
+      throw std::runtime_error("grid point " + std::to_string(p) +
+                               " is missing from every shard");
+    }
+  }
+  return merged;
+}
+
+}  // namespace vanet::runner

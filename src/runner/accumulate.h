@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file accumulate.h
+/// The *accumulate* layer of the campaign pipeline: folds JobResults
+/// into per-grid-point summaries strictly in job order (the merge that
+/// used to live inline in runCampaign), and (de)serializes summaries to
+/// the versioned JSON partial-result format that shard processes
+/// exchange. Because every RunningStats round-trips its full Welford
+/// merge state, results reassembled from shard files are bit-identical
+/// to a single-process run.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/plan.h"
+#include "util/stats.h"
+
+namespace vanet::runner {
+
+/// One grid point after merging its replications (in job order).
+struct GridPointSummary {
+  std::size_t gridIndex = 0;
+  std::string caseName;             ///< owning case; empty without cases
+  ParamSet params;  ///< fully resolved (defaults+base+case+axes)
+  trace::Table1Data table1;         ///< merged over replications
+  /// Per-flow figure series, merged over replications in job order
+  /// (empty for scenarios without figure traces).
+  std::map<FlowId, trace::FlowFigure> figures;
+  analysis::ProtocolTotals totals;  ///< merged over replications
+  /// Per-metric aggregate over the point's jobs: each job contributes one
+  /// sample per metric it reported.
+  std::map<std::string, RunningStats> metrics;
+  int replications = 0;
+  /// Total simulated rounds across replications; 64-bit so
+  /// million-replication campaigns cannot overflow.
+  std::int64_t rounds = 0;
+};
+
+/// Folds job results into the shard's grid-point summaries. fold() must
+/// be called in ascending local job order -- exactly the order the
+/// executor's reordering window releases results -- so the merged bytes
+/// are a pure function of the plan, never of scheduling.
+class CampaignAccumulator {
+ public:
+  explicit CampaignAccumulator(const CampaignPlan& plan);
+
+  /// Folds the result of plan.shardJob(localIndex). Throws
+  /// std::logic_error when called out of order.
+  void fold(std::size_t localIndex, const JobResult& result);
+
+  std::size_t foldedJobs() const noexcept { return folded_; }
+  bool complete() const noexcept { return folded_ == expectedJobs_; }
+
+  /// The merged summaries, in grid order (the shard's points only).
+  /// Throws std::logic_error when the fold is incomplete -- a failed
+  /// run must never surface a truncated summary set.
+  std::vector<GridPointSummary> take();
+
+ private:
+  std::vector<GridPointSummary> points_;
+  std::size_t replications_ = 1;
+  std::size_t expectedJobs_ = 0;
+  std::size_t folded_ = 0;
+};
+
+/// A shard's serialized contribution: the campaign identity (so merging
+/// validates shards belong together) plus its merged point summaries.
+struct CampaignPartial {
+  /// Format version of the partial-result file; readers reject other
+  /// versions.
+  static constexpr int kVersion = 1;
+
+  std::string scenario;
+  std::uint64_t masterSeed = 0;
+  Shard shard{};
+  int replications = 0;
+  std::size_t totalPoints = 0;  ///< full-grid point count of the plan
+  std::size_t totalJobs = 0;    ///< full-campaign job count of the plan
+  std::vector<GridPointSummary> points;  ///< this shard's, in grid order
+};
+
+/// Serializes a partial to its versioned JSON document. Deterministic:
+/// bit-identical summaries render byte-identical text.
+std::string campaignPartialJson(const CampaignPartial& partial);
+
+/// Parses campaignPartialJson() output. Throws std::runtime_error on
+/// malformed input or a version mismatch.
+CampaignPartial parseCampaignPartial(const std::string& text);
+
+/// Writes the partial to `path`; false (and logs) on I/O failure.
+bool writeCampaignPartial(const std::string& path,
+                          const CampaignPartial& partial);
+
+/// Reads and parses a partial file. Throws std::runtime_error when the
+/// file cannot be read or parsed.
+CampaignPartial readCampaignPartial(const std::string& path);
+
+/// Folds shard partials (any order given; folded in shard order) back
+/// into the full grid. Validates that the partials describe the same
+/// campaign, that every shard 0..count-1 is present exactly once, and
+/// that the points cover the full grid without overlap. Throws
+/// std::runtime_error on any mismatch. The returned summaries are
+/// bit-identical to the single-process run's.
+std::vector<GridPointSummary> mergeCampaignPartials(
+    std::vector<CampaignPartial> partials);
+
+}  // namespace vanet::runner

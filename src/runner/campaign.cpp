@@ -1,157 +1,61 @@
 #include "runner/campaign.h"
 
-#include <atomic>
-#include <chrono>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
-#include "util/rng.h"
-
 namespace vanet::runner {
-namespace {
-
-int resolveThreadCount(int requested, std::size_t jobCount) {
-  int threads = requested;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  if (static_cast<std::size_t>(threads) > jobCount) {
-    threads = static_cast<int>(jobCount);
-  }
-  return threads > 0 ? threads : 1;
-}
-
-}  // namespace
 
 CampaignResult runCampaign(const CampaignConfig& config) {
-  const ScenarioInfo* scenario =
-      ScenarioRegistry::global().find(config.scenario);
-  if (scenario == nullptr) {
-    throw std::invalid_argument("unknown scenario: \"" + config.scenario +
-                                "\" (registered: " + [] {
-                                  std::string all;
-                                  for (const auto& name :
-                                       ScenarioRegistry::global().names()) {
-                                    if (!all.empty()) all += ", ";
-                                    all += name;
-                                  }
-                                  return all;
-                                }() + ")");
-  }
-  if (config.replications < 1) {
-    throw std::invalid_argument("campaign needs replications >= 1");
-  }
+  const CampaignPlan plan = buildPlan(config);
+  CampaignAccumulator accumulator(plan);
+  const ExecutionStats stats =
+      executeCampaign(plan, config.threads, config.streaming, accumulator);
 
-  // Resolve every grid point up front: scenario defaults, then the
-  // campaign base, then the case overrides, then the axis values of the
-  // point. Cases vary slowest, so the point list reads case-major.
-  ParamSet base = ScenarioRegistry::global().defaults(config.scenario);
-  base.apply(config.base);
-  std::vector<ParamSet> points;
-  std::vector<std::string> caseNames;
-  if (config.cases.empty()) {
-    points = config.grid.expand(base);
-    caseNames.assign(points.size(), std::string());
-  } else {
-    for (const CampaignCase& campaignCase : config.cases) {
-      ParamSet caseBase = base;
-      caseBase.apply(campaignCase.overrides);
-      for (ParamSet& point : config.grid.expand(caseBase)) {
-        points.push_back(std::move(point));
-        caseNames.push_back(campaignCase.name);
-      }
-    }
-  }
-
-  // Grid-major work-list: job i is replication i % replications of grid
-  // point i / replications. The job index doubles as the RNG stream
-  // index, so a fixed (grid, replications, masterSeed) layout pins every
-  // job's stream no matter how many threads run it; changing the layout
-  // re-derives the streams.
-  const std::size_t replications =
-      static_cast<std::size_t>(config.replications);
-  const std::size_t jobCount = points.size() * replications;
-
-  const int threads = resolveThreadCount(config.threads, jobCount);
-
-  std::vector<JobResult> results(jobCount);
-  std::atomic<std::size_t> nextJob{0};
-  std::mutex errorMutex;
-  std::exception_ptr firstError;
-
-  const auto started = std::chrono::steady_clock::now();
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = nextJob.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobCount) return;
-      try {
-        JobContext context;
-        context.params = points[i / replications];
-        context.seed = Rng::deriveStreamSeed(config.masterSeed, i);
-        context.replication = static_cast<int>(i % replications);
-        context.jobIndex = i;
-        results[i] = scenario->run(context);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(errorMutex);
-        if (!firstError) firstError = std::current_exception();
-        nextJob.store(jobCount, std::memory_order_relaxed);  // drain
-        return;
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(worker);
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
-  }
-  if (firstError) std::rethrow_exception(firstError);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - started;
-
-  // Merge strictly in job order; with deterministic per-job results this
-  // makes the merged campaign a pure function of (config, masterSeed).
   CampaignResult merged;
   merged.scenario = config.scenario;
   merged.masterSeed = config.masterSeed;
-  merged.threads = threads;
-  merged.jobCount = jobCount;
-  merged.wallSeconds = elapsed.count();
-  merged.jobsPerSecond =
-      elapsed.count() > 0.0 ? static_cast<double>(jobCount) / elapsed.count()
-                            : 0.0;
-  merged.points.resize(points.size());
-  for (std::size_t g = 0; g < points.size(); ++g) {
-    GridPointSummary& point = merged.points[g];
-    point.gridIndex = g;
-    point.caseName = caseNames[g];
-    point.params = points[g];
+  merged.replications = config.replications;
+  merged.shard = config.shard;
+  merged.threads = stats.threads;
+  merged.streaming = stats.streaming;
+  merged.jobCount = plan.shardJobCount();
+  merged.totalPoints = plan.points().size();
+  merged.totalJobs = plan.totalJobCount();
+  merged.peakBufferedResults = stats.peakBufferedResults;
+  merged.wallSeconds = stats.wallSeconds;
+  merged.jobsPerSecond = stats.wallSeconds > 0.0
+                             ? static_cast<double>(merged.jobCount) /
+                                   stats.wallSeconds
+                             : 0.0;
+  merged.points = accumulator.take();
+  return merged;
+}
+
+CampaignPartial campaignPartial(const CampaignResult& result) {
+  CampaignPartial partial;
+  partial.scenario = result.scenario;
+  partial.masterSeed = result.masterSeed;
+  partial.shard = result.shard;
+  partial.replications = result.replications;
+  partial.totalPoints = result.totalPoints;
+  partial.totalJobs = result.totalJobs;
+  partial.points = result.points;
+  return partial;
+}
+
+CampaignResult resultFromPartials(std::vector<CampaignPartial> partials) {
+  if (partials.empty()) {
+    throw std::runtime_error("no campaign partials to merge");
   }
-  for (std::size_t i = 0; i < jobCount; ++i) {
-    GridPointSummary& point = merged.points[i / replications];
-    const JobResult& result = results[i];
-    point.table1.merge(result.table1);
-    for (const auto& [flow, figure] : result.figures) {
-      point.figures[flow].merge(figure);
-    }
-    point.totals.merge(result.totals);
-    for (const auto& [name, value] : result.metrics) {
-      point.metrics[name].add(value);
-    }
-    point.replications += 1;
-    point.rounds += result.rounds;
-  }
+  CampaignResult merged;
+  merged.scenario = partials.front().scenario;
+  merged.masterSeed = partials.front().masterSeed;
+  merged.replications = partials.front().replications;
+  merged.shard = Shard{0, 1};  // the merge covers the full grid
+  merged.totalPoints = partials.front().totalPoints;
+  merged.totalJobs = partials.front().totalJobs;
+  merged.jobCount = merged.totalJobs;
+  merged.points = mergeCampaignPartials(std::move(partials));
   return merged;
 }
 

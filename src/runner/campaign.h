@@ -1,73 +1,45 @@
 #pragma once
 
 /// \file campaign.h
-/// The parallel campaign executor. A campaign names a registered
-/// scenario, a sweep grid and a replication count; the executor expands
-/// the grid into independent (config, seed, replication) jobs, runs them
-/// on a thread pool, and merges per-grid-point results *in job order* so
-/// the merged output is bit-identical no matter how many threads ran or
-/// how the scheduler interleaved them. Per-job determinism comes from
+/// The top of the campaign pipeline: runCampaign() composes the three
+/// layers -- plan (plan.h: case x grid expansion, job layout, per-job
+/// seed derivation), execute (executor.h: thread-pool backends, buffered
+/// or streaming), accumulate (accumulate.h: job-order fold plus shard
+/// partial serialization) -- into the one-call API every bench and
+/// example uses. Per-job determinism comes from
 /// Rng::deriveStreamSeed(masterSeed, jobIndex): each job owns a private
-/// RNG stream that is a pure function of the master seed and its index.
+/// RNG stream that is a pure function of the master seed and its index,
+/// and results are folded strictly in job order, so the merged output is
+/// bit-identical no matter how many threads -- or shard processes -- ran.
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "runner/registry.h"
-#include "runner/sweep.h"
-#include "util/stats.h"
+#include "runner/accumulate.h"
+#include "runner/executor.h"
+#include "runner/plan.h"
 
 namespace vanet::runner {
 
-/// A named parameter combination that a study compares side by side
-/// ("plain" / "c-arq" / "c-arq+fc", or selection policies with their
-/// caps). Cases express *correlated* parameters a cartesian grid cannot:
-/// each case overrides several parameters at once.
-struct CampaignCase {
-  std::string name;
-  ParamSet overrides;
-};
-
-/// What to run. Parameters resolve, least specific first, as
-///   scenario defaults <- base <- case overrides <- grid axis values,
-/// and the expanded point list is cases (slowest) x grid points. An empty
-/// `cases` vector behaves like one unnamed case with no overrides.
-struct CampaignConfig {
-  std::string scenario;
-  ParamSet base;
-  std::vector<CampaignCase> cases;
-  SweepGrid grid;
-  int replications = 1;
-  std::uint64_t masterSeed = 2008;
-  /// Worker threads; 0 picks std::thread::hardware_concurrency().
-  int threads = 0;
-};
-
-/// One grid point after merging its replications (in job order).
-struct GridPointSummary {
-  std::size_t gridIndex = 0;
-  std::string caseName;             ///< owning case; empty without cases
-  ParamSet params;  ///< fully resolved (defaults+base+case+axes)
-  trace::Table1Data table1;         ///< merged over replications
-  /// Per-flow figure series, merged over replications in job order
-  /// (empty for scenarios without figure traces).
-  std::map<FlowId, trace::FlowFigure> figures;
-  analysis::ProtocolTotals totals;  ///< merged over replications
-  /// Per-metric aggregate over the point's jobs: each job contributes one
-  /// sample per metric it reported.
-  std::map<std::string, RunningStats> metrics;
-  int replications = 0;
-  int rounds = 0;  ///< total simulated rounds across replications
-};
-
-/// The merged campaign outcome plus throughput accounting.
+/// The merged campaign outcome plus throughput accounting. For sharded
+/// configs, `points` holds only this shard's grid points (each tagged
+/// with its full-grid index) and `jobCount` the jobs this process ran;
+/// `totalPoints` / `totalJobs` describe the full plan.
 struct CampaignResult {
   std::string scenario;
   std::uint64_t masterSeed = 0;
+  int replications = 0;  ///< per grid point, from the config
+  Shard shard{};         ///< which slice this process ran
   int threads = 0;           ///< workers actually used
-  std::size_t jobCount = 0;  ///< grid points x replications
+  bool streaming = false;    ///< executor backend used
+  std::size_t jobCount = 0;  ///< jobs run by this process
+  std::size_t totalPoints = 0;  ///< full-grid point count
+  std::size_t totalJobs = 0;    ///< full-campaign job count
+  /// High-water mark of completed-but-unfolded JobResults (streaming
+  /// mode is bounded by streamingWindowCap(threads)).
+  std::size_t peakBufferedResults = 0;
   double wallSeconds = 0.0;
   double jobsPerSecond = 0.0;
   std::vector<GridPointSummary> points;  ///< in grid order
@@ -75,9 +47,20 @@ struct CampaignResult {
 
 /// Expands, executes and merges `config`.
 ///
-/// Throws std::invalid_argument when the scenario is unknown or the
-/// replication count is < 1. Worker exceptions are rethrown on the
-/// calling thread after the pool drains.
+/// Throws std::invalid_argument when the scenario is unknown, the
+/// replication count is < 1 or the shard is malformed. Worker exceptions
+/// are rethrown on the calling thread after the pool drains; no partial
+/// summaries survive a failed run.
 CampaignResult runCampaign(const CampaignConfig& config);
+
+/// This result's shard contribution, ready for writeCampaignPartial().
+CampaignPartial campaignPartial(const CampaignResult& result);
+
+/// Reassembles a full CampaignResult from every shard's partial (see
+/// mergeCampaignPartials for validation). Emitted CSV/JSON/figure bytes
+/// of the returned result match the single-process run exactly;
+/// throughput fields (threads, wall-clock) are zeroed -- they are not
+/// meaningful for a merge.
+CampaignResult resultFromPartials(std::vector<CampaignPartial> partials);
 
 }  // namespace vanet::runner

@@ -1,48 +1,24 @@
 #include "runner/emit.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 
 #include "analysis/csv.h"
+#include "util/json.h"
 #include "util/log.h"
 
 namespace vanet::runner {
 namespace {
 
-/// Shortest round-trip, locale-independent double rendering (std::to_chars
-/// never consults LC_NUMERIC): equal bit patterns render to equal text, so
-/// byte comparison of emitted artefacts is a bit-identity check on the
+/// Shortest round-trip, locale-independent double rendering (see
+/// json::num): equal bit patterns render to equal text, so byte
+/// comparison of emitted artefacts is a bit-identity check on the
 /// underlying stats.
-std::string num(double value) {
-  char buffer[32];
-  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
-  return ec == std::errc() ? std::string(buffer, end) : std::string("nan");
-}
-
-std::string jsonString(const std::string& text) {
-  std::string out = "\"";
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
+using json::num;
+using json::quote;
 
 void appendStats(std::string& out, const RunningStats& stats) {
   out += "{\"count\":" + std::to_string(stats.count());
@@ -143,7 +119,7 @@ std::string campaignPointsJson(const CampaignResult& result) {
     if (p > 0) out += ",";
     out += "\n  {\"grid_index\":" + std::to_string(point.gridIndex);
     if (!point.caseName.empty()) {
-      out += ",\"case\":" + jsonString(point.caseName);
+      out += ",\"case\":" + quote(point.caseName);
     }
     out += ",\"replications\":" + std::to_string(point.replications);
     out += ",\"rounds\":" + std::to_string(point.rounds);
@@ -152,7 +128,7 @@ std::string campaignPointsJson(const CampaignResult& result) {
     for (const auto& [name, value] : point.params.values()) {
       if (!first) out += ",";
       first = false;
-      out += jsonString(name) + ":" + num(value);
+      out += quote(name) + ":" + num(value);
     }
     out += "},\"table1\":[";
     for (std::size_t r = 0; r < point.table1.rows.size(); ++r) {
@@ -180,7 +156,7 @@ std::string campaignPointsJson(const CampaignResult& result) {
     for (const auto& [name, stats] : point.metrics) {
       if (!first) out += ",";
       first = false;
-      out += jsonString(name) + ":";
+      out += quote(name) + ":";
       appendStats(out, stats);
     }
     out += "}}";
@@ -191,7 +167,7 @@ std::string campaignPointsJson(const CampaignResult& result) {
 
 std::string campaignJson(const CampaignResult& result) {
   std::string out = "{\n";
-  out += "\"scenario\":" + jsonString(result.scenario) + ",\n";
+  out += "\"scenario\":" + quote(result.scenario) + ",\n";
   out += "\"master_seed\":" + std::to_string(result.masterSeed) + ",\n";
   out += "\"threads\":" + std::to_string(result.threads) + ",\n";
   out += "\"job_count\":" + std::to_string(result.jobCount) + ",\n";

@@ -1,0 +1,175 @@
+#include "runner/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vanet::runner {
+namespace {
+
+int resolveThreadCount(int requested, std::size_t jobCount) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (static_cast<std::size_t>(threads) > jobCount) {
+    threads = static_cast<int>(jobCount);
+  }
+  return threads > 0 ? threads : 1;
+}
+
+JobResult runJob(const CampaignPlan& plan, std::size_t localIndex) {
+  const JobSpec spec = plan.shardJob(localIndex);
+  JobContext context;
+  context.params = plan.jobParams(spec);
+  context.seed = spec.seed;
+  context.replication = spec.replication;
+  context.jobIndex = spec.globalIndex;
+  return plan.scenario().run(context);
+}
+
+void runPool(int threads, const std::function<void()>& worker) {
+  if (threads == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+}
+
+/// Buffered backend: collect everything, then fold once the pool drains.
+std::size_t executeBuffered(const CampaignPlan& plan, int threads,
+                            CampaignAccumulator& into) {
+  const std::size_t jobCount = plan.shardJobCount();
+  std::vector<JobResult> results(jobCount);
+  std::atomic<std::size_t> nextJob{0};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = nextJob.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobCount) return;
+      try {
+        results[i] = runJob(plan, i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        nextJob.store(jobCount, std::memory_order_relaxed);  // drain
+        return;
+      }
+    }
+  };
+  runPool(threads, worker);
+  if (firstError) std::rethrow_exception(firstError);
+
+  for (std::size_t i = 0; i < jobCount; ++i) {
+    into.fold(i, results[i]);
+  }
+  return jobCount;  // the peak: every result was buffered at once
+}
+
+/// Streaming backend: a bounded job-order reordering window. Workers
+/// park completed results in `pending` (keyed by local job index); the
+/// worker whose insert completes the window front folds every contiguous
+/// result. Claiming a job beyond frontier + cap blocks, so `pending`
+/// never holds more than streamingWindowCap(threads) results.
+std::size_t executeStreaming(const CampaignPlan& plan, int threads,
+                             CampaignAccumulator& into) {
+  const std::size_t jobCount = plan.shardJobCount();
+  const std::size_t cap = streamingWindowCap(threads);
+
+  std::mutex mutex;
+  std::condition_variable claimable;
+  std::map<std::size_t, JobResult> pending;
+  std::size_t nextClaim = 0;
+  std::size_t frontier = 0;  ///< next local job index to fold
+  std::size_t peakPending = 0;
+  bool aborted = false;
+  std::exception_ptr firstError;
+
+  const auto worker = [&] {
+    for (;;) {
+      std::size_t i = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        claimable.wait(lock, [&] {
+          return aborted || nextClaim >= jobCount || nextClaim < frontier + cap;
+        });
+        if (aborted || nextClaim >= jobCount) return;
+        i = nextClaim++;
+      }
+      // The park-and-fold below can throw too (allocation in emplace or
+      // in the merges), so the whole step shares the abort path: the
+      // error must reach the calling thread, never the thread entry.
+      try {
+        JobResult result = runJob(plan, i);
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (aborted) return;  // another worker failed; drop the result
+        pending.emplace(i, std::move(result));
+        peakPending = std::max(peakPending, pending.size());
+        while (!pending.empty() && pending.begin()->first == frontier) {
+          into.fold(frontier, pending.begin()->second);
+          pending.erase(pending.begin());
+          ++frontier;
+        }
+        // Folding moved the window; blocked claimants may now proceed.
+        claimable.notify_all();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!firstError) firstError = std::current_exception();
+        aborted = true;
+        claimable.notify_all();
+        return;
+      }
+    }
+  };
+  runPool(threads, worker);
+  if (firstError) std::rethrow_exception(firstError);
+  return peakPending;
+}
+
+}  // namespace
+
+std::size_t streamingWindowCap(int threads) noexcept {
+  // Twice the worker count: every worker can have one in-flight job plus
+  // one parked result before the frontier job completes, and the bound
+  // stays O(threads) however large the campaign grows.
+  const std::size_t workers = threads > 0 ? static_cast<std::size_t>(threads)
+                                          : std::size_t{1};
+  return std::max<std::size_t>(2, 2 * workers);
+}
+
+ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
+                               bool streaming, CampaignAccumulator& into) {
+  const std::size_t jobCount = plan.shardJobCount();
+  ExecutionStats stats;
+  stats.threads = resolveThreadCount(requestedThreads, jobCount);
+  stats.streaming = streaming;
+
+  const auto started = std::chrono::steady_clock::now();
+  stats.peakBufferedResults =
+      streaming ? executeStreaming(plan, stats.threads, into)
+                : executeBuffered(plan, stats.threads, into);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+  stats.wallSeconds = elapsed.count();
+  return stats;
+}
+
+}  // namespace vanet::runner

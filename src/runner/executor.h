@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file executor.h
+/// The *execute* layer of the campaign pipeline: runs a CampaignPlan's
+/// shard jobs on a thread pool and feeds the results, strictly in job
+/// order, into a CampaignAccumulator.
+///
+/// Two backends share the same fold (and therefore the same bytes):
+///
+///  - buffered: every JobResult is kept in a vector sized shardJobCount
+///    and folded after the pool drains (the original runCampaign
+///    behaviour). Peak memory O(job count).
+///  - streaming: each worker hands its result to a bounded job-order
+///    reordering window; results are folded the moment they become the
+///    lowest outstanding job index, and a worker may only claim a new
+///    job while the window has room. Peak memory O(grid points +
+///    threads) JobResult-sized buffers, independent of job count.
+///
+/// Error path: if any job throws, the pool drains, every buffered /
+/// windowed result is discarded with the executor's state, and the first
+/// exception is rethrown on the calling thread *before* anything can be
+/// emitted -- the accumulator is left incomplete, and
+/// CampaignAccumulator::take() refuses to surface a truncated summary.
+
+#include <cstddef>
+
+#include "runner/accumulate.h"
+#include "runner/plan.h"
+
+namespace vanet::runner {
+
+/// What the executor measured while running the plan.
+struct ExecutionStats {
+  int threads = 0;          ///< workers actually used
+  double wallSeconds = 0.0;
+  bool streaming = false;
+  /// High-water mark of completed-but-unfolded JobResults held at once.
+  /// Buffered mode reports the full job count; streaming mode is bounded
+  /// by streamingWindowCap(threads).
+  std::size_t peakBufferedResults = 0;
+};
+
+/// The reordering-window capacity for `threads` workers: the most
+/// completed-but-unfolded results streaming mode ever holds. O(threads),
+/// never O(job count).
+std::size_t streamingWindowCap(int threads) noexcept;
+
+/// Runs every shard job of `plan` and folds the results into `into` in
+/// ascending local job order. `requestedThreads` <= 0 picks the hardware
+/// concurrency; the count is clamped to the job count. Rethrows the
+/// first worker exception after the pool drains; `into` is then
+/// incomplete and must be discarded.
+ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
+                               bool streaming, CampaignAccumulator& into);
+
+}  // namespace vanet::runner

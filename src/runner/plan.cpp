@@ -1,0 +1,94 @@
+#include "runner/plan.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace vanet::runner {
+
+JobSpec CampaignPlan::shardJob(std::size_t localIndex) const {
+  const auto replications = static_cast<std::size_t>(replications_);
+  JobSpec job;
+  job.pointIndex = shardPoints_[localIndex / replications];
+  job.replication = static_cast<int>(localIndex % replications);
+  // Grid-major layout over the *full* campaign: job seeds depend only on
+  // (masterSeed, global index), so a shard runs exactly the streams the
+  // unsharded run would.
+  job.globalIndex = job.pointIndex * replications +
+                    static_cast<std::size_t>(job.replication);
+  job.seed = Rng::deriveStreamSeed(masterSeed_, job.globalIndex);
+  return job;
+}
+
+CampaignPlan buildPlan(const CampaignConfig& config) {
+  const ScenarioInfo* scenario =
+      ScenarioRegistry::global().find(config.scenario);
+  if (scenario == nullptr) {
+    throw std::invalid_argument("unknown scenario: \"" + config.scenario +
+                                "\" (registered: " + [] {
+                                  std::string all;
+                                  for (const auto& name :
+                                       ScenarioRegistry::global().names()) {
+                                    if (!all.empty()) all += ", ";
+                                    all += name;
+                                  }
+                                  return all;
+                                }() + ")");
+  }
+  if (config.replications < 1) {
+    throw std::invalid_argument("campaign needs replications >= 1");
+  }
+  if (config.shard.count < 1 || config.shard.index < 0 ||
+      config.shard.index >= config.shard.count) {
+    throw std::invalid_argument(
+        "campaign shard must satisfy 0 <= index < count (got " +
+        std::to_string(config.shard.index) + "/" +
+        std::to_string(config.shard.count) + ")");
+  }
+
+  CampaignPlan plan;
+  plan.scenario_ = scenario;
+  plan.masterSeed_ = config.masterSeed;
+  plan.replications_ = config.replications;
+  plan.shard_ = config.shard;
+
+  // Resolve every grid point up front: scenario defaults, then the
+  // campaign base, then the case overrides, then the axis values of the
+  // point. Cases vary slowest, so the point list reads case-major.
+  ParamSet base = ScenarioRegistry::global().defaults(config.scenario);
+  base.apply(config.base);
+  if (config.cases.empty()) {
+    for (ParamSet& point : config.grid.expand(base)) {
+      PlannedPoint planned;
+      planned.gridIndex = plan.points_.size();
+      planned.params = std::move(point);
+      plan.points_.push_back(std::move(planned));
+    }
+  } else {
+    for (const CampaignCase& campaignCase : config.cases) {
+      ParamSet caseBase = base;
+      caseBase.apply(campaignCase.overrides);
+      for (ParamSet& point : config.grid.expand(caseBase)) {
+        PlannedPoint planned;
+        planned.gridIndex = plan.points_.size();
+        planned.caseName = campaignCase.name;
+        planned.params = std::move(point);
+        plan.points_.push_back(std::move(planned));
+      }
+    }
+  }
+
+  // Round-robin point partition: shard s owns points {p : p % count == s}.
+  // Whole points, so every point's job-order fold happens inside one
+  // shard; round-robin keeps shards balanced when cost varies along an
+  // axis (e.g. a speed sweep where slow speeds simulate longest).
+  for (std::size_t p = static_cast<std::size_t>(plan.shard_.index);
+       p < plan.points_.size();
+       p += static_cast<std::size_t>(plan.shard_.count)) {
+    plan.shardPoints_.push_back(p);
+  }
+  return plan;
+}
+
+}  // namespace vanet::runner

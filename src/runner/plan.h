@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file plan.h
+/// The *plan* layer of the campaign pipeline. A campaign runs in three
+/// composable stages:
+///
+///   plan (this file)      case x grid expansion, job layout, per-job
+///                         seed derivation -- pure and backend-agnostic
+///   execute (executor.h)  runs the planned jobs on a thread pool,
+///                         buffered or streaming
+///   accumulate            folds job results into grid-point summaries
+///   (accumulate.h)        and (de)serializes shard partials
+///
+/// The plan is a pure function of the CampaignConfig: every backend
+/// (in-process thread pool, shard processes) expands the same job list
+/// with the same per-job RNG stream seeds, which is what makes sharded
+/// and multi-threaded runs bit-identical to the serial run.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/registry.h"
+#include "runner/sweep.h"
+
+namespace vanet::runner {
+
+/// A named parameter combination that a study compares side by side
+/// ("plain" / "c-arq" / "c-arq+fc", or selection policies with their
+/// caps). Cases express *correlated* parameters a cartesian grid cannot:
+/// each case overrides several parameters at once.
+struct CampaignCase {
+  std::string name;
+  ParamSet overrides;
+};
+
+/// One shard of a campaign: shard `index` of `count` runs the grid
+/// points p with p % count == index (whole points, never split jobs).
+/// Each point's replications fold inside exactly one shard in the same
+/// job order as an unsharded run, so merging the shard partials in shard
+/// order reproduces the single-process result bit for bit. Seeds are
+/// still derived from the *global* job index -- sharding never re-seeds.
+struct Shard {
+  int index = 0;
+  int count = 1;
+};
+
+/// What to run. Parameters resolve, least specific first, as
+///   scenario defaults <- base <- case overrides <- grid axis values,
+/// and the expanded point list is cases (slowest) x grid points. An empty
+/// `cases` vector behaves like one unnamed case with no overrides.
+struct CampaignConfig {
+  std::string scenario;
+  ParamSet base;
+  std::vector<CampaignCase> cases;
+  SweepGrid grid;
+  int replications = 1;
+  std::uint64_t masterSeed = 2008;
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Which slice of the grid this process runs; {0, 1} = everything.
+  Shard shard{};
+  /// Stream job results through a bounded reordering window instead of
+  /// buffering all of them: peak memory O(grid points + threads)
+  /// JobResult-sized buffers instead of O(job count). Bit-identical to
+  /// the buffered mode.
+  bool streaming = false;
+};
+
+/// One fully resolved grid point of the expanded campaign.
+struct PlannedPoint {
+  std::size_t gridIndex = 0;  ///< index in the full (unsharded) grid
+  std::string caseName;       ///< owning case; empty without cases
+  ParamSet params;            ///< defaults + base + case + axis values
+};
+
+/// One schedulable job: replication `replication` of grid point
+/// `pointIndex`, with its private RNG stream seed.
+struct JobSpec {
+  std::size_t globalIndex = 0;  ///< index in the full campaign work-list
+  std::size_t pointIndex = 0;   ///< full-grid index of the owning point
+  int replication = 0;
+  std::uint64_t seed = 0;  ///< Rng::deriveStreamSeed(masterSeed, globalIndex)
+};
+
+/// The expanded campaign: the full grid, the shard's slice of it, and
+/// the job layout. Immutable after buildPlan().
+class CampaignPlan {
+ public:
+  const ScenarioInfo& scenario() const noexcept { return *scenario_; }
+  std::uint64_t masterSeed() const noexcept { return masterSeed_; }
+  int replications() const noexcept { return replications_; }
+  Shard shard() const noexcept { return shard_; }
+
+  /// Every grid point of the campaign, shard-independent, in grid order.
+  const std::vector<PlannedPoint>& points() const noexcept { return points_; }
+
+  /// Full-grid indices of the points this shard owns, ascending.
+  const std::vector<std::size_t>& shardPointIndices() const noexcept {
+    return shardPoints_;
+  }
+
+  /// Jobs in the full campaign: points x replications.
+  std::size_t totalJobCount() const noexcept {
+    return points_.size() * static_cast<std::size_t>(replications_);
+  }
+
+  /// Jobs this shard runs.
+  std::size_t shardJobCount() const noexcept {
+    return shardPoints_.size() * static_cast<std::size_t>(replications_);
+  }
+
+  /// The shard's `localIndex`-th job (0 <= localIndex < shardJobCount()).
+  /// Local job order within each point equals global job order, so a
+  /// fold over local jobs reproduces the unsharded per-point fold.
+  JobSpec shardJob(std::size_t localIndex) const;
+
+  /// The resolved parameters of `job`.
+  const ParamSet& jobParams(const JobSpec& job) const {
+    return points_[job.pointIndex].params;
+  }
+
+ private:
+  friend CampaignPlan buildPlan(const CampaignConfig& config);
+
+  const ScenarioInfo* scenario_ = nullptr;
+  std::uint64_t masterSeed_ = 0;
+  int replications_ = 1;
+  Shard shard_{};
+  std::vector<PlannedPoint> points_;
+  std::vector<std::size_t> shardPoints_;
+};
+
+/// Expands `config` into a plan. Throws std::invalid_argument when the
+/// scenario is unknown, replications < 1, or the shard is malformed
+/// (count < 1 or index outside [0, count)).
+CampaignPlan buildPlan(const CampaignConfig& config);
+
+}  // namespace vanet::runner

@@ -47,7 +47,9 @@ struct JobResult {
   std::map<FlowId, trace::FlowFigure> figures;
   analysis::ProtocolTotals totals;
   std::map<std::string, double> metrics;
-  int rounds = 0;
+  /// Simulated rounds in this job; 64-bit so the per-point sum cannot
+  /// overflow on million-replication campaigns.
+  std::int64_t rounds = 0;
 };
 
 using ScenarioFn = std::function<JobResult(const JobContext&)>;

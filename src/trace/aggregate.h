@@ -6,6 +6,7 @@
 /// cooperation, mean and standard deviation over rounds) and the
 /// Figure 3-8 series (per-packet-number reception probabilities).
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -34,7 +35,8 @@ void mergeRow(Table1Row& into, const Table1Row& from);
 /// All Table 1 rows plus the round count.
 struct Table1Data {
   std::vector<Table1Row> rows;
-  int rounds = 0;
+  /// Rounds merged in; 64-bit because replications sum here too.
+  std::int64_t rounds = 0;
 
   /// Merges another aggregate (for example a replication run under a
   /// different seed): rows are matched by car id, new cars are inserted

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file serialize.h
+/// JSON (de)serialization of the trace-layer merge states, used by the
+/// campaign partial-result format (runner/accumulate.h). Every
+/// RunningStats is written as its full Welford state, so a round-trip is
+/// bit-identical: folding deserialized partials produces the same bytes
+/// as folding the in-process results they were serialized from.
+
+#include <string>
+
+#include "trace/aggregate.h"
+#include "util/json.h"
+
+namespace vanet::trace {
+
+/// Table1Data as a JSON object: {"rounds":N,"rows":[{"car":..,"stats":[..]}]}.
+std::string table1ToJson(const Table1Data& data);
+
+/// Parses table1ToJson() output; throws std::runtime_error on malformed
+/// or version-incompatible input.
+Table1Data table1FromJson(const json::Value& value);
+
+/// FlowFigure as a JSON object (flow id, per-car cell series, after-coop
+/// and joint series, region-boundary stats).
+std::string flowFigureToJson(const FlowFigure& figure);
+
+/// Parses flowFigureToJson() output; throws std::runtime_error on
+/// malformed input.
+FlowFigure flowFigureFromJson(const json::Value& value);
+
+/// Shared helpers for other serializers: one RunningStats merge-state as
+/// a compact JSON array `[count,mean,m2,sum,min,max]` (`[0]` when empty).
+std::string runningStatsToJson(const RunningStats& stats);
+RunningStats runningStatsFromJson(const json::Value& value);
+
+/// A SeriesAccumulator as an array of cell states.
+std::string seriesToJson(const SeriesAccumulator& series);
+SeriesAccumulator seriesFromJson(const json::Value& value);
+
+}  // namespace vanet::trace

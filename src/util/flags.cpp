@@ -66,6 +66,48 @@ double Flags::getDouble(const std::string& name, double fallback) const {
   }
 }
 
+std::uint64_t Flags::getUInt64(const std::string& name,
+                               std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(it->second, &pos);
+    if (pos != it->second.size() || it->second.front() == '-') {
+      badValue(name, it->second, "unsigned integer");
+    }
+    return v;
+  } catch (const std::exception&) {
+    badValue(name, it->second, "unsigned integer");
+  }
+}
+
+ShardSpec Flags::getShard(const std::string& name, ShardSpec fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  // A bare `--shard` parses as "true": leave it to getBool() callers that
+  // use the same name as a mode switch.
+  if (v == "true") return fallback;
+  const auto slash = v.find('/');
+  if (slash == std::string::npos) badValue(name, v, "shard spec i/N");
+  try {
+    std::size_t posIndex = 0;
+    std::size_t posCount = 0;
+    ShardSpec shard;
+    shard.index = std::stoi(v.substr(0, slash), &posIndex);
+    const std::string countText = v.substr(slash + 1);
+    shard.count = std::stoi(countText, &posCount);
+    if (posIndex != slash || posCount != countText.size() ||
+        shard.count < 1 || shard.index < 0 || shard.index >= shard.count) {
+      badValue(name, v, "shard spec i/N with 0 <= i < N");
+    }
+    return shard;
+  } catch (const std::exception&) {
+    badValue(name, v, "shard spec i/N");
+  }
+}
+
 std::string Flags::getString(const std::string& name, std::string fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? std::move(fallback) : it->second;
@@ -78,6 +120,17 @@ bool Flags::getBool(const std::string& name, bool fallback) const {
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   badValue(name, v, "bool");
+}
+
+CampaignRunFlags campaignRunFlags(const Flags& flags,
+                                  std::uint64_t defaultSeed) {
+  CampaignRunFlags run;
+  run.seed = flags.getUInt64("seed", defaultSeed);
+  run.threads = flags.getInt("threads", 0);
+  run.shard = flags.getShard("shard");
+  run.partialOut = flags.getString("partial-out", "");
+  run.streaming = flags.getBool("streaming", false);
+  return run;
 }
 
 }  // namespace vanet

@@ -5,11 +5,19 @@
 /// Accepts `--name=value`, `--name value` and bare boolean `--name`.
 /// Unknown positional arguments are collected in positional().
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace vanet {
+
+/// One shard of a partitioned run, as written on the command line:
+/// `--shard=i/N` selects shard i of N.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
 
 /// Parsed command line. Lookup is by flag name without the leading dashes.
 class Flags {
@@ -24,11 +32,18 @@ class Flags {
   /// Typed getters return `fallback` when the flag is absent; they abort
   /// with a clear message when the value does not parse.
   int getInt(const std::string& name, int fallback) const;
+  std::uint64_t getUInt64(const std::string& name,
+                          std::uint64_t fallback) const;
   double getDouble(const std::string& name, double fallback) const;
   std::string getString(const std::string& name, std::string fallback) const;
 
   /// A bare `--name` or `--name=true|1|yes` is true; `=false|0|no` is false.
   bool getBool(const std::string& name, bool fallback) const;
+
+  /// Parses `--name=i/N` with 0 <= i < N; `fallback` when absent or when
+  /// the flag was given bare (so a bool `--shard` mode flag can coexist),
+  /// abort on a malformed spec.
+  ShardSpec getShard(const std::string& name, ShardSpec fallback = {}) const;
 
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
@@ -36,5 +51,25 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The campaign CLI vocabulary shared by every bench and example (one
+/// parser instead of per-binary copies):
+///   --seed=S           master seed
+///   --threads=N        worker threads (0 = hardware concurrency)
+///   --shard=i/N        run shard i of N (whole grid points)
+///   --partial-out=F    write this shard's partial-result JSON to F
+///   --streaming        fold results through the bounded reordering
+///                      window (O(points+threads) memory)
+struct CampaignRunFlags {
+  std::uint64_t seed = 2008;
+  int threads = 0;
+  ShardSpec shard{};
+  std::string partialOut;
+  bool streaming = false;
+};
+
+/// Reads the shared campaign flags from `flags`.
+CampaignRunFlags campaignRunFlags(const Flags& flags,
+                                  std::uint64_t defaultSeed = 2008);
 
 }  // namespace vanet

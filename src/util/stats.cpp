@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "util/assert.h"
 
@@ -34,6 +35,31 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+RunningStats::State RunningStats::state() const noexcept {
+  State s;
+  s.count = count_;
+  s.mean = mean_;
+  s.m2 = m2_;
+  s.sum = sum_;
+  if (count_ > 0) {
+    s.min = min_;
+    s.max = max_;
+  }
+  return s;
+}
+
+RunningStats RunningStats::fromState(const State& state) noexcept {
+  RunningStats stats;
+  if (state.count == 0) return stats;
+  stats.count_ = state.count;
+  stats.mean_ = state.mean;
+  stats.m2_ = state.m2;
+  stats.sum_ = state.sum;
+  stats.min_ = state.min;
+  stats.max_ = state.max;
+  return stats;
 }
 
 double RunningStats::variance() const noexcept {
@@ -144,6 +170,12 @@ void SeriesAccumulator::merge(const SeriesAccumulator& other) {
   for (std::size_t i = 0; i < other.cells_.size(); ++i) {
     cells_[i].merge(other.cells_[i]);
   }
+}
+
+SeriesAccumulator SeriesAccumulator::fromCells(std::vector<RunningStats> cells) {
+  SeriesAccumulator acc;
+  acc.cells_ = std::move(cells);
+  return acc;
 }
 
 const RunningStats& SeriesAccumulator::at(std::size_t i) const {

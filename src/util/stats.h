@@ -16,10 +16,26 @@ namespace vanet {
 /// Numerically stable running mean / variance (Welford's algorithm).
 class RunningStats {
  public:
+  /// The full internal merge-state, exposed for serialization: a
+  /// round-trip through State reconstructs a bit-identical accumulator,
+  /// so merged results computed from deserialized partials match the
+  /// in-process computation byte for byte.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningful only when count > 0
+    double max = 0.0;  ///< meaningful only when count > 0
+  };
+
   void add(double x) noexcept;
 
   /// Merges another accumulator (parallel-combining form of Welford).
   void merge(const RunningStats& other) noexcept;
+
+  State state() const noexcept;
+  static RunningStats fromState(const State& state) noexcept;
 
   std::size_t count() const noexcept { return count_; }
   double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
@@ -98,6 +114,11 @@ class SeriesAccumulator {
   /// Moving average of the mean series with the given half-window
   /// (window = 2*halfWindow+1, truncated at the edges).
   std::vector<double> smoothedMeans(std::size_t halfWindow) const;
+
+  /// Serialization hooks: the raw cell vector out, and a bit-identical
+  /// accumulator back from one.
+  const std::vector<RunningStats>& cells() const noexcept { return cells_; }
+  static SeriesAccumulator fromCells(std::vector<RunningStats> cells);
 
  private:
   std::vector<RunningStats> cells_;

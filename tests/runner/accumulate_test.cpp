@@ -1,0 +1,184 @@
+#include "runner/accumulate.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/campaign.h"
+#include "runner/emit.h"
+
+namespace vanet::runner {
+namespace {
+
+/// A small urban campaign that exercises every serialized payload:
+/// Table 1 rows, per-flow figures, protocol totals and scalar metrics.
+CampaignConfig urbanCampaign() {
+  CampaignConfig config;
+  config.scenario = "urban";
+  config.masterSeed = 2008;
+  config.replications = 2;
+  config.threads = 2;
+  config.base.set("rounds", 2);
+  config.base.set("cars", 2);
+  config.grid.add("speed_kmh", {20.0, 30.0}).add("coop", {0.0, 1.0});
+  return config;
+}
+
+std::string allFigureCsvs(const CampaignResult& result) {
+  std::string out;
+  for (const GridPointSummary& point : result.points) {
+    for (const auto& [flow, figure] : point.figures) {
+      out += "# p" + std::to_string(point.gridIndex) + " f" +
+             std::to_string(flow) + "\n";
+      out += figureSeriesCsv(figure);
+    }
+  }
+  return out;
+}
+
+TEST(AccumulateTest, PartialJsonRoundTripIsByteStable) {
+  const CampaignResult result = runCampaign(urbanCampaign());
+  const CampaignPartial partial = campaignPartial(result);
+  const std::string text = campaignPartialJson(partial);
+  const CampaignPartial parsed = parseCampaignPartial(text);
+  // serialize -> parse -> serialize reproduces the bytes exactly: the
+  // Welford merge-states survive the round trip bit for bit.
+  EXPECT_EQ(campaignPartialJson(parsed), text);
+  EXPECT_EQ(parsed.scenario, "urban");
+  EXPECT_EQ(parsed.masterSeed, 2008u);
+  EXPECT_EQ(parsed.replications, 2);
+  EXPECT_EQ(parsed.totalPoints, 4u);
+  EXPECT_EQ(parsed.totalJobs, 8u);
+  ASSERT_EQ(parsed.points.size(), 4u);
+  // The emitted artefacts of the round-tripped result match too.
+  CampaignResult back = resultFromPartials({parsed});
+  EXPECT_EQ(campaignPointsJson(back), campaignPointsJson(result));
+  EXPECT_EQ(campaignCsv(back), campaignCsv(result));
+  EXPECT_EQ(allFigureCsvs(back), allFigureCsvs(result));
+}
+
+TEST(AccumulateTest, TwoShardsMergeBitIdenticalToSingleProcess) {
+  CampaignConfig config = urbanCampaign();
+  config.threads = 1;
+  const CampaignResult reference = runCampaign(config);
+
+  config.threads = 2;
+  std::vector<CampaignPartial> partials;
+  for (int shard = 0; shard < 2; ++shard) {
+    config.shard = Shard{shard, 2};
+    const CampaignResult result = runCampaign(config);
+    EXPECT_EQ(result.points.size(), 2u);  // 4 points round-robin over 2
+    EXPECT_EQ(result.jobCount, 4u);
+    EXPECT_EQ(result.totalJobs, 8u);
+    // File round trip, exactly as two processes would exchange them.
+    partials.push_back(
+        parseCampaignPartial(campaignPartialJson(campaignPartial(result))));
+  }
+  const CampaignResult merged = resultFromPartials(std::move(partials));
+  EXPECT_EQ(merged.points.size(), 4u);
+  EXPECT_EQ(campaignPointsJson(merged), campaignPointsJson(reference));
+  EXPECT_EQ(campaignCsv(merged), campaignCsv(reference));
+  EXPECT_EQ(allFigureCsvs(merged), allFigureCsvs(reference));
+}
+
+TEST(AccumulateTest, ShardOrderGivenToMergeDoesNotMatter) {
+  CampaignConfig config = urbanCampaign();
+  std::vector<CampaignPartial> partials;
+  for (int shard = 1; shard >= 0; --shard) {  // reversed on purpose
+    config.shard = Shard{shard, 2};
+    partials.push_back(campaignPartial(runCampaign(config)));
+  }
+  const CampaignResult merged = resultFromPartials(std::move(partials));
+  config.shard = Shard{};
+  EXPECT_EQ(campaignPointsJson(merged),
+            campaignPointsJson(runCampaign(config)));
+}
+
+TEST(AccumulateTest, EmptyShardsRoundTripAndMerge) {
+  // More shards than points: the surplus shard writes an empty (but
+  // valid) partial, and the merge still reassembles the full grid.
+  CampaignConfig config = urbanCampaign();
+  std::vector<CampaignPartial> partials;
+  for (int shard = 0; shard < 6; ++shard) {
+    config.shard = Shard{shard, 6};
+    partials.push_back(
+        parseCampaignPartial(campaignPartialJson(campaignPartial(
+            runCampaign(config)))));
+  }
+  EXPECT_TRUE(partials[4].points.empty());
+  const CampaignResult merged = resultFromPartials(std::move(partials));
+  config.shard = Shard{};
+  config.threads = 1;
+  EXPECT_EQ(campaignPointsJson(merged),
+            campaignPointsJson(runCampaign(config)));
+}
+
+TEST(AccumulateTest, MergeValidatesShardSets) {
+  CampaignConfig config = urbanCampaign();
+  config.shard = Shard{0, 2};
+  const CampaignPartial shard0 = campaignPartial(runCampaign(config));
+  config.shard = Shard{1, 2};
+  const CampaignPartial shard1 = campaignPartial(runCampaign(config));
+
+  EXPECT_THROW(mergeCampaignPartials({}), std::runtime_error);
+  // Missing shard 1.
+  EXPECT_THROW(mergeCampaignPartials({shard0}), std::runtime_error);
+  // Duplicate shard 0.
+  EXPECT_THROW(mergeCampaignPartials({shard0, shard0}), std::runtime_error);
+  // Shards from different campaigns.
+  config.masterSeed = 2009;
+  const CampaignPartial foreign = campaignPartial(runCampaign(config));
+  EXPECT_THROW(mergeCampaignPartials({shard0, foreign}), std::runtime_error);
+  // The healthy set still merges.
+  EXPECT_EQ(mergeCampaignPartials({shard0, shard1}).size(), 4u);
+}
+
+TEST(AccumulateTest, ParseRejectsWrongFormatAndVersion) {
+  EXPECT_THROW(parseCampaignPartial("{}"), std::runtime_error);
+  EXPECT_THROW(parseCampaignPartial("not json at all {"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parseCampaignPartial(
+          R"({"format":"vanet-campaign-partial","version":999})"),
+      std::runtime_error);
+  EXPECT_THROW(parseCampaignPartial(R"({"format":"other","version":1})"),
+               std::runtime_error);
+}
+
+TEST(AccumulateTest, PartialFileWriteReadRoundTrip) {
+  CampaignConfig config = urbanCampaign();
+  config.shard = Shard{0, 2};
+  const CampaignResult result = runCampaign(config);
+  const std::string path = ::testing::TempDir() + "/shard0.json";
+  ASSERT_TRUE(writeCampaignPartial(path, campaignPartial(result)));
+  const CampaignPartial back = readCampaignPartial(path);
+  EXPECT_EQ(campaignPartialJson(back),
+            campaignPartialJson(campaignPartial(result)));
+  EXPECT_THROW(readCampaignPartial(path + ".missing"), std::runtime_error);
+}
+
+TEST(AccumulateTest, Int64RoundsSurviveSerialization) {
+  // A summary with > 2^31 simulated rounds round-trips unclipped.
+  GridPointSummary point;
+  point.gridIndex = 0;
+  point.replications = 1;
+  point.rounds = 3000000000LL;
+  CampaignPartial partial;
+  partial.scenario = "synthetic";
+  partial.shard = Shard{0, 1};
+  partial.replications = 1;
+  partial.totalPoints = 1;
+  partial.totalJobs = 1;
+  partial.points.push_back(std::move(point));
+  const CampaignPartial back =
+      parseCampaignPartial(campaignPartialJson(partial));
+  ASSERT_EQ(back.points.size(), 1u);
+  EXPECT_EQ(back.points[0].rounds, 3000000000LL);
+}
+
+}  // namespace
+}  // namespace vanet::runner

@@ -74,5 +74,50 @@ TEST(FlagsTest, NegativeNumbers) {
   EXPECT_EQ(f.getInt("offset", 0), -3);
 }
 
+TEST(FlagsTest, UInt64HoldsFullSeedRange) {
+  // Master seeds are 64-bit; getInt would truncate them.
+  const Flags f = parse({"--seed=18446744073709551615"});
+  EXPECT_EQ(f.getUInt64("seed", 0), 18446744073709551615ull);
+  EXPECT_EQ(f.getUInt64("missing", 2008), 2008u);
+}
+
+TEST(FlagsTest, ShardSpecParses) {
+  const Flags f = parse({"--shard=1/4"});
+  const ShardSpec shard = f.getShard("shard");
+  EXPECT_EQ(shard.index, 1);
+  EXPECT_EQ(shard.count, 4);
+}
+
+TEST(FlagsTest, ShardSpecDefaultsWhenAbsentOrBare) {
+  const ShardSpec absent = parse({}).getShard("shard");
+  EXPECT_EQ(absent.index, 0);
+  EXPECT_EQ(absent.count, 1);
+  // A bare `--shard` is left for getBool-style mode switches.
+  const ShardSpec bare = parse({"--shard"}).getShard("shard");
+  EXPECT_EQ(bare.index, 0);
+  EXPECT_EQ(bare.count, 1);
+}
+
+TEST(FlagsTest, CampaignRunFlagsReadSharedVocabulary) {
+  const Flags f = parse({"--seed=99", "--threads=3", "--shard=1/2",
+                         "--partial-out=/tmp/p.json", "--streaming"});
+  const CampaignRunFlags run = campaignRunFlags(f);
+  EXPECT_EQ(run.seed, 99u);
+  EXPECT_EQ(run.threads, 3);
+  EXPECT_EQ(run.shard.index, 1);
+  EXPECT_EQ(run.shard.count, 2);
+  EXPECT_EQ(run.partialOut, "/tmp/p.json");
+  EXPECT_TRUE(run.streaming);
+}
+
+TEST(FlagsTest, CampaignRunFlagsDefaults) {
+  const CampaignRunFlags run = campaignRunFlags(parse({}));
+  EXPECT_EQ(run.seed, 2008u);
+  EXPECT_EQ(run.threads, 0);
+  EXPECT_EQ(run.shard.count, 1);
+  EXPECT_TRUE(run.partialOut.empty());
+  EXPECT_FALSE(run.streaming);
+}
+
 }  // namespace
 }  // namespace vanet

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "util/rng.h"
 
@@ -70,6 +72,94 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   b.merge(a);
   EXPECT_EQ(b.count(), 2u);
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// State captures every internal field, so bit-equality of two
+// accumulators is state equality.
+bool bitIdentical(const RunningStats& a, const RunningStats& b) {
+  const RunningStats::State sa = a.state();
+  const RunningStats::State sb = b.state();
+  const auto bits = [](double x) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+  };
+  return sa.count == sb.count && bits(sa.mean) == bits(sb.mean) &&
+         bits(sa.m2) == bits(sb.m2) && bits(sa.sum) == bits(sb.sum) &&
+         bits(sa.min) == bits(sb.min) && bits(sa.max) == bits(sb.max);
+}
+
+RunningStats sampled(std::uint64_t seed, int n, double mean, double sd) {
+  Rng rng{seed};
+  RunningStats s;
+  for (int i = 0; i < n; ++i) s.add(rng.normal(mean, sd));
+  return s;
+}
+
+TEST(RunningStatsTest, MergeIdentityIsExact) {
+  // Merging an empty accumulator, from either side, is bit-exact: the
+  // shard pipeline relies on empty partial summaries being no-ops.
+  const RunningStats a = sampled(7, 257, 1.5, 0.3);
+  RunningStats left = a;
+  left.merge(RunningStats());
+  EXPECT_TRUE(bitIdentical(left, a));
+  RunningStats right;
+  right.merge(a);
+  EXPECT_TRUE(bitIdentical(right, a));
+}
+
+TEST(RunningStatsTest, MergeIsAssociativeWithinTolerance) {
+  const RunningStats a = sampled(11, 100, -2.0, 1.0);
+  const RunningStats b = sampled(12, 300, 5.0, 0.5);
+  const RunningStats c = sampled(13, 50, 0.0, 3.0);
+  RunningStats ab = a;
+  ab.merge(b);
+  ab.merge(c);  // (a + b) + c
+  RunningStats bc = b;
+  bc.merge(c);
+  RunningStats abc = a;
+  abc.merge(bc);  // a + (b + c)
+  EXPECT_EQ(ab.count(), abc.count());
+  EXPECT_NEAR(ab.mean(), abc.mean(), 1e-13 * std::abs(ab.mean()) + 1e-15);
+  EXPECT_NEAR(ab.variance(), abc.variance(),
+              1e-12 * ab.variance() + 1e-15);
+  EXPECT_DOUBLE_EQ(ab.min(), abc.min());
+  EXPECT_DOUBLE_EQ(ab.max(), abc.max());
+  EXPECT_DOUBLE_EQ(ab.sum(), abc.sum());
+}
+
+TEST(RunningStatsTest, MergeEquivalentToPooledAdd) {
+  // The parallel-variance formula must agree with one accumulator that
+  // saw every sample, up to rounding of the same scale as the values.
+  Rng rng{17};
+  RunningStats pooled;
+  RunningStats parts[4];
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.normal(10.0, 4.0);
+    pooled.add(x);
+    parts[i % 4].add(x);
+  }
+  RunningStats merged = parts[0];
+  for (int p = 1; p < 4; ++p) merged.merge(parts[p]);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_NEAR(merged.mean(), pooled.mean(), 1e-12 * std::abs(pooled.mean()));
+  EXPECT_NEAR(merged.variance(), pooled.variance(),
+              1e-10 * pooled.variance());
+  EXPECT_NEAR(merged.sum(), pooled.sum(), 1e-12 * std::abs(pooled.sum()));
+  EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(merged.max(), pooled.max());
+}
+
+TEST(RunningStatsTest, StateRoundTripIsBitExact) {
+  const RunningStats a = sampled(23, 999, 0.25, 7.0);
+  EXPECT_TRUE(bitIdentical(RunningStats::fromState(a.state()), a));
+  // Empty accumulators round-trip to empty (min/max sentinels restored).
+  const RunningStats empty;
+  const RunningStats back = RunningStats::fromState(empty.state());
+  EXPECT_EQ(back.count(), 0u);
+  RunningStats merged = back;
+  merged.merge(a);
+  EXPECT_TRUE(bitIdentical(merged, a));
 }
 
 TEST(RunningStatsTest, ConfidenceIntervalBasics) {
@@ -165,6 +255,19 @@ TEST(SeriesAccumulatorTest, SmoothingAveragesNeighbours) {
   EXPECT_DOUBLE_EQ(smooth[2], 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(smooth[3], 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(smooth[0], 0.0);
+}
+
+TEST(SeriesAccumulatorTest, CellsRoundTripPreservesMergeBehaviour) {
+  SeriesAccumulator acc;
+  acc.add(0, 1.0);
+  acc.add(0, 0.0);
+  acc.add(3, 0.5);
+  const SeriesAccumulator back = SeriesAccumulator::fromCells(acc.cells());
+  ASSERT_EQ(back.size(), acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_EQ(back.at(i).count(), acc.at(i).count());
+    EXPECT_DOUBLE_EQ(back.at(i).mean(), acc.at(i).mean());
+  }
 }
 
 TEST(SeriesAccumulatorTest, ZeroSmoothingIsIdentity) {
