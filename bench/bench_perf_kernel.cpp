@@ -1,103 +1,203 @@
 /// \file bench_perf_kernel.cpp
-/// google-benchmark microbenchmarks for the simulation substrate: event
-/// queue throughput, channel sampling, airtime computation and a complete
-/// urban round. These guard the "30 rounds in under a second" property the
-/// experiment harnesses rely on.
+/// Microbenchmarks for the simulation substrate: event-queue throughput,
+/// cancellation-heavy scheduling (the eager queue-compaction path),
+/// channel sampling, airtime computation, and the complete urban round.
+/// These guard the "30 rounds in under a second" property the experiment
+/// harnesses rely on.
+///
+/// Every timed section reports mean +- CI95 wall time via RunningStats
+/// (no external benchmark framework). Flags are the shared campaign CLI
+/// (--seed, --round-threads; see util/flags.h) plus:
+///   --iters=N   timing repetitions per section (default 10)
+///   --laps=N    rounds of the experiment-level timing (default 8)
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "analysis/experiment.h"
+#include "analysis/round.h"
 #include "channel/link_model.h"
 #include "mac/airtime.h"
 #include "sim/simulator.h"
+#include "util/flags.h"
 #include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace vanet;
 
-void BM_EventQueueScheduleRun(benchmark::State& state) {
-  const auto events = static_cast<int>(state.range(0));
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One "mean +- ci95  (per-item rate)" report line.
+void report(const char* name, const RunningStats& wall, double itemsPerRun,
+            const char* item) {
+  std::printf("%-28s %9.3f ms +- %6.3f", name, wall.mean() * 1e3,
+              wall.confidence95() * 1e3);
+  if (itemsPerRun > 0.0 && wall.mean() > 0.0) {
+    std::printf("   (%11.0f %s/s)", itemsPerRun / wall.mean(), item);
+  }
+  std::printf("\n");
+}
+
+/// Keeps computed values observable so the loops cannot be elided.
+std::uint64_t gSink = 0;
+
+RunningStats timeEventQueue(int iters, int events) {
+  RunningStats wall;
   Rng rng{42};
-  for (auto _ : state) {
+  for (int it = 0; it < iters; ++it) {
     sim::Simulator sim;
-    std::uint64_t sink = 0;
+    const auto start = Clock::now();
     for (int i = 0; i < events; ++i) {
       sim.scheduleAt(sim::SimTime::micros(rng.uniform(0.0, 1e6)),
-                     [&sink] { ++sink; });
+                     [] { ++gSink; });
     }
     sim.run();
-    benchmark::DoNotOptimize(sink);
+    wall.add(secondsSince(start));
   }
-  state.SetItemsProcessed(state.iterations() * events);
+  return wall;
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_EventCancelHeavy(benchmark::State& state) {
-  // Half the scheduled events are cancelled: exercises lazy deletion.
-  const int events = 10000;
-  for (auto _ : state) {
+RunningStats timeCancelHeavy(int iters, int events) {
+  // 90% of the scheduled timers are cancelled -- the C-ARQ churn pattern
+  // that used to leave dead entries in the queue until their timestamp
+  // popped; now exercises the eager compaction.
+  RunningStats wall;
+  for (int it = 0; it < iters; ++it) {
     sim::Simulator sim;
     std::vector<sim::EventId> ids;
-    ids.reserve(events);
-    std::uint64_t sink = 0;
+    ids.reserve(static_cast<std::size_t>(events));
+    const auto start = Clock::now();
     for (int i = 0; i < events; ++i) {
-      ids.push_back(sim.scheduleAt(sim::SimTime::micros(i), [&sink] { ++sink; }));
+      ids.push_back(
+          sim.scheduleAt(sim::SimTime::micros(i), [] { ++gSink; }));
     }
-    for (int i = 0; i < events; i += 2) {
-      sim.cancel(ids[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < events; ++i) {
+      if (i % 10 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
     }
     sim.run();
-    benchmark::DoNotOptimize(sink);
+    wall.add(secondsSince(start));
+    gSink += sim.queueDepth();
   }
-  state.SetItemsProcessed(state.iterations() * events);
+  return wall;
 }
-BENCHMARK(BM_EventCancelHeavy);
 
-void BM_LinkModelSampling(benchmark::State& state) {
+RunningStats timeLinkSampling(int iters, int samples) {
   const geom::Polyline road{{{0.0, 0.0}, {500.0, 0.0}}};
   analysis::ChannelConfig config;
   auto model = analysis::buildLinkModel(road, config, Rng{7});
   Rng rng{9};
+  RunningStats wall;
   double x = 0.0;
-  for (auto _ : state) {
-    x += 1.0;
-    if (x > 400.0) x = 0.0;
-    const double mean = model->meanRxPowerDbm(kFirstApId, {250.0, -8.0}, 18.0,
-                                              1, {x, 0.0});
-    const double faded = model->fadedRxPowerDbm(mean, rng);
-    benchmark::DoNotOptimize(
-        model->successProbability(channel::PhyMode::kDsss1Mbps,
-                                  faded + 94.0, 8224));
+  for (int it = 0; it < iters; ++it) {
+    const auto start = Clock::now();
+    for (int i = 0; i < samples; ++i) {
+      x += 1.0;
+      if (x > 400.0) x = 0.0;
+      const double mean = model->meanRxPowerDbm(kFirstApId, {250.0, -8.0},
+                                                18.0, 1, {x, 0.0});
+      const double faded = model->fadedRxPowerDbm(mean, rng);
+      gSink += model->successProbability(channel::PhyMode::kDsss1Mbps,
+                                         faded + 94.0, 8224) > 0.5;
+    }
+    wall.add(secondsSince(start));
   }
-  state.SetItemsProcessed(state.iterations());
+  return wall;
 }
-BENCHMARK(BM_LinkModelSampling);
 
-void BM_FrameAirtime(benchmark::State& state) {
+RunningStats timeFrameAirtime(int iters, int frames) {
+  RunningStats wall;
   int bytes = 0;
-  for (auto _ : state) {
-    bytes = (bytes + 17) % 1500;
-    benchmark::DoNotOptimize(
-        mac::frameAirtime(channel::PhyMode::kDsss1Mbps, bytes));
-    benchmark::DoNotOptimize(
-        mac::frameAirtime(channel::PhyMode::kErpOfdm54Mbps, bytes));
+  for (int it = 0; it < iters; ++it) {
+    const auto start = Clock::now();
+    for (int i = 0; i < frames; ++i) {
+      bytes = (bytes + 17) % 1500;
+      gSink += static_cast<std::uint64_t>(
+          mac::frameAirtime(channel::PhyMode::kDsss1Mbps, bytes).toSeconds() +
+          mac::frameAirtime(channel::PhyMode::kErpOfdm54Mbps, bytes)
+              .toSeconds());
+    }
+    wall.add(secondsSince(start));
   }
-  state.SetItemsProcessed(state.iterations() * 2);
+  return wall;
 }
-BENCHMARK(BM_FrameAirtime);
 
-void BM_FullUrbanRound(benchmark::State& state) {
+/// Per-round wall time of the full urban kernel: one sample per distinct
+/// round index (each round builds its own world, like production runs).
+RunningStats timeUrbanRound(int iters, std::uint64_t seed) {
   analysis::UrbanExperimentConfig config;
-  config.rounds = 1;
-  config.seed = 11;
-  for (auto _ : state) {
-    analysis::UrbanExperiment experiment(config);
-    benchmark::DoNotOptimize(experiment.runRound(0));
+  config.rounds = iters;
+  config.seed = seed;
+  const analysis::UrbanExperiment experiment(config);
+  RunningStats wall;
+  for (int round = 0; round < iters; ++round) {
+    const auto start = Clock::now();
+    const analysis::UrbanRoundOutcome outcome = experiment.runRound(round);
+    wall.add(secondsSince(start));
+    gSink += outcome.trace.txCount(1);
   }
+  return wall;
 }
-BENCHMARK(BM_FullUrbanRound)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const CampaignRunFlags run = campaignRunFlags(flags, /*defaultSeed=*/11);
+  const int iters = flags.getInt("iters", 10);
+  const int laps = flags.getInt("laps", 8);
+
+  std::printf("simulation-substrate kernels, %d repetitions each "
+              "(mean +- CI95)\n\n", iters);
+  report("event queue (100k events)", timeEventQueue(iters, 100000), 100000,
+         "events");
+  report("cancel-heavy (10k, 90%)", timeCancelHeavy(iters, 10000), 10000,
+         "timers");
+  report("link-model sampling (10k)", timeLinkSampling(iters, 10000), 10000,
+         "samples");
+  report("frame airtime (20k)", timeFrameAirtime(iters, 10000), 20000,
+         "frames");
+  const RunningStats roundWall = timeUrbanRound(iters, run.seed);
+  report("full urban round", roundWall, 0, "");
+
+  // Experiment-level wall: the round engine at --round-threads workers
+  // against the serial fold (same bytes, fewer seconds).
+  analysis::UrbanExperimentConfig config;
+  config.rounds = laps;
+  config.seed = run.seed;
+  config.roundThreads = 1;
+  auto start = Clock::now();
+  analysis::UrbanExperimentResult serial =
+      analysis::UrbanExperiment(config).run();
+  const double serialWall = secondsSince(start);
+  std::printf("\n%d-round experiment, serial fold:      %8.3f s\n", laps,
+              serialWall);
+  if (run.roundThreads != 1) {
+    config.roundThreads = run.roundThreads;
+    start = Clock::now();
+    analysis::UrbanExperimentResult parallel =
+        analysis::UrbanExperiment(config).run();
+    const double parallelWall = secondsSince(start);
+    std::printf("%d-round experiment, %d round workers: %8.3f s "
+                "(speedup %.2fx)\n",
+                laps, parallel.roundWorkers, parallelWall,
+                serialWall / parallelWall);
+    gSink += static_cast<std::uint64_t>(parallel.totals.medium.framesDelivered);
+  }
+  gSink += static_cast<std::uint64_t>(serial.totals.medium.framesDelivered);
+
+  std::printf("\nper-round budget: %.1f ms mean -> %.1f rounds/s "
+              "(paper campaign = 30 rounds)\n",
+              roundWall.mean() * 1e3,
+              roundWall.mean() > 0.0 ? 1.0 / roundWall.mean() : 0.0);
+  std::printf("(checksum %llu)\n",
+              static_cast<unsigned long long>(gSink % 997));
+  return 0;
+}

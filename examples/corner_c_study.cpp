@@ -54,7 +54,7 @@ StudyResult run(double closeGapSeconds, int rounds, std::uint64_t seed) {
   PhiAccumulator head;
   PhiAccumulator tail;
   for (int round = 0; round < rounds; ++round) {
-    const trace::RoundTrace trace = experiment.runRound(round);
+    const trace::RoundTrace trace = experiment.runRound(round).trace;
     const auto window = trace.associationWindow(2);
     if (!window.has_value()) continue;
     const auto seqs =

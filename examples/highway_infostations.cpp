@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
         config.scenario.firstApArc +
         config.scenario.apSpacing * (config.scenario.apCount - 1) + 500.0;
     config.scenario.speedMps = flags.getDouble("speed-kmh", 50.0) / 3.6;
+    config.roundThreads = flags.getInt("round-threads", 1);
     config.carq.fileSizeSeqs = fileSize;
     config.carq.cooperationEnabled = coop;
 

@@ -5,6 +5,7 @@
 ///
 ///   $ ./urban_loop --rounds=30 --seed=2008 --cars=3
 ///       [--speed-kmh=20] [--no-coop] [--batched] [--csv=outdir]
+///       [--round-threads=1] (parallelise the rounds; same bytes)
 ///       [--figures] (print Figures 3-8 as well)
 
 #include <iostream>
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   config.scenario.carCount = flags.getInt("cars", 3);
   config.scenario.baseSpeedMps = flags.getDouble("speed-kmh", 20.0) / 3.6;
   config.scenario.gapSeconds = flags.getDouble("gap", 4.0);
+  config.roundThreads = flags.getInt("round-threads", 1);
   config.carq.cooperationEnabled = !flags.getBool("no-coop", false);
   if (flags.getBool("batched", false)) {
     config.carq.requestMode = carq::RequestMode::kBatched;

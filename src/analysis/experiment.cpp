@@ -1,167 +1,72 @@
 #include "analysis/experiment.h"
 
-#include <algorithm>
-#include <memory>
-#include <set>
-#include <vector>
+#include <cstddef>
 
-#include "mobility/mobility_model.h"
-#include "net/infostation.h"
-#include "net/node.h"
-#include "util/assert.h"
+#include "analysis/round.h"
+#include "util/reorder.h"
+#include "util/thread_pool.h"
 
 namespace vanet::analysis {
 namespace {
 
-std::unique_ptr<channel::FadingModel> makeFading(const ChannelConfig& config) {
-  if (config.nakagamiM > 0.0) {
-    return std::make_unique<channel::NakagamiFading>(config.nakagamiM);
+/// The fold layer's round engine: resolves the round-worker count
+/// against the shared thread budget, runs the kernel for every round,
+/// and folds the outcomes strictly in round order through the bounded
+/// reordering window -- bit-identical to the serial loop at any worker
+/// count (including the degraded inline case). Returns the workers used.
+template <typename Outcome, typename Kernel, typename Fold>
+int runRoundsOrdered(int rounds, int requestedWorkers, Kernel&& kernel,
+                     Fold&& fold) {
+  util::ThreadBudget& budget = util::ThreadBudget::global();
+  int want = requestedWorkers;
+  if (want <= 0) {
+    // Claim whatever the budget has left. The engine cannot tell whether
+    // the calling thread is already registered (a campaign job worker)
+    // or not (a standalone experiment), so it counts the caller against
+    // the remaining room either way: nested use leaves one slot spare
+    // rather than the standalone case oversubscribing by one.
+    want = budget.limit() - budget.inUse();
   }
-  if (config.ricianK < 0.0) return std::make_unique<channel::NoFading>();
-  if (config.ricianK == 0.0) return std::make_unique<channel::RayleighFading>();
-  return std::make_unique<channel::RicianFading>(config.ricianK);
-}
-
-/// Accumulates one car's protocol counters into the totals.
-void addCounters(ProtocolTotals& totals, const carq::CarqCounters& c,
-                 std::size_t buffered) {
-  totals.requestsPerRound.add(static_cast<double>(c.requestsSent));
-  totals.requestSeqsPerRound.add(static_cast<double>(c.requestSeqsSent));
-  totals.coopDataPerRound.add(static_cast<double>(c.coopDataSent));
-  totals.suppressedPerRound.add(static_cast<double>(c.responsesSuppressed));
-  totals.hellosPerRound.add(static_cast<double>(c.hellosSent));
-  totals.bufferedPerRound.add(static_cast<double>(buffered));
+  if (want > rounds) want = rounds;
+  if (want < 1) want = 1;
+  // The calling thread is one worker; lease only the extras, without
+  // force: nested under busy campaign job workers this degrades
+  // gracefully toward inline execution instead of oversubscribing.
+  const util::ThreadLease lease(budget, want - 1);
+  const int workers = 1 + lease.granted();
+  util::foldOrdered<Outcome>(
+      static_cast<std::size_t>(rounds), workers,
+      util::reorderWindowCap(workers),
+      [&kernel](std::size_t round) { return kernel(static_cast<int>(round)); },
+      [&fold](std::size_t round, Outcome& outcome) {
+        fold(static_cast<int>(round), outcome);
+      });
+  return workers;
 }
 
 }  // namespace
-
-std::unique_ptr<channel::CompositeLinkModel> buildLinkModel(
-    const geom::Polyline& road, const ChannelConfig& config, Rng rng,
-    std::function<double(geom::Vec2)> obstruction) {
-  auto infraLoss = std::make_unique<channel::LogDistancePathLoss>(
-      config.infraPathLossExponent, config.infraReferenceLossDb);
-  auto c2cLoss = std::make_unique<channel::LogDistancePathLoss>(
-      config.c2cPathLossExponent, config.c2cReferenceLossDb);
-  std::unique_ptr<channel::ShadowingProvider> shadowing =
-      std::make_unique<channel::CorrelatedRoadShadowing>(
-          road, config.shadowing, rng.child("shadowing"));
-  if (obstruction != nullptr) {
-    shadowing = std::make_unique<channel::ObstructedShadowing>(
-        std::move(shadowing), std::move(obstruction));
-  }
-  auto model = std::make_unique<channel::CompositeLinkModel>(
-      std::move(infraLoss), std::move(c2cLoss), std::move(shadowing),
-      makeFading(config), config.budget);
-  if (config.burst.has_value()) {
-    model->enableBurstOverlay(*config.burst, rng.child("burst"));
-  }
-  return model;
-}
 
 // ----------------------------------------------------------------- urban
 
 UrbanExperiment::UrbanExperiment(UrbanExperimentConfig config)
     : config_(config), scenario_(config.scenario, config.seed) {}
 
-trace::RoundTrace UrbanExperiment::runRound(int roundIndex,
-                                            ProtocolTotals* totals) {
-  const mobility::UrbanRound round = scenario_.makeRound(roundIndex);
-  Rng roundRng = Rng{config_.seed}.child("urban-run").child(
-      static_cast<std::uint64_t>(roundIndex));
-
-  // Urban corner blocking: loss grows with distance off the covered
-  // street (the covered street is the y ~ 0 edge of the lap).
-  const double halfWidth = config_.channel.streetHalfWidthMetres;
-  const double slope = config_.channel.obstructionDbPerMetre;
-  const double cap = config_.channel.obstructionCapDb;
-  auto obstruction = [halfWidth, slope, cap](geom::Vec2 pos) {
-    const double off = std::max(0.0, pos.y - halfWidth);
-    return std::min(cap, slope * off);
-  };
-
-  std::function<double(geom::Vec2)> obstructionFn;
-  if (slope > 0.0) obstructionFn = obstruction;
-  auto link = buildLinkModel(round.path, config_.channel,
-                             roundRng.child("link"), std::move(obstructionFn));
-
-  sim::Simulator sim;
-  mac::RadioEnvironment environment(sim, *link, roundRng.child("medium"));
-
-  // --- nodes ---
-  mobility::StaticMobility apMobility(round.apPosition);
-  net::Node apNode(sim, environment, kFirstApId, &apMobility,
-                   mac::RadioConfig{config_.apTxPowerDbm}, mac::MacConfig{},
-                   roundRng.child("ap"));
-
-  std::vector<NodeId> carIds;
-  for (int i = 0; i < config_.scenario.carCount; ++i) {
-    carIds.push_back(static_cast<NodeId>(i + 1));
-  }
-  trace::RoundTrace roundTrace(carIds);
-
-  net::InfostationConfig apConfig;
-  apConfig.flows = carIds;
-  apConfig.packetsPerSecondPerFlow = config_.packetsPerSecondPerFlow;
-  apConfig.payloadBytes = config_.payloadBytes;
-  apConfig.mode = config_.carq.phyMode;
-  apConfig.start = round.flowStart;
-  apConfig.stop = round.flowStop;
-  apConfig.repeatCount = config_.repeatCount;
-  net::InfostationServer infostation(
-      apNode, apConfig,
-      [&roundTrace](FlowId flow, SeqNo seq, int copy, sim::SimTime at) {
-        roundTrace.recordApTx(flow, seq, copy, at);
-      });
-
-  std::vector<std::unique_ptr<net::Node>> carNodes;
-  std::vector<std::unique_ptr<carq::CarqAgent>> agents;
-  carNodes.reserve(carIds.size());
-  agents.reserve(carIds.size());
-  for (std::size_t i = 0; i < carIds.size(); ++i) {
-    const NodeId carId = carIds[i];
-    carNodes.push_back(std::make_unique<net::Node>(
-        sim, environment, carId, round.cars[i].get(),
-        mac::RadioConfig{config_.carTxPowerDbm}, mac::MacConfig{},
-        roundRng.child("car-node").child(static_cast<std::uint64_t>(carId))));
-    auto agent = std::make_unique<carq::CarqAgent>(
-        *carNodes.back(), config_.carq,
-        roundRng.child("agent").child(static_cast<std::uint64_t>(carId)));
-    agent->hooks().onOverhearData = [&roundTrace, carId](FlowId flow, SeqNo seq,
-                                                         sim::SimTime at) {
-      roundTrace.recordOverhear(carId, flow, seq, at);
-    };
-    agent->hooks().onRecovered = [&roundTrace, carId](SeqNo seq,
-                                                      sim::SimTime at) {
-      roundTrace.recordRecovered(carId, seq, at);
-    };
-    agents.push_back(std::move(agent));
-  }
-
-  infostation.start();
-  for (auto& agent : agents) {
-    agent->start();
-  }
-  sim.runUntil(round.roundEnd);
-
-  if (totals != nullptr) {
-    for (std::size_t i = 0; i < agents.size(); ++i) {
-      addCounters(*totals, agents[i]->counters(),
-                  agents[i]->store().bufferedCount());
-    }
-    totals->medium.merge(environment.stats());
-  }
-  return roundTrace;
+UrbanRoundOutcome UrbanExperiment::runRound(int roundIndex) const {
+  return runUrbanRound(config_, scenario_, roundIndex);
 }
 
 UrbanExperimentResult UrbanExperiment::run() {
   UrbanExperimentResult result;
   trace::Table1Accumulator table1;
   trace::FigureAccumulator figures;
-  for (int round = 0; round < config_.rounds; ++round) {
-    const trace::RoundTrace roundTrace = runRound(round, &result.totals);
-    table1.addRound(roundTrace);
-    figures.addRound(roundTrace);
-  }
+  result.roundWorkers = runRoundsOrdered<UrbanRoundOutcome>(
+      config_.rounds, config_.roundThreads,
+      [this](int round) { return runRound(round); },
+      [&](int, UrbanRoundOutcome& outcome) {
+        table1.addRound(outcome.trace);
+        figures.addRound(outcome.trace);
+        result.totals.merge(outcome.totals);
+      });
   result.table1 = table1.data();
   result.figures = figures.flows();
   result.rounds = config_.rounds;
@@ -181,122 +86,29 @@ ChannelConfig highwayChannelDefaults() {
 HighwayExperiment::HighwayExperiment(HighwayExperimentConfig config)
     : config_(config), scenario_(config.scenario, config.seed) {}
 
+HighwayRoundOutcome HighwayExperiment::runRound(int roundIndex) const {
+  return runHighwayRound(config_, scenario_, roundIndex);
+}
+
 HighwayExperimentResult HighwayExperiment::run() {
   HighwayExperimentResult result;
   trace::Table1Accumulator table1;
-
-  for (int round = 0; round < config_.rounds; ++round) {
-    const mobility::HighwayRound highwayRound = scenario_.makeRound(round);
-    Rng roundRng = Rng{config_.seed}.child("highway-run").child(
-        static_cast<std::uint64_t>(round));
-
-    auto link = buildLinkModel(highwayRound.path, config_.channel,
-                               roundRng.child("link"));
-    sim::Simulator sim;
-    mac::RadioEnvironment environment(sim, *link, roundRng.child("medium"));
-
-    std::vector<NodeId> carIds;
-    for (int i = 0; i < config_.scenario.carCount; ++i) {
-      carIds.push_back(static_cast<NodeId>(i + 1));
-    }
-    trace::RoundTrace roundTrace(carIds);
-
-    // --- access points along the road ---
-    std::vector<std::unique_ptr<mobility::StaticMobility>> apMobilities;
-    std::vector<std::unique_ptr<net::Node>> apNodes;
-    std::vector<std::unique_ptr<net::InfostationServer>> infostations;
-    for (std::size_t a = 0; a < highwayRound.apPositions.size(); ++a) {
-      apMobilities.push_back(std::make_unique<mobility::StaticMobility>(
-          highwayRound.apPositions[a]));
-      apNodes.push_back(std::make_unique<net::Node>(
-          sim, environment, kFirstApId + static_cast<NodeId>(a),
-          apMobilities.back().get(), mac::RadioConfig{config_.apTxPowerDbm},
-          mac::MacConfig{}, roundRng.child("ap").child(a)));
-      net::InfostationConfig apConfig;
-      apConfig.flows = carIds;
-      apConfig.packetsPerSecondPerFlow = config_.packetsPerSecondPerFlow;
-      apConfig.payloadBytes = config_.payloadBytes;
-      apConfig.mode = config_.carq.phyMode;
-      // Stagger AP schedules a little so co-channel APs do not beat.
-      apConfig.start = sim::SimTime::millis(7.0 * static_cast<double>(a));
-      apConfig.stop = highwayRound.roundEnd;
-      apConfig.cycleLength = config_.carq.fileSizeSeqs;  // 0 = plain stream
-      if (apConfig.cycleLength > 0) {
-        // Stagger the content phase across infostations so consecutive
-        // passes serve complementary slices of the file.
-        apConfig.firstSeq =
-            1 + static_cast<SeqNo>(
-                    (static_cast<long>(a) * apConfig.cycleLength) /
-                    static_cast<long>(highwayRound.apPositions.size()));
-      }
-      infostations.push_back(std::make_unique<net::InfostationServer>(
-          *apNodes.back(), apConfig,
-          [&roundTrace](FlowId flow, SeqNo seq, int copy, sim::SimTime at) {
-            roundTrace.recordApTx(flow, seq, copy, at);
-          }));
-    }
-
-    // --- cars ---
-    struct CarProgress {
-      std::set<NodeId> apsContacted;
-      int visitsAtComplete = -1;
-      sim::SimTime completeAt{};
-    };
-    std::map<NodeId, CarProgress> progress;
-
-    std::vector<std::unique_ptr<net::Node>> carNodes;
-    std::vector<std::unique_ptr<carq::CarqAgent>> agents;
-    for (std::size_t i = 0; i < carIds.size(); ++i) {
-      const NodeId carId = carIds[i];
-      carNodes.push_back(std::make_unique<net::Node>(
-          sim, environment, carId, highwayRound.cars[i].get(),
-          mac::RadioConfig{config_.carTxPowerDbm}, mac::MacConfig{},
-          roundRng.child("car-node").child(static_cast<std::uint64_t>(carId))));
-      auto agent = std::make_unique<carq::CarqAgent>(
-          *carNodes.back(), config_.carq,
-          roundRng.child("agent").child(static_cast<std::uint64_t>(carId)));
-      agent->hooks().onOverhearData = [&roundTrace, carId](
-                                          FlowId flow, SeqNo seq,
-                                          sim::SimTime at) {
-        roundTrace.recordOverhear(carId, flow, seq, at);
-      };
-      agent->hooks().onRecovered = [&roundTrace, carId](SeqNo seq,
-                                                        sim::SimTime at) {
-        roundTrace.recordRecovered(carId, seq, at);
-      };
-      agent->hooks().onEnterReception = [&progress, carId](NodeId ap,
-                                                           sim::SimTime) {
-        progress[carId].apsContacted.insert(ap);
-      };
-      agent->hooks().onFileComplete = [&progress, carId](sim::SimTime at) {
-        progress[carId].visitsAtComplete =
-            static_cast<int>(progress[carId].apsContacted.size());
-        progress[carId].completeAt = at;
-      };
-      agents.push_back(std::move(agent));
-    }
-
-    for (auto& infostation : infostations) infostation->start();
-    for (auto& agent : agents) agent->start();
-    sim.runUntil(highwayRound.roundEnd);
-
-    table1.addRound(roundTrace);
-    for (std::size_t i = 0; i < agents.size(); ++i) {
-      addCounters(result.totals, agents[i]->counters(),
-                  agents[i]->store().bufferedCount());
-      const NodeId carId = carIds[i];
-      HighwayCarResult& carResult = result.cars[carId];
-      carResult.car = carId;
-      const CarProgress& p = progress[carId];
-      if (p.visitsAtComplete >= 0) {
-        ++carResult.completedRounds;
-        carResult.apVisitsToComplete.add(p.visitsAtComplete);
-        carResult.timeToCompleteSeconds.add(p.completeAt.toSeconds());
-      }
-    }
-    result.totals.medium.merge(environment.stats());
-  }
-
+  result.roundWorkers = runRoundsOrdered<HighwayRoundOutcome>(
+      config_.rounds, config_.roundThreads,
+      [this](int round) { return runRound(round); },
+      [&](int, HighwayRoundOutcome& outcome) {
+        table1.addRound(outcome.trace);
+        for (const HighwayCarRound& record : outcome.cars) {
+          HighwayCarResult& carResult = result.cars[record.car];
+          carResult.car = record.car;
+          if (record.visitsAtComplete >= 0) {
+            ++carResult.completedRounds;
+            carResult.apVisitsToComplete.add(record.visitsAtComplete);
+            carResult.timeToCompleteSeconds.add(record.completeAtSeconds);
+          }
+        }
+        result.totals.merge(outcome.totals);
+      });
   result.table1 = table1.data();
   result.rounds = config_.rounds;
   return result;

@@ -1,14 +1,32 @@
 #pragma once
 
 /// \file experiment.h
-/// Experiment drivers. UrbanExperiment reproduces the paper's testbed (30
-/// laps of the Figure-2 loop); HighwayExperiment runs the drive-thru /
-/// Infostation studies (speed sweep, file download across multiple APs).
-/// Both are deterministic in (config, seed).
+/// Experiment drivers, layered like the campaign pipeline in src/runner/:
+///
+///   build   round.h          pure per-round world construction
+///                            (makeRound, channel/link assembly, nodes)
+///   kernel  round.h          runUrbanRound / runHighwayRound: pure
+///                            (config, scenario, roundIndex) -> outcome
+///   fold    this file        UrbanExperiment / HighwayExperiment feed
+///                            round outcomes -- strictly in round order,
+///                            through the bounded reordering window of
+///                            util/reorder.h -- into the Table-1 / figure
+///                            accumulators and protocol totals
+///
+/// Rounds are independent given the per-round Rng children, so the fold
+/// layer runs them on `roundThreads` workers drawn from the shared
+/// util::ThreadBudget; because outcomes fold in round order the results
+/// are bit-identical to the serial loop at any worker count.
+///
+/// UrbanExperiment reproduces the paper's testbed (30 laps of the
+/// Figure-2 loop); HighwayExperiment runs the drive-thru / Infostation
+/// studies (speed sweep, file download across multiple APs). Both are
+/// deterministic in (config, seed).
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "channel/gilbert_elliott.h"
 #include "channel/link_model.h"
@@ -92,6 +110,20 @@ struct UrbanExperimentConfig {
   int repeatCount = 1;  ///< AP blind retransmissions (ablation)
   int rounds = 30;      ///< paper: 30
   std::uint64_t seed = 42;
+  /// Round workers for run(): 1 = serial, 0 = whatever the shared
+  /// util::ThreadBudget has left, N = up to N (degrades gracefully when
+  /// the budget is short). The result is bit-identical for every value.
+  int roundThreads = 1;
+};
+
+/// What one round kernel produces: the trace plus this round's protocol
+/// deltas. A pure value -- merging outcomes in round order reproduces the
+/// serial accumulation exactly, which is what makes round parallelism
+/// invisible in the results. Not default-constructible: a trace always
+/// belongs to a concrete platoon.
+struct UrbanRoundOutcome {
+  trace::RoundTrace trace;
+  ProtocolTotals totals;  ///< this round's counter samples only
 };
 
 /// Aggregated outcome of an urban experiment.
@@ -100,19 +132,21 @@ struct UrbanExperimentResult {
   std::map<FlowId, trace::FlowFigure> figures;
   ProtocolTotals totals;
   int rounds = 0;
+  int roundWorkers = 1;  ///< round workers the fold layer actually used
 };
 
-/// Drives `rounds` laps and aggregates the paper's outputs.
+/// Drives `rounds` laps and aggregates the paper's outputs (fold layer).
 class UrbanExperiment {
  public:
   explicit UrbanExperiment(UrbanExperimentConfig config);
 
-  /// Runs every round and aggregates. Deterministic in (config, seed).
+  /// Runs every round and aggregates. Deterministic in (config, seed)
+  /// for any roundThreads value.
   UrbanExperimentResult run();
 
-  /// Runs a single round and returns its trace (used by tests and by
-  /// run()). `totals` accumulation is optional.
-  trace::RoundTrace runRound(int roundIndex, ProtocolTotals* totals = nullptr);
+  /// The round kernel: runs one round and returns its outcome. Pure in
+  /// (config, roundIndex) -- owns no experiment-wide mutable state.
+  UrbanRoundOutcome runRound(int roundIndex) const;
 
   const mobility::UrbanLoopScenario& scenario() const noexcept {
     return scenario_;
@@ -142,6 +176,8 @@ struct HighwayExperimentConfig {
   int payloadBytes = 1000;
   int rounds = 10;
   std::uint64_t seed = 42;
+  /// Round workers for run(); see UrbanExperimentConfig::roundThreads.
+  int roundThreads = 1;
 };
 
 /// Per-car outcome of the highway studies.
@@ -152,19 +188,38 @@ struct HighwayCarResult {
   int completedRounds = 0;
 };
 
+/// One car's raw file-download record of a single highway round.
+struct HighwayCarRound {
+  NodeId car = 0;
+  int visitsAtComplete = -1;  ///< -1: the file did not complete this round
+  double completeAtSeconds = 0.0;
+};
+
+/// What one highway round kernel produces.
+struct HighwayRoundOutcome {
+  trace::RoundTrace trace;
+  ProtocolTotals totals;  ///< this round's counter samples only
+  std::vector<HighwayCarRound> cars;  ///< ascending car id
+};
+
 struct HighwayExperimentResult {
   trace::Table1Data table1;  ///< per-pass loss stats (single-AP sweeps)
   std::map<NodeId, HighwayCarResult> cars;
   ProtocolTotals totals;
   int rounds = 0;
+  int roundWorkers = 1;  ///< round workers the fold layer actually used
 };
 
-/// Drives the highway scenario `rounds` times.
+/// Drives the highway scenario `rounds` times (fold layer).
 class HighwayExperiment {
  public:
   explicit HighwayExperiment(HighwayExperimentConfig config);
 
+  /// Deterministic in (config, seed) for any roundThreads value.
   HighwayExperimentResult run();
+
+  /// The round kernel: pure in (config, roundIndex).
+  HighwayRoundOutcome runRound(int roundIndex) const;
 
   const mobility::HighwayScenario& scenario() const noexcept {
     return scenario_;
@@ -174,11 +229,5 @@ class HighwayExperiment {
   HighwayExperimentConfig config_;
   mobility::HighwayScenario scenario_;
 };
-
-/// Builds the composite link model for a given road and channel config.
-/// `obstruction` (optional) is applied to infra links.
-std::unique_ptr<channel::CompositeLinkModel> buildLinkModel(
-    const geom::Polyline& road, const ChannelConfig& config, Rng rng,
-    std::function<double(geom::Vec2)> obstruction = nullptr);
 
 }  // namespace vanet::analysis

@@ -1,16 +1,14 @@
 #include "runner/executor.h"
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <map>
 #include <mutex>
-#include <thread>
-#include <utility>
 #include <vector>
+
+#include "util/reorder.h"
+#include "util/thread_pool.h"
 
 namespace vanet::runner {
 namespace {
@@ -18,8 +16,7 @@ namespace {
 int resolveThreadCount(int requested, std::size_t jobCount) {
   int threads = requested;
   if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
+    threads = util::hardwareThreads();
   }
   if (static_cast<std::size_t>(threads) > jobCount) {
     threads = static_cast<int>(jobCount);
@@ -34,22 +31,8 @@ JobResult runJob(const CampaignPlan& plan, std::size_t localIndex) {
   context.seed = spec.seed;
   context.replication = spec.replication;
   context.jobIndex = spec.globalIndex;
+  context.roundThreads = plan.roundThreads();
   return plan.scenario().run(context);
-}
-
-void runPool(int threads, const std::function<void()>& worker) {
-  if (threads == 1) {
-    worker();
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back(worker);
-  }
-  for (std::thread& thread : pool) {
-    thread.join();
-  }
 }
 
 /// Buffered backend: collect everything, then fold once the pool drains.
@@ -75,7 +58,7 @@ std::size_t executeBuffered(const CampaignPlan& plan, int threads,
       }
     }
   };
-  runPool(threads, worker);
+  util::runWorkers(threads, worker);
   if (firstError) std::rethrow_exception(firstError);
 
   for (std::size_t i = 0; i < jobCount; ++i) {
@@ -84,75 +67,21 @@ std::size_t executeBuffered(const CampaignPlan& plan, int threads,
   return jobCount;  // the peak: every result was buffered at once
 }
 
-/// Streaming backend: a bounded job-order reordering window. Workers
-/// park completed results in `pending` (keyed by local job index); the
-/// worker whose insert completes the window front folds every contiguous
-/// result. Claiming a job beyond frontier + cap blocks, so `pending`
-/// never holds more than streamingWindowCap(threads) results.
+/// Streaming backend: the bounded job-order reordering window of
+/// util/reorder.h (the machinery originally lived here; the experiment
+/// layer's round engine now folds through the same template).
 std::size_t executeStreaming(const CampaignPlan& plan, int threads,
                              CampaignAccumulator& into) {
-  const std::size_t jobCount = plan.shardJobCount();
-  const std::size_t cap = streamingWindowCap(threads);
-
-  std::mutex mutex;
-  std::condition_variable claimable;
-  std::map<std::size_t, JobResult> pending;
-  std::size_t nextClaim = 0;
-  std::size_t frontier = 0;  ///< next local job index to fold
-  std::size_t peakPending = 0;
-  bool aborted = false;
-  std::exception_ptr firstError;
-
-  const auto worker = [&] {
-    for (;;) {
-      std::size_t i = 0;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        claimable.wait(lock, [&] {
-          return aborted || nextClaim >= jobCount || nextClaim < frontier + cap;
-        });
-        if (aborted || nextClaim >= jobCount) return;
-        i = nextClaim++;
-      }
-      // The park-and-fold below can throw too (allocation in emplace or
-      // in the merges), so the whole step shares the abort path: the
-      // error must reach the calling thread, never the thread entry.
-      try {
-        JobResult result = runJob(plan, i);
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (aborted) return;  // another worker failed; drop the result
-        pending.emplace(i, std::move(result));
-        peakPending = std::max(peakPending, pending.size());
-        while (!pending.empty() && pending.begin()->first == frontier) {
-          into.fold(frontier, pending.begin()->second);
-          pending.erase(pending.begin());
-          ++frontier;
-        }
-        // Folding moved the window; blocked claimants may now proceed.
-        claimable.notify_all();
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (!firstError) firstError = std::current_exception();
-        aborted = true;
-        claimable.notify_all();
-        return;
-      }
-    }
-  };
-  runPool(threads, worker);
-  if (firstError) std::rethrow_exception(firstError);
-  return peakPending;
+  return util::foldOrdered<JobResult>(
+      plan.shardJobCount(), threads, streamingWindowCap(threads),
+      [&plan](std::size_t i) { return runJob(plan, i); },
+      [&into](std::size_t i, JobResult& result) { into.fold(i, result); });
 }
 
 }  // namespace
 
 std::size_t streamingWindowCap(int threads) noexcept {
-  // Twice the worker count: every worker can have one in-flight job plus
-  // one parked result before the frontier job completes, and the bound
-  // stays O(threads) however large the campaign grows.
-  const std::size_t workers = threads > 0 ? static_cast<std::size_t>(threads)
-                                          : std::size_t{1};
-  return std::max<std::size_t>(2, 2 * workers);
+  return util::reorderWindowCap(threads);
 }
 
 ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
@@ -161,6 +90,13 @@ ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
   ExecutionStats stats;
   stats.threads = resolveThreadCount(requestedThreads, jobCount);
   stats.streaming = streaming;
+
+  // Record the job workers in the global budget (force: an explicit
+  // --threads count is an instruction). Round engines nested inside the
+  // jobs draw *their* workers from what remains, so one budget splits as
+  // jobs x round-workers instead of the two layers multiplying.
+  const util::ThreadLease lease(util::ThreadBudget::global(), stats.threads,
+                                /*force=*/true);
 
   const auto started = std::chrono::steady_clock::now();
   stats.peakBufferedResults =

@@ -51,6 +51,7 @@ CampaignPlan buildPlan(const CampaignConfig& config) {
   plan.scenario_ = scenario;
   plan.masterSeed_ = config.masterSeed;
   plan.replications_ = config.replications;
+  plan.roundThreads_ = config.roundThreads;
   plan.shard_ = config.shard;
 
   // Resolve every grid point up front: scenario defaults, then the

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -10,7 +11,8 @@ EventId Simulator::scheduleAt(SimTime at, std::function<void()> fn) {
   VANET_ASSERT(at >= now_, "cannot schedule an event in the past");
   VANET_ASSERT(fn != nullptr, "event handler must be callable");
   const EventId id = nextId_++;
-  queue_.push(Entry{at, nextSeq_++, id});
+  queue_.push_back(Entry{at, nextSeq_++, id});
+  std::push_heap(queue_.begin(), queue_.end(), EntryLater{});
   handlers_.emplace(id, std::move(fn));
   return id;
 }
@@ -20,13 +22,35 @@ EventId Simulator::scheduleAfter(SimTime delay, std::function<void()> fn) {
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) { handlers_.erase(id); }
+void Simulator::cancel(EventId id) {
+  if (handlers_.erase(id) == 0) return;  // already fired or cancelled
+  ++cancelledInQueue_;
+  maybeCompact();
+}
+
+void Simulator::maybeCompact() {
+  if (cancelledInQueue_ <= kCompactionSlack ||
+      cancelledInQueue_ <= handlers_.size()) {
+    return;
+  }
+  const auto live = std::remove_if(
+      queue_.begin(), queue_.end(),
+      [this](const Entry& entry) { return handlers_.count(entry.id) == 0; });
+  queue_.erase(live, queue_.end());
+  // Capacity is kept: steady schedule-cancel churn would otherwise pay a
+  // free/realloc cycle per compaction. It stays bounded by the largest
+  // pre-compaction queue, which the compaction keeps O(pending).
+  std::make_heap(queue_.begin(), queue_.end(), EntryLater{});
+  cancelledInQueue_ = 0;
+}
 
 bool Simulator::popNextLive(Entry& out) {
   while (!queue_.empty()) {
-    const Entry top = queue_.top();
+    const Entry top = queue_.front();
     if (handlers_.count(top.id) == 0) {
-      queue_.pop();  // cancelled; discard lazily
+      std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
+      queue_.pop_back();  // cancelled; discard lazily
+      if (cancelledInQueue_ > 0) --cancelledInQueue_;
       continue;
     }
     out = top;
@@ -38,7 +62,8 @@ bool Simulator::popNextLive(Entry& out) {
 bool Simulator::step() {
   Entry entry;
   if (!popNextLive(entry)) return false;
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
+  queue_.pop_back();
   auto it = handlers_.find(entry.id);
   std::function<void()> fn = std::move(it->second);
   handlers_.erase(it);

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +40,10 @@ class Simulator {
   EventId scheduleAfter(SimTime delay, std::function<void()> fn);
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
+  /// The handler is released eagerly; the queue entry is discarded lazily
+  /// but compacted whenever cancelled entries outnumber live ones, so a
+  /// long round cancelling many far-future timers (C-ARQ timeout churn)
+  /// keeps the queue O(pending), never O(all timers ever cancelled).
   void cancel(EventId id);
 
   /// True if the event is still pending.
@@ -65,6 +68,13 @@ class Simulator {
   /// Number of events currently pending (excluding cancelled ones).
   std::size_t pendingCount() const noexcept { return handlers_.size(); }
 
+  /// Queue entries currently held, *including* not-yet-discarded
+  /// cancelled ones -- the memory the queue actually occupies. Compaction
+  /// keeps it <= pendingCount() + max(pendingCount(), compaction slack):
+  /// O(pending), never O(all timers ever cancelled). Exposed for the
+  /// cancellation-growth regression test.
+  std::size_t queueDepth() const noexcept { return queue_.size(); }
+
   /// Total events executed since construction.
   std::uint64_t executedCount() const noexcept { return executed_; }
 
@@ -84,12 +94,23 @@ class Simulator {
   // Pops queue entries whose handler was cancelled; returns false when empty.
   bool popNextLive(Entry& out);
 
+  // Drops every cancelled entry and re-heapifies when the dead entries
+  // dominate the queue. Amortised O(1) per cancel.
+  void maybeCompact();
+
+  // Compaction slack: below this many dead entries the O(queue) sweep is
+  // not worth it (tiny queues churn timers constantly).
+  static constexpr std::size_t kCompactionSlack = 64;
+
   SimTime now_{};
   bool stopped_ = false;
   std::uint64_t nextSeq_ = 0;
   EventId nextId_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  // Binary min-heap (std::push_heap/pop_heap with EntryLater) instead of
+  // std::priority_queue: compaction needs access to the container.
+  std::vector<Entry> queue_;
+  std::size_t cancelledInQueue_ = 0;
   std::unordered_map<EventId, std::function<void()>> handlers_;
 };
 

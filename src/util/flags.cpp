@@ -127,6 +127,7 @@ CampaignRunFlags campaignRunFlags(const Flags& flags,
   CampaignRunFlags run;
   run.seed = flags.getUInt64("seed", defaultSeed);
   run.threads = flags.getInt("threads", 0);
+  run.roundThreads = flags.getInt("round-threads", 1);
   run.shard = flags.getShard("shard");
   run.partialOut = flags.getString("partial-out", "");
   run.streaming = flags.getBool("streaming", false);

@@ -55,7 +55,11 @@ class Flags {
 /// The campaign CLI vocabulary shared by every bench and example (one
 /// parser instead of per-binary copies):
 ///   --seed=S           master seed
-///   --threads=N        worker threads (0 = hardware concurrency)
+///   --threads=N        campaign job workers (0 = hardware concurrency)
+///   --round-threads=N  round workers inside each job's experiment
+///                      (1 = serial rounds, 0 = whatever the shared
+///                      thread budget has left); results are identical
+///                      for every value
 ///   --shard=i/N        run shard i of N (whole grid points)
 ///   --partial-out=F    write this shard's partial-result JSON to F
 ///   --streaming        fold results through the bounded reordering
@@ -63,6 +67,7 @@ class Flags {
 struct CampaignRunFlags {
   std::uint64_t seed = 2008;
   int threads = 0;
+  int roundThreads = 1;
   ShardSpec shard{};
   std::string partialOut;
   bool streaming = false;

@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <thread>
+#include <vector>
+
+namespace vanet::util {
+
+int hardwareThreads() noexcept {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+void runWorkers(int workers, const std::function<void()>& worker) {
+  if (workers <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 0; t < workers - 1; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread is a worker too
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+}
+
+ThreadBudget& ThreadBudget::global() {
+  static ThreadBudget* budget = new ThreadBudget();
+  return *budget;
+}
+
+ThreadBudget::ThreadBudget() noexcept : limit_(hardwareThreads()) {}
+
+ThreadBudget::ThreadBudget(int limit) noexcept
+    : limit_(limit > 0 ? limit : hardwareThreads()) {}
+
+void ThreadBudget::setLimit(int limit) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  limit_ = limit > 0 ? limit : hardwareThreads();
+}
+
+int ThreadBudget::limit() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return limit_;
+}
+
+int ThreadBudget::inUse() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return inUse_;
+}
+
+int ThreadBudget::acquire(int requested, bool force) noexcept {
+  if (requested <= 0) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int granted = requested;
+  if (!force) {
+    const int room = limit_ - inUse_;
+    if (granted > room) granted = room;
+    if (granted < 0) granted = 0;
+  }
+  inUse_ += granted;
+  return granted;
+}
+
+void ThreadBudget::release(int granted) noexcept {
+  if (granted <= 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  inUse_ -= granted;
+  if (inUse_ < 0) inUse_ = 0;
+}
+
+}  // namespace vanet::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/round.h"
+
 namespace vanet::analysis {
 namespace {
 

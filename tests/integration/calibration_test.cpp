@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/experiment.h"
+#include "analysis/round.h"
 #include "mac/airtime.h"
 
 namespace vanet::analysis {

@@ -22,7 +22,7 @@ TEST_P(OptimalityProperty, AfterCoopEqualsJointWithinWindow) {
   config.channel.shadowing.c2cSigmaDb = 0.5;
   config.scenario.tailSeconds = 25.0;  // generous dark-area time
   UrbanExperiment experiment(config);
-  const trace::RoundTrace trace = experiment.runRound(0);
+  const trace::RoundTrace trace = experiment.runRound(0).trace;
 
   for (const NodeId car : trace.carIds()) {
     const trace::ReceptionMatrix matrix(trace, car);
@@ -67,7 +67,7 @@ TEST(OptimalityBaselineTest, NoCooperationMeansNoRecoveries) {
   config.seed = 99;
   config.carq.cooperationEnabled = false;
   UrbanExperiment experiment(config);
-  const trace::RoundTrace trace = experiment.runRound(0);
+  const trace::RoundTrace trace = experiment.runRound(0).trace;
   for (const NodeId car : trace.carIds()) {
     const trace::ReceptionMatrix matrix(trace, car);
     for (SeqNo seq = 1; seq <= matrix.maxSeq(); ++seq) {
@@ -91,7 +91,7 @@ TEST_P(NoFabricationProperty, RecoveredSubsetOfJoint) {
   burst.lossInBad = 0.9;
   config.channel.burst = burst;
   UrbanExperiment experiment(config);
-  const trace::RoundTrace trace = experiment.runRound(0);
+  const trace::RoundTrace trace = experiment.runRound(0).trace;
   for (const NodeId car : trace.carIds()) {
     const trace::ReceptionMatrix matrix(trace, car);
     for (SeqNo seq = 1; seq <= matrix.maxSeq(); ++seq) {

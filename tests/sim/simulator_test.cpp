@@ -152,6 +152,60 @@ TEST(SimulatorTest, PendingCountExcludesCancelled) {
   EXPECT_EQ(sim.pendingCount(), 1u);
 }
 
+TEST(SimulatorTest, CancelledTimersDoNotGrowTheQueueUnboundedly) {
+  // Regression: a long round churning through schedule-then-cancel
+  // timers (the C-ARQ timeout pattern) used to leave every cancelled
+  // entry in the queue until its far-future timestamp popped. The eager
+  // compaction must keep the queue O(pending), not O(ever cancelled).
+  Simulator sim;
+  // One long-lived live event, far in the future.
+  sim.scheduleAt(SimTime::seconds(1e6), [] {});
+  std::size_t peakDepth = 0;
+  for (int batch = 0; batch < 200; ++batch) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(sim.scheduleAt(SimTime::seconds(1e5 + batch), [] {}));
+    }
+    for (const EventId id : ids) {
+      sim.cancel(id);
+    }
+    peakDepth = std::max(peakDepth, sim.queueDepth());
+  }
+  // 20000 timers were cancelled; the queue never held more than the one
+  // live event plus the compaction slack (64) plus one in-flight batch.
+  EXPECT_EQ(sim.pendingCount(), 1u);
+  EXPECT_LE(sim.queueDepth(), 166u);
+  EXPECT_LE(peakDepth, 266u);
+  sim.run();
+  EXPECT_EQ(sim.queueDepth(), 0u);
+}
+
+TEST(SimulatorTest, CompactionPreservesOrderAndLiveEvents) {
+  // Interleave live and cancelled timers past the compaction threshold
+  // and verify the survivors still fire in exact (time, insertion) order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> victims;
+  for (int i = 0; i < 500; ++i) {
+    const int slot = 500 - i;  // reverse time order to stress the heap
+    if (i % 5 == 0) {
+      sim.scheduleAt(SimTime::millis(slot), [&order, slot] {
+        order.push_back(slot);
+      });
+    } else {
+      victims.push_back(sim.scheduleAt(SimTime::millis(slot), [] {}));
+    }
+  }
+  for (const EventId id : victims) {
+    sim.cancel(id);  // 400 cancellations force several compactions
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
 // Property: random schedules always execute in non-decreasing time order.
 class SimulatorOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
