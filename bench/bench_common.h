@@ -16,7 +16,14 @@
 ///   --shard=i/N      run only shard i of N (whole grid points)
 ///   --partial-out=F  write this shard's partial-result JSON to F
 ///   --streaming      bounded-memory streaming accumulation
+///   --target-ci=X    adaptive replication: per grid point, keep
+///                    replicating in doubling waves until the 95 % CI
+///                    half-width of the target metric / |mean| <= X
+///   --min-reps=N     adaptive floor (default: the --repl count)
+///   --max-reps=N     adaptive cap (default 64)
+///   --target-metric=M  stop-rule metric (default: scenario's, e.g. pdr)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -49,6 +56,50 @@ inline runner::CampaignConfig campaignFromFlags(const Flags& flags,
   config.roundThreads = run.roundThreads;
   config.shard = runner::Shard{run.shard.index, run.shard.count};
   config.streaming = run.streaming;
+  // Bad adaptive bounds die with the same exit(2) diagnostic style as
+  // the flag parsers -- an explicit --min-reps=0, a --max-reps below the
+  // floor, or a degenerate --repl floor must never silently read as
+  // "unset" or escape as an uncaught buildPlan exception.
+  const auto usage = [](const char* message) {
+    std::fprintf(stderr, "%s\n", message);
+    std::exit(2);
+  };
+  if (flags.has("target-ci") && run.targetCi <= 0.0) {
+    usage("flag --target-ci: must be > 0 (a relative CI95 half-width)");
+  }
+  if (run.targetCi > 0.0) {
+    // Adaptive replication: the --repl count (or --min-reps) becomes the
+    // wave-0 floor, and points replicate on until their CI95 target or
+    // the cap. Fixed-count semantics are untouched without --target-ci.
+    if (flags.has("min-reps") && run.minReps < 1) {
+      usage("flag --min-reps: must be >= 1");
+    }
+    if (flags.has("max-reps") && run.maxReps < 1) {
+      usage("flag --max-reps: must be >= 1");
+    }
+    config.targetRelativeCi95 = run.targetCi;
+    config.minReplications =
+        run.minReps > 0 ? run.minReps : config.replications;
+    if (config.minReplications < 1) {
+      usage("flag --repl: the adaptive floor must be >= 1 (or pass "
+            "--min-reps)");
+    }
+    config.maxReplications =
+        run.maxReps > 0 ? run.maxReps
+                        : std::max(config.maxReplications,
+                                   config.minReplications);
+    if (config.maxReplications < config.minReplications) {
+      usage("flags --min-reps/--max-reps (or --repl as the floor): need "
+            "min <= max replications");
+    }
+    config.targetMetric = run.targetMetric;
+  } else if (flags.has("min-reps") || flags.has("max-reps") ||
+             flags.has("target-metric")) {
+    // Never drop an adaptive knob silently: without the target the stop
+    // rule cannot run, so the bounds would be dead flags.
+    usage("flags --min-reps/--max-reps/--target-metric need "
+          "--target-ci=X to enable adaptive replication");
+  }
   config.base.set("rounds", flags.getInt("rounds", defaultRounds));
   config.base.set("cars", flags.getInt("cars", 3));
   return config;
@@ -118,12 +169,20 @@ inline void maybeWriteFigures(const Flags& flags, const std::string& name,
 
 /// The per-bench throughput footer.
 inline void printThroughput(const runner::CampaignResult& result) {
-  char footer[128];
+  char footer[160];
   std::snprintf(footer, sizeof footer,
                 "\n%zu jobs in %.2f s (%.2f jobs/s, %d threads)\n",
                 result.jobCount, result.wallSeconds, result.jobsPerSecond,
                 result.threads);
   std::cout << footer;
+  if (result.targetRelativeCi95 > 0.0) {
+    std::snprintf(footer, sizeof footer,
+                  "adaptive: %zu of %zu budgeted jobs in %d wave(s), "
+                  "target ci95/|mean| <= %g on %s\n",
+                  result.jobCount, result.totalJobs, result.waves,
+                  result.targetRelativeCi95, result.targetMetric.c_str());
+    std::cout << footer;
+  }
 }
 
 inline void printHeader(const std::string& title, const std::string& paperRef) {

@@ -1,6 +1,7 @@
 #include "runner/accumulate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -14,7 +15,11 @@
 namespace vanet::runner {
 
 CampaignAccumulator::CampaignAccumulator(const CampaignPlan& plan)
-    : replications_(static_cast<std::size_t>(plan.replications())),
+    : adaptive_(plan.adaptive()),
+      targetRelativeCi95_(plan.targetRelativeCi95()),
+      minReplications_(plan.minReplications()),
+      maxReplications_(plan.replications()),
+      targetMetric_(plan.targetMetric()),
       expectedJobs_(plan.shardJobCount()) {
   points_.reserve(plan.shardPointIndices().size());
   for (const std::size_t p : plan.shardPointIndices()) {
@@ -27,14 +32,24 @@ CampaignAccumulator::CampaignAccumulator(const CampaignPlan& plan)
   }
 }
 
-void CampaignAccumulator::fold(std::size_t localIndex,
+void CampaignAccumulator::fold(std::size_t shardSlot, int replication,
                                const JobResult& result) {
-  if (localIndex != folded_) {
-    throw std::logic_error("campaign fold out of order: got job " +
-                           std::to_string(localIndex) + ", expected " +
-                           std::to_string(folded_));
+  if (shardSlot >= points_.size()) {
+    throw std::logic_error("campaign fold: shard slot " +
+                           std::to_string(shardSlot) + " out of range (" +
+                           std::to_string(points_.size()) + " points)");
   }
-  GridPointSummary& point = points_[localIndex / replications_];
+  GridPointSummary& point = points_[shardSlot];
+  // Per-point ascending replications without gaps: merges only combine
+  // state within one point, so this ordering (which every backend's
+  // wave + window discipline guarantees) is exactly what makes the
+  // merged bytes a pure function of the plan.
+  if (replication != point.replications) {
+    throw std::logic_error(
+        "campaign fold out of order: point slot " + std::to_string(shardSlot) +
+        " got replication " + std::to_string(replication) + ", expected " +
+        std::to_string(point.replications));
+  }
   point.table1.merge(result.table1);
   for (const auto& [flow, figure] : result.figures) {
     point.figures[flow].merge(figure);
@@ -45,14 +60,57 @@ void CampaignAccumulator::fold(std::size_t localIndex,
   }
   point.replications += 1;
   point.rounds += result.rounds;
+  if (!targetMetric_.empty()) {
+    const auto it = point.metrics.find(targetMetric_);
+    point.achievedCi95 =
+        it != point.metrics.end() ? it->second.confidence95() : 0.0;
+  }
   ++folded_;
+}
+
+int CampaignAccumulator::pointReplications(std::size_t shardSlot) const {
+  return points_.at(shardSlot).replications;
+}
+
+bool CampaignAccumulator::converged(const GridPointSummary& point) const {
+  const auto it = point.metrics.find(targetMetric_);
+  if (it == point.metrics.end()) return false;  // unevaluable: run to cap
+  // One sample has no confidence interval -- confidence95() returns 0
+  // below two, which must not read as "target met" (minReplications=1
+  // would otherwise stop every point after a single replication).
+  if (it->second.count() < 2) return false;
+  const double ci = it->second.confidence95();
+  const double mean = std::abs(it->second.mean());
+  // A zero-mean point has no defined relative width: only a degenerate
+  // (zero-CI) sample set counts as converged; anything else runs to the
+  // cap rather than stopping on an arbitrary scale.
+  if (mean == 0.0) return ci == 0.0;
+  return ci / mean <= targetRelativeCi95_;
+}
+
+bool CampaignAccumulator::pointDone(std::size_t shardSlot) const {
+  const GridPointSummary& point = points_.at(shardSlot);
+  if (!adaptive_) {
+    return point.replications >= maxReplications_;
+  }
+  if (point.replications < minReplications_) return false;
+  return point.replications >= maxReplications_ || converged(point);
+}
+
+bool CampaignAccumulator::complete() const noexcept {
+  if (!adaptive_) return folded_ == expectedJobs_;
+  for (std::size_t slot = 0; slot < points_.size(); ++slot) {
+    if (!pointDone(slot)) return false;
+  }
+  return true;
 }
 
 std::vector<GridPointSummary> CampaignAccumulator::take() {
   if (!complete()) {
     throw std::logic_error("campaign fold incomplete: " +
                            std::to_string(folded_) + " of " +
-                           std::to_string(expectedJobs_) + " jobs folded");
+                           std::to_string(expectedJobs_) +
+                           " planned jobs folded");
   }
   return std::move(points_);
 }
@@ -64,6 +122,7 @@ std::string pointJson(const GridPointSummary& point) {
   out += ",\"case\":" + json::quote(point.caseName);
   out += ",\"replications\":" + std::to_string(point.replications);
   out += ",\"rounds\":" + std::to_string(point.rounds);
+  out += ",\"achieved_ci95\":" + json::num(point.achievedCi95);
   out += ",\"params\":{";
   bool first = true;
   for (const auto& [name, value] : point.params.values()) {
@@ -99,6 +158,10 @@ GridPointSummary pointFromJson(const json::Value& value) {
   point.caseName = value.at("case").asString();
   point.replications = static_cast<int>(value.at("replications").asInt64());
   point.rounds = value.at("rounds").asInt64();
+  // Absent in v1 partials (which predate adaptive replication).
+  if (const json::Value* ci = value.find("achieved_ci95")) {
+    point.achievedCi95 = ci->asDouble();
+  }
   for (const auto& [name, param] : value.at("params").asObject()) {
     point.params.set(name, param.asDouble());
   }
@@ -125,6 +188,12 @@ std::string campaignPartialJson(const CampaignPartial& partial) {
   out += "\"shard_index\":" + std::to_string(partial.shard.index) + ",\n";
   out += "\"shard_count\":" + std::to_string(partial.shard.count) + ",\n";
   out += "\"replications\":" + std::to_string(partial.replications) + ",\n";
+  out += "\"target_ci\":" + json::num(partial.targetRelativeCi95) + ",\n";
+  out += "\"min_replications\":" + std::to_string(partial.minReplications) +
+         ",\n";
+  out += "\"max_replications\":" + std::to_string(partial.maxReplications) +
+         ",\n";
+  out += "\"target_metric\":" + json::quote(partial.targetMetric) + ",\n";
   out += "\"grid_points\":" + std::to_string(partial.totalPoints) + ",\n";
   out += "\"job_count\":" + std::to_string(partial.totalJobs) + ",\n";
   out += "\"points\":[";
@@ -144,10 +213,12 @@ CampaignPartial parseCampaignPartial(const std::string& text) {
     throw std::runtime_error("not a vanet campaign partial file");
   }
   const auto version = static_cast<int>(doc.at("version").asInt64());
-  if (version != CampaignPartial::kVersion) {
+  if (version < CampaignPartial::kMinVersion ||
+      version > CampaignPartial::kVersion) {
     throw std::runtime_error(
         "unsupported campaign partial version " + std::to_string(version) +
-        " (expected " + std::to_string(CampaignPartial::kVersion) + ")");
+        " (supported: " + std::to_string(CampaignPartial::kMinVersion) +
+        ".." + std::to_string(CampaignPartial::kVersion) + ")");
   }
   CampaignPartial partial;
   partial.scenario = doc.at("scenario").asString();
@@ -155,6 +226,26 @@ CampaignPartial parseCampaignPartial(const std::string& text) {
   partial.shard.index = static_cast<int>(doc.at("shard_index").asInt64());
   partial.shard.count = static_cast<int>(doc.at("shard_count").asInt64());
   partial.replications = static_cast<int>(doc.at("replications").asInt64());
+  if (version >= 2) {
+    partial.targetRelativeCi95 = doc.at("target_ci").asDouble();
+    partial.minReplications =
+        static_cast<int>(doc.at("min_replications").asInt64());
+    partial.maxReplications =
+        static_cast<int>(doc.at("max_replications").asInt64());
+    partial.targetMetric = doc.at("target_metric").asString();
+    // The same bounds buildPlan enforces: a corrupt or hand-edited
+    // adaptive header must fail loudly here, not feed degenerate wave
+    // arithmetic to downstream consumers.
+    if (partial.targetRelativeCi95 > 0.0 &&
+        (partial.minReplications < 1 ||
+         partial.maxReplications < partial.minReplications)) {
+      throw std::runtime_error(
+          "malformed adaptive header: needs 1 <= min_replications <= "
+          "max_replications (got " +
+          std::to_string(partial.minReplications) + ".." +
+          std::to_string(partial.maxReplications) + ")");
+    }
+  }
   partial.totalPoints =
       static_cast<std::size_t>(doc.at("grid_points").asUInt64());
   partial.totalJobs = static_cast<std::size_t>(doc.at("job_count").asUInt64());
@@ -211,6 +302,10 @@ std::vector<GridPointSummary> mergeCampaignPartials(
     if (partial.scenario != first.scenario ||
         partial.masterSeed != first.masterSeed ||
         partial.replications != first.replications ||
+        partial.targetRelativeCi95 != first.targetRelativeCi95 ||
+        partial.minReplications != first.minReplications ||
+        partial.maxReplications != first.maxReplications ||
+        partial.targetMetric != first.targetMetric ||
         partial.totalPoints != first.totalPoints ||
         partial.totalJobs != first.totalJobs ||
         partial.shard.count != first.shard.count) {

@@ -33,26 +33,52 @@ struct GridPointSummary {
   /// Per-metric aggregate over the point's jobs: each job contributes one
   /// sample per metric it reported.
   std::map<std::string, RunningStats> metrics;
+  /// Replications actually folded into this point: the fixed count, or --
+  /// under adaptive replication -- wherever the CI95 stop rule fired.
   int replications = 0;
   /// Total simulated rounds across replications; 64-bit so
   /// million-replication campaigns cannot overflow.
   std::int64_t rounds = 0;
+  /// 95 % CI half-width of the campaign's target metric after the last
+  /// fold (the achieved CI the adaptive stop rule judged); 0 when the
+  /// campaign has no target metric or fewer than two samples exist.
+  double achievedCi95 = 0.0;
 };
 
-/// Folds job results into the shard's grid-point summaries. fold() must
-/// be called in ascending local job order -- exactly the order the
-/// executor's reordering window releases results -- so the merged bytes
-/// are a pure function of the plan, never of scheduling.
+/// Folds job results into the shard's grid-point summaries. Each point's
+/// replications must fold in ascending order without gaps -- exactly the
+/// order the executor's waves and reordering window release results --
+/// so the merged bytes are a pure function of the plan, never of
+/// scheduling. It also owns the adaptive stop rule: pointDone() is a
+/// pure function of the folded state, which is what keeps the wave
+/// schedule identical at any thread count and across shard processes.
 class CampaignAccumulator {
  public:
   explicit CampaignAccumulator(const CampaignPlan& plan);
 
-  /// Folds the result of plan.shardJob(localIndex). Throws
-  /// std::logic_error when called out of order.
-  void fold(std::size_t localIndex, const JobResult& result);
+  /// Folds replication `replication` of the shard's `shardSlot`-th point
+  /// (an index into plan.shardPointIndices()). Throws std::logic_error
+  /// when the slot is out of range or the replication is not the point's
+  /// next one.
+  void fold(std::size_t shardSlot, int replication, const JobResult& result);
 
   std::size_t foldedJobs() const noexcept { return folded_; }
-  bool complete() const noexcept { return folded_ == expectedJobs_; }
+
+  /// Fixed mode: every planned job folded. Adaptive mode: every point
+  /// done (converged or at the replication cap).
+  bool complete() const noexcept;
+
+  /// Replications folded into the shard's `shardSlot`-th point so far.
+  int pointReplications(std::size_t shardSlot) const;
+
+  /// The adaptive stop rule, evaluated at wave barriers: true once the
+  /// point folded minReplications samples and either reached the cap or
+  /// tightened confidence95/|mean| of the target metric to the target.
+  /// Convergence needs at least two samples of the metric (one sample
+  /// has no confidence interval); a zero mean converges only with a
+  /// zero CI; a point that never reports the target metric runs to the
+  /// cap. Always true for fixed campaigns once the fixed count folded.
+  bool pointDone(std::size_t shardSlot) const;
 
   /// The merged summaries, in grid order (the shard's points only).
   /// Throws std::logic_error when the fold is incomplete -- a failed
@@ -60,8 +86,14 @@ class CampaignAccumulator {
   std::vector<GridPointSummary> take();
 
  private:
+  bool converged(const GridPointSummary& point) const;
+
   std::vector<GridPointSummary> points_;
-  std::size_t replications_ = 1;
+  bool adaptive_ = false;
+  double targetRelativeCi95_ = 0.0;
+  int minReplications_ = 1;
+  int maxReplications_ = 1;
+  std::string targetMetric_;
   std::size_t expectedJobs_ = 0;
   std::size_t folded_ = 0;
 };
@@ -69,16 +101,29 @@ class CampaignAccumulator {
 /// A shard's serialized contribution: the campaign identity (so merging
 /// validates shards belong together) plus its merged point summaries.
 struct CampaignPartial {
-  /// Format version of the partial-result file; readers reject other
-  /// versions.
-  static constexpr int kVersion = 1;
+  /// Format version of the partial-result file. Writers always emit the
+  /// current version; readers accept every version back to kMinVersion
+  /// (v1 files predate adaptive replication -- their adaptive fields
+  /// read as "fixed count") and reject anything else.
+  static constexpr int kVersion = 2;
+  static constexpr int kMinVersion = 1;
 
   std::string scenario;
   std::uint64_t masterSeed = 0;
   Shard shard{};
+  /// Per-point replication cap of the plan (the fixed count, or
+  /// maxReplications for adaptive campaigns).
   int replications = 0;
+  /// Adaptive-replication header (v2): all shards of one campaign must
+  /// agree on the stop rule. 0 / empty for fixed-count campaigns.
+  double targetRelativeCi95 = 0.0;
+  int minReplications = 0;
+  int maxReplications = 0;
+  std::string targetMetric;
   std::size_t totalPoints = 0;  ///< full-grid point count of the plan
-  std::size_t totalJobs = 0;    ///< full-campaign job count of the plan
+  /// Full job-index space of the plan (points x cap; an upper bound for
+  /// adaptive campaigns, whose converged points stop early).
+  std::size_t totalJobs = 0;
   std::vector<GridPointSummary> points;  ///< this shard's, in grid order
 };
 

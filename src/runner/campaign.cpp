@@ -1,5 +1,6 @@
 #include "runner/campaign.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -14,11 +15,18 @@ CampaignResult runCampaign(const CampaignConfig& config) {
   CampaignResult merged;
   merged.scenario = config.scenario;
   merged.masterSeed = config.masterSeed;
-  merged.replications = config.replications;
+  merged.replications = plan.replications();
+  if (plan.adaptive()) {
+    merged.targetRelativeCi95 = plan.targetRelativeCi95();
+    merged.minReplications = plan.minReplications();
+    merged.maxReplications = plan.maxReplications();
+    merged.targetMetric = plan.targetMetric();
+  }
+  merged.waves = stats.waves;
   merged.shard = config.shard;
   merged.threads = stats.threads;
   merged.streaming = stats.streaming;
-  merged.jobCount = plan.shardJobCount();
+  merged.jobCount = stats.jobsRun;
   merged.totalPoints = plan.points().size();
   merged.totalJobs = plan.totalJobCount();
   merged.peakBufferedResults = stats.peakBufferedResults;
@@ -37,6 +45,10 @@ CampaignPartial campaignPartial(const CampaignResult& result) {
   partial.masterSeed = result.masterSeed;
   partial.shard = result.shard;
   partial.replications = result.replications;
+  partial.targetRelativeCi95 = result.targetRelativeCi95;
+  partial.minReplications = result.minReplications;
+  partial.maxReplications = result.maxReplications;
+  partial.targetMetric = result.targetMetric;
   partial.totalPoints = result.totalPoints;
   partial.totalJobs = result.totalJobs;
   partial.points = result.points;
@@ -51,11 +63,36 @@ CampaignResult resultFromPartials(std::vector<CampaignPartial> partials) {
   merged.scenario = partials.front().scenario;
   merged.masterSeed = partials.front().masterSeed;
   merged.replications = partials.front().replications;
+  merged.targetRelativeCi95 = partials.front().targetRelativeCi95;
+  merged.minReplications = partials.front().minReplications;
+  merged.maxReplications = partials.front().maxReplications;
+  merged.targetMetric = partials.front().targetMetric;
   merged.shard = Shard{0, 1};  // the merge covers the full grid
   merged.totalPoints = partials.front().totalPoints;
   merged.totalJobs = partials.front().totalJobs;
-  merged.jobCount = merged.totalJobs;
   merged.points = mergeCampaignPartials(std::move(partials));
+  // Jobs actually run across every shard: adaptive points record their
+  // stop point, so the sum is exact in both modes. The executed wave
+  // count is equally reconstructible -- it is the deepest per-point
+  // wave trajectory, and each point's replications pin where it stopped.
+  merged.jobCount = 0;
+  merged.waves = merged.points.empty() ? 0 : 1;
+  for (const GridPointSummary& point : merged.points) {
+    merged.jobCount += static_cast<std::size_t>(point.replications);
+    if (merged.targetRelativeCi95 > 0.0) {
+      // Walk the shared schedule until it covers the point's stop point;
+      // the cap bound keeps this finite even for a partial whose point
+      // claims more replications than the header's cap.
+      int waves = 1;
+      for (;;) {
+        const int end = waveEndFor(merged.minReplications,
+                                   merged.maxReplications, waves - 1);
+        if (end >= point.replications || end >= merged.maxReplications) break;
+        ++waves;
+      }
+      merged.waves = std::max(merged.waves, waves);
+    }
+  }
   return merged;
 }
 

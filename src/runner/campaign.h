@@ -30,13 +30,25 @@ namespace vanet::runner {
 struct CampaignResult {
   std::string scenario;
   std::uint64_t masterSeed = 0;
-  int replications = 0;  ///< per grid point, from the config
+  /// Per-point replication cap: the configured fixed count, or
+  /// maxReplications for adaptive campaigns (each GridPointSummary
+  /// reports the replications it actually used).
+  int replications = 0;
+  /// Adaptive-replication stop rule of the run (see CampaignConfig);
+  /// targetRelativeCi95 == 0 means a fixed count. `targetMetric` is the
+  /// resolved name (config override or scenario default).
+  double targetRelativeCi95 = 0.0;
+  int minReplications = 0;
+  int maxReplications = 0;
+  std::string targetMetric;
+  int waves = 0;         ///< replication waves executed (1 when fixed)
   Shard shard{};         ///< which slice this process ran
   int threads = 0;           ///< workers actually used
   bool streaming = false;    ///< executor backend used
   std::size_t jobCount = 0;  ///< jobs run by this process
   std::size_t totalPoints = 0;  ///< full-grid point count
-  std::size_t totalJobs = 0;    ///< full-campaign job count
+  /// Full job-index space of the plan (upper bound when adaptive).
+  std::size_t totalJobs = 0;
   /// High-water mark of completed-but-unfolded JobResults (streaming
   /// mode is bounded by streamingWindowCap(threads)).
   std::size_t peakBufferedResults = 0;

@@ -24,6 +24,7 @@ void appendStats(std::string& out, const RunningStats& stats) {
   out += "{\"count\":" + std::to_string(stats.count());
   out += ",\"mean\":" + num(stats.mean());
   out += ",\"stddev\":" + num(stats.stddev());
+  out += ",\"ci95\":" + num(stats.confidence95());
   out += ",\"min\":" + num(stats.min());
   out += ",\"max\":" + num(stats.max());
   out += ",\"sum\":" + num(stats.sum());
@@ -71,9 +72,13 @@ std::string campaignCsv(const CampaignResult& result) {
   headers.push_back("replications");
   headers.push_back("total_rounds");
   for (const std::string& name : paramNames) headers.push_back(name);
+  // mean/stddev/ci95 per metric: the ci95 column is the achieved 95 %
+  // half-width -- what an adaptive campaign's stop rule judged, and the
+  // error bar the paper's tables quote either way.
   for (const std::string& name : metrics) {
     headers.push_back(name + "_mean");
     headers.push_back(name + "_stddev");
+    headers.push_back(name + "_ci95");
   }
 
   std::vector<std::vector<std::string>> rows;
@@ -92,7 +97,9 @@ std::string campaignCsv(const CampaignResult& result) {
       if (it != point.metrics.end()) {
         row.push_back(num(it->second.mean()));
         row.push_back(num(it->second.stddev()));
+        row.push_back(num(it->second.confidence95()));
       } else {
+        row.emplace_back();
         row.emplace_back();
         row.emplace_back();
       }
@@ -123,6 +130,9 @@ std::string campaignPointsJson(const CampaignResult& result) {
     }
     out += ",\"replications\":" + std::to_string(point.replications);
     out += ",\"rounds\":" + std::to_string(point.rounds);
+    if (!result.targetMetric.empty()) {
+      out += ",\"achieved_ci95\":" + num(point.achievedCi95);
+    }
     out += ",\"params\":{";
     bool first = true;
     for (const auto& [name, value] : point.params.values()) {
@@ -169,6 +179,15 @@ std::string campaignJson(const CampaignResult& result) {
   std::string out = "{\n";
   out += "\"scenario\":" + quote(result.scenario) + ",\n";
   out += "\"master_seed\":" + std::to_string(result.masterSeed) + ",\n";
+  if (result.targetRelativeCi95 > 0.0) {
+    out += "\"target_ci\":" + num(result.targetRelativeCi95) + ",\n";
+    out += "\"target_metric\":" + quote(result.targetMetric) + ",\n";
+    out += "\"min_replications\":" + std::to_string(result.minReplications) +
+           ",\n";
+    out += "\"max_replications\":" + std::to_string(result.maxReplications) +
+           ",\n";
+    out += "\"waves\":" + std::to_string(result.waves) + ",\n";
+  }
   out += "\"threads\":" + std::to_string(result.threads) + ",\n";
   out += "\"job_count\":" + std::to_string(result.jobCount) + ",\n";
   out += "\"wall_seconds\":" + num(result.wallSeconds) + ",\n";
@@ -192,7 +211,13 @@ std::string renderCampaignSummary(const CampaignResult& result,
   std::ostringstream out;
   out << "campaign: scenario=" << result.scenario
       << " seed=" << result.masterSeed << " jobs=" << result.jobCount
-      << " threads=" << result.threads << "\n";
+      << " threads=" << result.threads;
+  if (result.targetRelativeCi95 > 0.0) {
+    out << " target-ci=" << result.targetRelativeCi95 << " ("
+        << result.targetMetric << ", " << result.minReplications << ".."
+        << result.maxReplications << " reps, " << result.waves << " waves)";
+  }
+  out << "\n";
   const std::set<std::string> metrics = metricNames(result);
   for (const GridPointSummary& point : result.points) {
     out << "  [" << point.gridIndex << "]";
@@ -202,6 +227,11 @@ std::string renderCampaignSummary(const CampaignResult& result,
     }
     out << " (" << point.replications << " repl, " << point.rounds
         << " rounds)";
+    if (!result.targetMetric.empty()) {
+      char ci[48];
+      std::snprintf(ci, sizeof ci, " ci95=%.3g", point.achievedCi95);
+      out << ci;
+    }
     for (const std::string& name : metrics) {
       const auto it = point.metrics.find(name);
       if (it == point.metrics.end()) continue;

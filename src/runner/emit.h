@@ -18,9 +18,11 @@
 namespace vanet::runner {
 
 /// One CSV row per grid point: grid index (plus the case name when the
-/// campaign declared cases), every swept axis value, replications,
-/// rounds, then mean/stddev of every metric (sorted union of metric names
-/// over the campaign). Deterministic.
+/// campaign declared cases), every swept axis value, replications
+/// (actually used -- the adaptive stop point when --target-ci ran),
+/// rounds, then mean/stddev/ci95 of every metric (sorted union of metric
+/// names over the campaign; ci95 is the achieved 95 % half-width).
+/// Deterministic.
 std::string campaignCsv(const CampaignResult& result);
 
 /// Writes campaignCsv() to `path`; false (and logs) on I/O failure.

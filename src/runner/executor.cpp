@@ -1,5 +1,6 @@
 #include "runner/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -24,8 +25,31 @@ int resolveThreadCount(int requested, std::size_t jobCount) {
   return threads > 0 ? threads : 1;
 }
 
-JobResult runJob(const CampaignPlan& plan, std::size_t localIndex) {
-  const JobSpec spec = plan.shardJob(localIndex);
+/// One wave entry: which shard point slot it folds into, and the fully
+/// derived job.
+struct WaveJob {
+  std::size_t shardSlot = 0;
+  JobSpec spec;
+};
+
+/// The wave's job list: replications [fromRep, toRep) of every open
+/// point, point-major -- the global job order restricted to the wave,
+/// and therefore (per point) ascending replications without gaps.
+std::vector<WaveJob> buildWave(const CampaignPlan& plan,
+                               const std::vector<std::size_t>& openSlots,
+                               int fromRep, int toRep) {
+  std::vector<WaveJob> jobs;
+  jobs.reserve(openSlots.size() * static_cast<std::size_t>(toRep - fromRep));
+  for (const std::size_t slot : openSlots) {
+    const std::size_t pointIndex = plan.shardPointIndices()[slot];
+    for (int rep = fromRep; rep < toRep; ++rep) {
+      jobs.push_back(WaveJob{slot, plan.pointJob(pointIndex, rep)});
+    }
+  }
+  return jobs;
+}
+
+JobResult runJob(const CampaignPlan& plan, const JobSpec& spec) {
   JobContext context;
   context.params = plan.jobParams(spec);
   context.seed = spec.seed;
@@ -35,11 +59,11 @@ JobResult runJob(const CampaignPlan& plan, std::size_t localIndex) {
   return plan.scenario().run(context);
 }
 
-/// Buffered backend: collect everything, then fold once the pool drains.
-std::size_t executeBuffered(const CampaignPlan& plan, int threads,
-                            CampaignAccumulator& into) {
-  const std::size_t jobCount = plan.shardJobCount();
-  std::vector<JobResult> results(jobCount);
+/// Buffered backend: collect the wave, then fold once the pool drains.
+std::size_t executeWaveBuffered(const CampaignPlan& plan,
+                                const std::vector<WaveJob>& jobs, int threads,
+                                CampaignAccumulator& into) {
+  std::vector<JobResult> results(jobs.size());
   std::atomic<std::size_t> nextJob{0};
   std::mutex errorMutex;
   std::exception_ptr firstError;
@@ -47,13 +71,13 @@ std::size_t executeBuffered(const CampaignPlan& plan, int threads,
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = nextJob.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobCount) return;
+      if (i >= jobs.size()) return;
       try {
-        results[i] = runJob(plan, i);
+        results[i] = runJob(plan, jobs[i].spec);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMutex);
         if (!firstError) firstError = std::current_exception();
-        nextJob.store(jobCount, std::memory_order_relaxed);  // drain
+        nextJob.store(jobs.size(), std::memory_order_relaxed);  // drain
         return;
       }
     }
@@ -61,21 +85,24 @@ std::size_t executeBuffered(const CampaignPlan& plan, int threads,
   util::runWorkers(threads, worker);
   if (firstError) std::rethrow_exception(firstError);
 
-  for (std::size_t i = 0; i < jobCount; ++i) {
-    into.fold(i, results[i]);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    into.fold(jobs[i].shardSlot, jobs[i].spec.replication, results[i]);
   }
-  return jobCount;  // the peak: every result was buffered at once
+  return jobs.size();  // the peak: every wave result was buffered at once
 }
 
 /// Streaming backend: the bounded job-order reordering window of
 /// util/reorder.h (the machinery originally lived here; the experiment
 /// layer's round engine now folds through the same template).
-std::size_t executeStreaming(const CampaignPlan& plan, int threads,
-                             CampaignAccumulator& into) {
+std::size_t executeWaveStreaming(const CampaignPlan& plan,
+                                 const std::vector<WaveJob>& jobs, int threads,
+                                 CampaignAccumulator& into) {
   return util::foldOrdered<JobResult>(
-      plan.shardJobCount(), threads, streamingWindowCap(threads),
-      [&plan](std::size_t i) { return runJob(plan, i); },
-      [&into](std::size_t i, JobResult& result) { into.fold(i, result); });
+      jobs.size(), threads, streamingWindowCap(threads),
+      [&plan, &jobs](std::size_t i) { return runJob(plan, jobs[i].spec); },
+      [&into, &jobs](std::size_t i, JobResult& result) {
+        into.fold(jobs[i].shardSlot, jobs[i].spec.replication, result);
+      });
 }
 
 }  // namespace
@@ -99,9 +126,33 @@ ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
                                 /*force=*/true);
 
   const auto started = std::chrono::steady_clock::now();
-  stats.peakBufferedResults =
-      streaming ? executeStreaming(plan, stats.threads, into)
-                : executeBuffered(plan, stats.threads, into);
+
+  // Wave loop. Fixed-count plans have one wave covering [0, replications);
+  // adaptive plans double the covered prefix each wave and, at each wave
+  // barrier, drop the points whose stop rule fired. The open set and the
+  // wave bounds are pure functions of the folded state, so the schedule
+  // -- and therefore the bytes -- never depend on thread count.
+  std::vector<std::size_t> open(plan.shardPointIndices().size());
+  for (std::size_t slot = 0; slot < open.size(); ++slot) open[slot] = slot;
+  int coveredReps = 0;
+  for (int wave = 0; !open.empty(); ++wave) {
+    const int waveEnd = plan.waveEndReplication(wave);
+    const std::vector<WaveJob> jobs =
+        buildWave(plan, open, coveredReps, waveEnd);
+    const std::size_t peak =
+        streaming ? executeWaveStreaming(plan, jobs, stats.threads, into)
+                  : executeWaveBuffered(plan, jobs, stats.threads, into);
+    stats.peakBufferedResults = std::max(stats.peakBufferedResults, peak);
+    stats.jobsRun += jobs.size();
+    stats.waves += 1;
+    coveredReps = waveEnd;
+    if (coveredReps >= plan.replications()) break;  // cap reached
+    open.erase(std::remove_if(
+                   open.begin(), open.end(),
+                   [&into](std::size_t slot) { return into.pointDone(slot); }),
+               open.end());
+  }
+
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - started;
   stats.wallSeconds = elapsed.count();

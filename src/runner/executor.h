@@ -2,14 +2,23 @@
 
 /// \file executor.h
 /// The *execute* layer of the campaign pipeline: runs a CampaignPlan's
-/// shard jobs on a thread pool and feeds the results, strictly in job
-/// order, into a CampaignAccumulator.
+/// shard jobs on a thread pool, in replication *waves*, and feeds the
+/// results, strictly in wave-job order, into a CampaignAccumulator.
+///
+/// Fixed-count campaigns run one wave covering every replication.
+/// Adaptive campaigns (CampaignConfig::targetRelativeCi95 > 0) run wave
+/// k over the replication indices [waveEnd(k-1), waveEnd(k)) of every
+/// still-open point; at each wave barrier the accumulator's stop rule
+/// (a pure function of the folded state) drops converged points from
+/// the next wave. Seeds derive from the global (point, replication)
+/// index either way, so the adaptive schedule is byte-identical at any
+/// thread count, under streaming, and across shard processes.
 ///
 /// Two backends share the same fold (and therefore the same bytes):
 ///
-///  - buffered: every JobResult is kept in a vector sized shardJobCount
-///    and folded after the pool drains (the original runCampaign
-///    behaviour). Peak memory O(job count).
+///  - buffered: every JobResult of the wave is kept in a vector sized
+///    to the wave and folded after the pool drains (the original
+///    runCampaign behaviour). Peak memory O(wave job count).
 ///  - streaming: each worker hands its result to a bounded job-order
 ///    reordering window; results are folded the moment they become the
 ///    lowest outstanding job index, and a worker may only claim a new
@@ -34,9 +43,15 @@ struct ExecutionStats {
   int threads = 0;          ///< workers actually used
   double wallSeconds = 0.0;
   bool streaming = false;
+  /// Jobs actually executed: the full planned count for fixed campaigns,
+  /// possibly fewer for adaptive ones (converged points stop early).
+  std::size_t jobsRun = 0;
+  /// Replication waves executed (1 for fixed-count campaigns, 0 for an
+  /// empty shard).
+  int waves = 0;
   /// High-water mark of completed-but-unfolded JobResults held at once.
-  /// Buffered mode reports the full job count; streaming mode is bounded
-  /// by streamingWindowCap(threads).
+  /// Buffered mode reports the largest wave's job count; streaming mode
+  /// is bounded by streamingWindowCap(threads).
   std::size_t peakBufferedResults = 0;
 };
 

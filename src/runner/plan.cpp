@@ -1,5 +1,6 @@
 #include "runner/plan.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,18 +8,37 @@
 
 namespace vanet::runner {
 
-JobSpec CampaignPlan::shardJob(std::size_t localIndex) const {
-  const auto replications = static_cast<std::size_t>(replications_);
+JobSpec CampaignPlan::pointJob(std::size_t pointIndex,
+                               int replication) const {
   JobSpec job;
-  job.pointIndex = shardPoints_[localIndex / replications];
-  job.replication = static_cast<int>(localIndex % replications);
+  job.pointIndex = pointIndex;
+  job.replication = replication;
   // Grid-major layout over the *full* campaign: job seeds depend only on
   // (masterSeed, global index), so a shard runs exactly the streams the
-  // unsharded run would.
-  job.globalIndex = job.pointIndex * replications +
-                    static_cast<std::size_t>(job.replication);
+  // unsharded run would -- and an adaptive point that stops early ran
+  // exactly the stream prefix the fixed-count run would have.
+  job.globalIndex = pointIndex * static_cast<std::size_t>(replications_) +
+                    static_cast<std::size_t>(replication);
   job.seed = Rng::deriveStreamSeed(masterSeed_, job.globalIndex);
   return job;
+}
+
+JobSpec CampaignPlan::shardJob(std::size_t localIndex) const {
+  const auto replications = static_cast<std::size_t>(replications_);
+  return pointJob(shardPoints_[localIndex / replications],
+                  static_cast<int>(localIndex % replications));
+}
+
+int waveEndFor(int minReplications, int cap, int wave) noexcept {
+  // min * 2^wave without overflow: doubling past the cap saturates.
+  long long end = minReplications;
+  for (int k = 0; k < wave && end < cap; ++k) end *= 2;
+  return static_cast<int>(std::min<long long>(end, cap));
+}
+
+int CampaignPlan::waveEndReplication(int wave) const noexcept {
+  if (!adaptive()) return replications_;
+  return waveEndFor(minReplications_, replications_, wave);
 }
 
 CampaignPlan buildPlan(const CampaignConfig& config) {
@@ -36,7 +56,17 @@ CampaignPlan buildPlan(const CampaignConfig& config) {
                                   return all;
                                 }() + ")");
   }
-  if (config.replications < 1) {
+  const bool adaptive = config.targetRelativeCi95 > 0.0;
+  if (adaptive) {
+    if (config.minReplications < 1 ||
+        config.maxReplications < config.minReplications) {
+      throw std::invalid_argument(
+          "adaptive campaign needs 1 <= minReplications <= maxReplications "
+          "(got " +
+          std::to_string(config.minReplications) + ".." +
+          std::to_string(config.maxReplications) + ")");
+    }
+  } else if (config.replications < 1) {
     throw std::invalid_argument("campaign needs replications >= 1");
   }
   if (config.shard.count < 1 || config.shard.index < 0 ||
@@ -50,7 +80,20 @@ CampaignPlan buildPlan(const CampaignConfig& config) {
   CampaignPlan plan;
   plan.scenario_ = scenario;
   plan.masterSeed_ = config.masterSeed;
-  plan.replications_ = config.replications;
+  plan.replications_ = adaptive ? config.maxReplications : config.replications;
+  plan.targetRelativeCi95_ = adaptive ? config.targetRelativeCi95 : 0.0;
+  plan.minReplications_ = adaptive ? config.minReplications : 1;
+  if (adaptive) {
+    plan.targetMetric_ = config.targetMetric.empty()
+                             ? scenario->defaultTargetMetric
+                             : config.targetMetric;
+    if (plan.targetMetric_.empty()) {
+      throw std::invalid_argument(
+          "adaptive campaign needs a target metric: scenario \"" +
+          config.scenario +
+          "\" declares no default, set CampaignConfig::targetMetric");
+    }
+  }
   plan.roundThreads_ = config.roundThreads;
   plan.shard_ = config.shard;
 

@@ -55,7 +55,25 @@ struct CampaignConfig {
   ParamSet base;
   std::vector<CampaignCase> cases;
   SweepGrid grid;
+  /// Replications per grid point when running a fixed count
+  /// (targetRelativeCi95 <= 0); ignored in adaptive mode.
   int replications = 1;
+  /// Adaptive replication (CLI: --target-ci): when > 0, every grid point
+  /// runs replications in deterministic *waves* -- wave k covers the
+  /// replication indices [0, minReplications * 2^k), capped at
+  /// maxReplications -- and a point stops replicating once the 95 %
+  /// confidence half-width of its target metric, divided by |mean|,
+  /// drops to this value (never before minReplications, never past
+  /// maxReplications). The stop decision is a pure function of the
+  /// wave-boundary fold state, so adaptive campaigns stay byte-identical
+  /// at any thread count, under streaming, and across shard processes.
+  double targetRelativeCi95 = 0.0;
+  int minReplications = 2;   ///< wave-0 size; also the convergence floor
+  int maxReplications = 64;  ///< hard cap (and the per-point seed stride)
+  /// Metric whose CI drives the stop rule; empty picks the scenario's
+  /// defaultTargetMetric ("pdr" for the built-in urban/highway
+  /// scenarios, "completed_fraction" for highway_file).
+  std::string targetMetric;
   std::uint64_t masterSeed = 2008;
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   int threads = 0;
@@ -100,9 +118,28 @@ class CampaignPlan {
  public:
   const ScenarioInfo& scenario() const noexcept { return *scenario_; }
   std::uint64_t masterSeed() const noexcept { return masterSeed_; }
+  /// Per-point replication *cap*: the fixed count, or maxReplications in
+  /// adaptive mode. This is the job-layout stride -- seeds derive from
+  /// pointIndex * replications() + replication whether or not a point
+  /// ends up running all of them.
   int replications() const noexcept { return replications_; }
   int roundThreads() const noexcept { return roundThreads_; }
   Shard shard() const noexcept { return shard_; }
+
+  /// Adaptive-replication vocabulary (see CampaignConfig). adaptive()
+  /// false means one fixed-count wave.
+  bool adaptive() const noexcept { return targetRelativeCi95_ > 0.0; }
+  double targetRelativeCi95() const noexcept { return targetRelativeCi95_; }
+  int minReplications() const noexcept { return minReplications_; }
+  int maxReplications() const noexcept { return replications_; }
+  /// The stop metric, resolved against the scenario default. Non-empty
+  /// whenever adaptive() (buildPlan rejects unresolvable configs).
+  const std::string& targetMetric() const noexcept { return targetMetric_; }
+
+  /// One past the last replication index wave `wave` covers:
+  /// min(minReplications * 2^wave, replications()). Fixed-count plans
+  /// have exactly one wave covering everything.
+  int waveEndReplication(int wave) const noexcept;
 
   /// Every grid point of the campaign, shard-independent, in grid order.
   const std::vector<PlannedPoint>& points() const noexcept { return points_; }
@@ -112,15 +149,23 @@ class CampaignPlan {
     return shardPoints_;
   }
 
-  /// Jobs in the full campaign: points x replications.
+  /// The job-index space of the full campaign: points x replications().
+  /// In adaptive mode this is the upper bound -- converged points leave
+  /// their tail indices unrun (the seeds simply go unused).
   std::size_t totalJobCount() const noexcept {
     return points_.size() * static_cast<std::size_t>(replications_);
   }
 
-  /// Jobs this shard runs.
+  /// The shard's slice of the job-index space (upper bound when
+  /// adaptive).
   std::size_t shardJobCount() const noexcept {
     return shardPoints_.size() * static_cast<std::size_t>(replications_);
   }
+
+  /// Replication `replication` of full-grid point `pointIndex`, with its
+  /// seed derived from the *global* job index -- the one derivation every
+  /// backend (threads, waves, shards) shares.
+  JobSpec pointJob(std::size_t pointIndex, int replication) const;
 
   /// The shard's `localIndex`-th job (0 <= localIndex < shardJobCount()).
   /// Local job order within each point equals global job order, so a
@@ -137,15 +182,28 @@ class CampaignPlan {
 
   const ScenarioInfo* scenario_ = nullptr;
   std::uint64_t masterSeed_ = 0;
-  int replications_ = 1;
+  int replications_ = 1;  ///< the cap: fixed count, or max when adaptive
+  double targetRelativeCi95_ = 0.0;
+  int minReplications_ = 1;
+  std::string targetMetric_;
   int roundThreads_ = 1;
   Shard shard_{};
   std::vector<PlannedPoint> points_;
   std::vector<std::size_t> shardPoints_;
 };
 
+/// One past the last replication index wave `wave` covers under the
+/// doubling schedule: min(minReplications * 2^wave, cap). The single
+/// definition of the wave schedule -- the executor's wave loop (via
+/// CampaignPlan::waveEndReplication) and the shard-merge reconstruction
+/// of the executed wave count both call it, so they cannot drift apart.
+int waveEndFor(int minReplications, int cap, int wave) noexcept;
+
 /// Expands `config` into a plan. Throws std::invalid_argument when the
-/// scenario is unknown, replications < 1, or the shard is malformed
+/// scenario is unknown, replications < 1 (fixed mode), the adaptive
+/// bounds are malformed (minReplications < 1 or maxReplications <
+/// minReplications), the adaptive target metric cannot be resolved
+/// (config and scenario default both empty), or the shard is malformed
 /// (count < 1 or index outside [0, count)).
 CampaignPlan buildPlan(const CampaignConfig& config);
 

@@ -71,6 +71,11 @@ struct ScenarioInfo {
   std::string description;
   std::vector<ParamSpec> params;
   ScenarioFn run;
+  /// Metric an adaptive campaign targets when CampaignConfig leaves
+  /// targetMetric empty ("pdr" for the built-in urban/highway scenarios,
+  /// "completed_fraction" for highway_file). Empty means adaptive
+  /// campaigns must name their metric explicitly.
+  std::string defaultTargetMetric = {};
 };
 
 /// Name -> scenario map. The built-in scenarios ("urban", "highway",

@@ -14,6 +14,16 @@ namespace {
   std::exit(2);
 }
 
+/// `--flag=` (an explicitly empty value) is rejected by every typed
+/// parser up front: the std::sto* family throws on it anyway, but
+/// string inspection such as value.front() must never run on an empty
+/// value, and "absent" (fallback) is the wrong reading of an empty
+/// token the user typed.
+void rejectEmpty(const std::string& name, const std::string& value,
+                 const char* expected) {
+  if (value.empty()) badValue(name, value, expected);
+}
+
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
@@ -43,6 +53,7 @@ bool Flags::has(const std::string& name) const { return values_.count(name) > 0;
 int Flags::getInt(const std::string& name, int fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  rejectEmpty(name, it->second, "int");
   try {
     std::size_t pos = 0;
     const int v = std::stoi(it->second, &pos);
@@ -56,6 +67,7 @@ int Flags::getInt(const std::string& name, int fallback) const {
 double Flags::getDouble(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  rejectEmpty(name, it->second, "double");
   try {
     std::size_t pos = 0;
     const double v = std::stod(it->second, &pos);
@@ -70,6 +82,9 @@ std::uint64_t Flags::getUInt64(const std::string& name,
                                std::uint64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
+  // The front() sign check below needs a non-empty token; reject
+  // `--seed=` before any inspection.
+  rejectEmpty(name, it->second, "unsigned integer");
   try {
     std::size_t pos = 0;
     const std::uint64_t v = std::stoull(it->second, &pos);
@@ -86,6 +101,7 @@ ShardSpec Flags::getShard(const std::string& name, ShardSpec fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   const std::string& v = it->second;
+  rejectEmpty(name, v, "shard spec i/N");
   // A bare `--shard` parses as "true": leave it to getBool() callers that
   // use the same name as a mode switch.
   if (v == "true") return fallback;
@@ -117,6 +133,7 @@ bool Flags::getBool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   const std::string& v = it->second;
+  rejectEmpty(name, v, "bool");
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   badValue(name, v, "bool");
@@ -131,6 +148,10 @@ CampaignRunFlags campaignRunFlags(const Flags& flags,
   run.shard = flags.getShard("shard");
   run.partialOut = flags.getString("partial-out", "");
   run.streaming = flags.getBool("streaming", false);
+  run.targetCi = flags.getDouble("target-ci", 0.0);
+  run.minReps = flags.getInt("min-reps", 0);
+  run.maxReps = flags.getInt("max-reps", 0);
+  run.targetMetric = flags.getString("target-metric", "");
   return run;
 }
 

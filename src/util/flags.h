@@ -64,6 +64,15 @@ class Flags {
 ///   --partial-out=F    write this shard's partial-result JSON to F
 ///   --streaming        fold results through the bounded reordering
 ///                      window (O(points+threads) memory)
+///   --target-ci=X      adaptive replication: stop a grid point once the
+///                      95 % CI half-width of the target metric divided
+///                      by |mean| drops to X, which must be > 0 (omit
+///                      the flag to keep the fixed --repl count)
+///   --min-reps=N       adaptive wave-0 size / convergence floor
+///                      (defaults to the --repl count)
+///   --max-reps=N       adaptive replication cap (default 64)
+///   --target-metric=M  metric the stop rule watches (default: the
+///                      scenario's, e.g. "pdr")
 struct CampaignRunFlags {
   std::uint64_t seed = 2008;
   int threads = 0;
@@ -71,6 +80,10 @@ struct CampaignRunFlags {
   ShardSpec shard{};
   std::string partialOut;
   bool streaming = false;
+  double targetCi = 0.0;  ///< <= 0 keeps the fixed replication count
+  int minReps = 0;        ///< 0 = derive from the fixed count
+  int maxReps = 0;        ///< 0 = engine default
+  std::string targetMetric;
 };
 
 /// Reads the shared campaign flags from `flags`.

@@ -105,10 +105,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / binWidth_);
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // NaN has no bin position at all: dropped entirely, not counted toward
+  // total_, so quantiles stay consistent with the recorded mass.
+  if (std::isnan(x)) return;
+  // Clamp in the *double* domain before the integer cast: converting a
+  // double outside the target type's range (1e300, +-inf, or NaN above)
+  // is undefined behaviour, not a saturation.
+  const double position = (x - lo_) / binWidth_;
+  std::size_t bin = 0;
+  if (position >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else if (position > 0.0) {
+    bin = static_cast<std::size_t>(position);
+  }
+  ++counts_[bin];
   ++total_;
 }
 
@@ -130,8 +140,12 @@ double Histogram::quantile(double q) const noexcept {
   double cumulative = 0.0;
   for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
     const auto c = static_cast<double>(counts_[bin]);
-    if (cumulative + c >= target) {
-      const double inBin = c > 0.0 ? (target - cumulative) / c : 0.0;
+    // Empty bins carry no quantile mass: without the c > 0 guard, an
+    // empty bin sitting exactly at the target boundary (cumulative ==
+    // target, e.g. q == 0 before any mass) would claim the quantile and
+    // report its own low edge instead of where the data actually is.
+    if (c > 0.0 && cumulative + c >= target) {
+      const double inBin = std::max(0.0, (target - cumulative) / c);
       return binLow(bin) + binWidth_ * inBin;
     }
     cumulative += c;

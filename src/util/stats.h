@@ -63,8 +63,10 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
-/// the first/last bin so mass is never lost.
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples
+/// (including +-infinity) clamp to the first/last bin so mass is never
+/// lost. NaN samples are dropped entirely -- they have no position, so
+/// they count toward neither a bin nor total().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -77,7 +79,9 @@ class Histogram {
   double binHigh(std::size_t bin) const;
   std::uint64_t total() const noexcept { return total_; }
 
-  /// Approximate quantile (q in [0,1]) by linear walk over bins.
+  /// Approximate quantile (q in [0,1]) by linear walk over bins. Empty
+  /// bins carry no mass: the result always lies inside a bin that
+  /// recorded samples (the range's low edge when the histogram is empty).
   double quantile(double q) const noexcept;
 
   /// Multi-line ASCII rendering, for debugging and example output.

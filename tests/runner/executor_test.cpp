@@ -160,10 +160,12 @@ TEST(ExecutorTest, IncompleteAccumulatorRefusesToSurfaceSummaries) {
   CampaignAccumulator accumulator(plan);
   JobResult result;
   result.rounds = 1;
-  accumulator.fold(0, result);
+  accumulator.fold(0, 0, result);
   EXPECT_FALSE(accumulator.complete());
   EXPECT_THROW(accumulator.take(), std::logic_error);  // truncated fold
-  EXPECT_THROW(accumulator.fold(2, result), std::logic_error);  // order gap
+  // Replication gap within the point, and an out-of-range point slot.
+  EXPECT_THROW(accumulator.fold(0, 2, result), std::logic_error);
+  EXPECT_THROW(accumulator.fold(9, 0, result), std::logic_error);
 }
 
 }  // namespace

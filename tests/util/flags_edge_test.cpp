@@ -1,0 +1,105 @@
+/// \file flags_edge_test.cpp
+/// Edge cases of the flag parser that the happy-path suite in
+/// flags_test.cpp does not cover: explicitly empty values (`--seed=`),
+/// flags whose space-syntax value is a negative number, and malformed
+/// `--shard` specs. Every typed parser rejects a bad value by printing a
+/// diagnostic and exiting with status 2 (badValue), which death tests
+/// observe from the parent process.
+
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+namespace vanet {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags{static_cast<int>(argv.size()), argv.data()};
+}
+
+using FlagsEdgeDeathTest = ::testing::Test;
+
+TEST(FlagsEdgeDeathTest, EmptyValuesAreRejectedByEveryTypedParser) {
+  // `--flag=` stores an empty string; each typed getter must take the
+  // badValue exit path instead of reading value.front() (previously
+  // undefined behaviour in getUInt64) or silently falling back.
+  EXPECT_EXIT(parse({"--seed="}).getUInt64("seed", 1),
+              ::testing::ExitedWithCode(2), "cannot parse '' as unsigned");
+  EXPECT_EXIT(parse({"--rounds="}).getInt("rounds", 1),
+              ::testing::ExitedWithCode(2), "cannot parse '' as int");
+  EXPECT_EXIT(parse({"--speed="}).getDouble("speed", 1.0),
+              ::testing::ExitedWithCode(2), "cannot parse '' as double");
+  EXPECT_EXIT(parse({"--coop="}).getBool("coop", true),
+              ::testing::ExitedWithCode(2), "cannot parse '' as bool");
+  EXPECT_EXIT(parse({"--shard="}).getShard("shard"),
+              ::testing::ExitedWithCode(2), "cannot parse '' as shard");
+}
+
+TEST(FlagsTest, EmptyValueStaysDistinctFromAbsentFlag) {
+  // The empty value is rejected loudly -- it must NOT read as "flag
+  // absent, use the fallback". Only strings may legitimately be empty.
+  const Flags f = parse({"--partial-out="});
+  EXPECT_TRUE(f.has("partial-out"));
+  EXPECT_EQ(f.getString("partial-out", "dflt"), "");
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.getString("missing", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, SpaceSyntaxConsumesNegativeNumbers) {
+  // `--offset -3`: the next token starts with '-' but not "--", so it is
+  // a value, not a flag.
+  const Flags f = parse({"--offset", "-3", "--power", "-12.5"});
+  EXPECT_EQ(f.getInt("offset", 0), -3);
+  EXPECT_DOUBLE_EQ(f.getDouble("power", 0.0), -12.5);
+}
+
+TEST(FlagsEdgeDeathTest, NegativeValuesRejectedWhereUnsigned) {
+  EXPECT_EXIT(parse({"--seed", "-5"}).getUInt64("seed", 1),
+              ::testing::ExitedWithCode(2), "cannot parse '-5' as unsigned");
+  EXPECT_EXIT(parse({"--seed=-1"}).getUInt64("seed", 1),
+              ::testing::ExitedWithCode(2), "cannot parse '-1' as unsigned");
+}
+
+TEST(FlagsEdgeDeathTest, MalformedShardSpecsAreRejected) {
+  for (const char* spec :
+       {"--shard=1", "--shard=1/", "--shard=/2", "--shard=a/2",
+        "--shard=1/b", "--shard=1/2x", "--shard=2/2", "--shard=-1/3",
+        "--shard=0/0", "--shard=1 / 2"}) {
+    EXPECT_EXIT(parse({spec}).getShard("shard"),
+                ::testing::ExitedWithCode(2), "shard spec")
+        << "spec not rejected: " << spec;
+  }
+}
+
+TEST(FlagsEdgeDeathTest, TrailingGarbageRejectedByNumericParsers) {
+  EXPECT_EXIT(parse({"--rounds=3x"}).getInt("rounds", 0),
+              ::testing::ExitedWithCode(2), "cannot parse '3x' as int");
+  EXPECT_EXIT(parse({"--speed=1.5mps"}).getDouble("speed", 0.0),
+              ::testing::ExitedWithCode(2), "as double");
+  EXPECT_EXIT(parse({"--seed=12 34"}).getUInt64("seed", 0),
+              ::testing::ExitedWithCode(2), "as unsigned");
+}
+
+TEST(FlagsTest, CampaignRunFlagsReadAdaptiveVocabulary) {
+  const Flags f = parse({"--target-ci=0.05", "--min-reps=4", "--max-reps=64",
+                         "--target-metric=pdr"});
+  const CampaignRunFlags run = campaignRunFlags(f);
+  EXPECT_DOUBLE_EQ(run.targetCi, 0.05);
+  EXPECT_EQ(run.minReps, 4);
+  EXPECT_EQ(run.maxReps, 64);
+  EXPECT_EQ(run.targetMetric, "pdr");
+  // Absent adaptive flags keep the fixed-count defaults.
+  const CampaignRunFlags fixed = campaignRunFlags(parse({}));
+  EXPECT_DOUBLE_EQ(fixed.targetCi, 0.0);
+  EXPECT_EQ(fixed.minReps, 0);
+  EXPECT_EQ(fixed.maxReps, 0);
+  EXPECT_TRUE(fixed.targetMetric.empty());
+}
+
+}  // namespace
+}  // namespace vanet
