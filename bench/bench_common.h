@@ -56,6 +56,7 @@ inline runner::CampaignConfig campaignFromFlags(const Flags& flags,
   config.roundThreads = run.roundThreads;
   config.shard = runner::Shard{run.shard.index, run.shard.count};
   config.streaming = run.streaming;
+  config.progress = run.progress;
   // Bad adaptive bounds die with the same exit(2) diagnostic style as
   // the flag parsers -- an explicit --min-reps=0, a --max-reps below the
   // floor, or a degenerate --repl floor must never silently read as

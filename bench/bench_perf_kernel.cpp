@@ -1,26 +1,37 @@
 /// \file bench_perf_kernel.cpp
 /// Microbenchmarks for the simulation substrate: event-queue throughput,
 /// cancellation-heavy scheduling (the eager queue-compaction path),
-/// channel sampling, airtime computation, and the complete urban round.
-/// These guard the "30 rounds in under a second" property the experiment
-/// harnesses rely on.
+/// channel sampling, airtime computation, and the complete urban and
+/// highway rounds. These guard the "30 rounds in under a second"
+/// property the experiment harnesses rely on.
 ///
 /// Every timed section reports mean +- CI95 wall time via RunningStats
 /// (no external benchmark framework). Flags are the shared campaign CLI
 /// (--seed, --round-threads; see util/flags.h) plus:
 ///   --iters=N   timing repetitions per section (default 10)
 ///   --laps=N    rounds of the experiment-level timing (default 8)
+///   --json=PATH machine-readable result document ("vanet-bench" schema,
+///               see docs/observability.md); bare --json auto-names it
+///               BENCH_<git-rev>.json in the working directory. This is
+///               the perf-trajectory artefact CI compares against the
+///               committed baseline with example_bench_compare.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "analysis/experiment.h"
 #include "analysis/round.h"
 #include "channel/link_model.h"
 #include "mac/airtime.h"
+#include "obs/counters.h"
+#include "obs/manifest.h"
+#include "runner/campaign.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -34,6 +45,14 @@ using Clock = std::chrono::steady_clock;
 double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// One timed section, collected for the report lines and the --json
+/// document.
+struct KernelResult {
+  std::string name;      ///< schema key, stable across revisions
+  RunningStats wall;     ///< seconds per repetition
+  double itemsPerRun;    ///< items one repetition processes (0 = whole run)
+};
 
 /// One "mean +- ci95  (per-item rate)" report line.
 void report(const char* name, const RunningStats& wall, double itemsPerRun,
@@ -146,26 +165,109 @@ RunningStats timeUrbanRound(int iters, std::uint64_t seed) {
   return wall;
 }
 
+/// Same for the highway kernel, so the perf trajectory covers both
+/// scenario families (their hot paths differ: multi-AP handover vs the
+/// urban single-AP loop).
+RunningStats timeHighwayRound(int iters, std::uint64_t seed) {
+  analysis::HighwayExperimentConfig config;
+  config.rounds = iters;
+  config.seed = seed;
+  const analysis::HighwayExperiment experiment(config);
+  RunningStats wall;
+  for (int round = 0; round < iters; ++round) {
+    const auto start = Clock::now();
+    const analysis::HighwayRoundOutcome outcome = experiment.runRound(round);
+    wall.add(secondsSince(start));
+    gSink += outcome.trace.txCount(1);
+  }
+  return wall;
+}
+
+/// A small fixed campaign through the full plan/execute/accumulate
+/// pipeline, to put an end-to-end jobs/sec figure next to the kernel
+/// numbers.
+runner::CampaignResult runProbeCampaign(std::uint64_t seed, int threads) {
+  runner::CampaignConfig config;
+  config.scenario = "urban";
+  config.masterSeed = seed;
+  config.replications = 4;
+  config.threads = threads;
+  config.base.set("rounds", 2);
+  config.base.set("cars", 3);
+  return runner::runCampaign(config);
+}
+
+/// The "vanet-bench" JSON document (schema in docs/observability.md).
+/// Deterministic key order; json::num full-precision numbers.
+std::string benchJson(const std::vector<KernelResult>& kernels,
+                      const runner::CampaignResult& campaign,
+                      std::uint64_t seed, int iters) {
+  using json::num;
+  using json::quote;
+  std::string out = "{\n";
+  out += "\"format\":\"vanet-bench\",\n";
+  out += "\"version\":1,\n";
+  out += "\"git_rev\":" + quote(obs::buildGitRevision()) + ",\n";
+  out += "\"build_flags\":" + quote(obs::buildFlagsString()) + ",\n";
+  out += "\"seed\":" + std::to_string(seed) + ",\n";
+  out += "\"iters\":" + std::to_string(iters) + ",\n";
+  out += "\"kernels\":[";
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const KernelResult& kernel = kernels[k];
+    if (k > 0) out += ",";
+    const double itemsPerRun =
+        kernel.itemsPerRun > 0.0 ? kernel.itemsPerRun : 1.0;
+    out += "\n {\"name\":" + quote(kernel.name);
+    out += ",\"mean_seconds\":" + num(kernel.wall.mean());
+    out += ",\"ci95_seconds\":" + num(kernel.wall.confidence95());
+    out += ",\"items_per_run\":" + num(itemsPerRun);
+    out += ",\"ns_per_item\":" + num(kernel.wall.mean() * 1e9 / itemsPerRun);
+    out += "}";
+  }
+  out += "\n],\n";
+  out += "\"campaign\":{\"scenario\":" + quote(campaign.scenario);
+  out += ",\"jobs\":" + std::to_string(campaign.jobCount);
+  out += ",\"wall_seconds\":" + num(campaign.wallSeconds);
+  out += ",\"jobs_per_second\":" + num(campaign.jobsPerSecond);
+  out += "},\n";
+  out += "\"obs\":" + obs::snapshotJson(obs::takeSnapshot()) + "\n";
+  out += "}\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  vanet::obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
   const CampaignRunFlags run = campaignRunFlags(flags, /*defaultSeed=*/11);
   const int iters = flags.getInt("iters", 10);
   const int laps = flags.getInt("laps", 8);
 
+  std::vector<KernelResult> kernels;
+  const auto timeKernel = [&](const char* schemaName, const char* label,
+                              RunningStats wall, double itemsPerRun,
+                              const char* item) {
+    report(label, wall, itemsPerRun, item);
+    kernels.push_back(KernelResult{schemaName, wall, itemsPerRun});
+    return wall;
+  };
+
   std::printf("simulation-substrate kernels, %d repetitions each "
               "(mean +- CI95)\n\n", iters);
-  report("event queue (100k events)", timeEventQueue(iters, 100000), 100000,
-         "events");
-  report("cancel-heavy (10k, 90%)", timeCancelHeavy(iters, 10000), 10000,
-         "timers");
-  report("link-model sampling (10k)", timeLinkSampling(iters, 10000), 10000,
-         "samples");
-  report("frame airtime (20k)", timeFrameAirtime(iters, 10000), 20000,
-         "frames");
-  const RunningStats roundWall = timeUrbanRound(iters, run.seed);
-  report("full urban round", roundWall, 0, "");
+  timeKernel("event_queue", "event queue (100k events)",
+             timeEventQueue(iters, 100000), 100000, "events");
+  timeKernel("cancel_heavy", "cancel-heavy (10k, 90%)",
+             timeCancelHeavy(iters, 10000), 10000, "timers");
+  timeKernel("link_sampling", "link-model sampling (10k)",
+             timeLinkSampling(iters, 10000), 10000, "samples");
+  timeKernel("frame_airtime", "frame airtime (20k)",
+             timeFrameAirtime(iters, 10000), 20000, "frames");
+  const RunningStats roundWall = timeKernel(
+      "urban_round", "full urban round", timeUrbanRound(iters, run.seed), 0,
+      "");
+  timeKernel("highway_round", "full highway round",
+             timeHighwayRound(iters, run.seed), 0, "");
 
   // Experiment-level wall: the round engine at --round-threads workers
   // against the serial fold (same bytes, fewer seconds).
@@ -193,11 +295,39 @@ int main(int argc, char** argv) {
   }
   gSink += static_cast<std::uint64_t>(serial.totals.medium.framesDelivered);
 
+  // End-to-end campaign throughput for the trajectory document.
+  const runner::CampaignResult campaign =
+      runProbeCampaign(run.seed, run.threads);
+  std::printf("\nprobe campaign: %zu jobs, %.2f jobs/s\n", campaign.jobCount,
+              campaign.jobsPerSecond);
+
   std::printf("\nper-round budget: %.1f ms mean -> %.1f rounds/s "
               "(paper campaign = 30 rounds)\n",
               roundWall.mean() * 1e3,
               roundWall.mean() > 0.0 ? 1.0 / roundWall.mean() : 0.0);
   std::printf("(checksum %llu)\n",
               static_cast<unsigned long long>(gSink % 997));
+
+  if (flags.has("json")) {
+    // Bare --json auto-names the artefact after the built revision --
+    // the naming convention the committed baselines and the CI compare
+    // step share.
+    std::string path = flags.getString("json", "");
+    if (path.empty() || path == "true") {
+      path = "BENCH_" + obs::buildGitRevision() + ".json";
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << benchJson(kernels, campaign, run.seed, iters);
+    if (!out) {
+      std::fprintf(stderr, "short write on %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    obs::writeManifestSidecar(obs::manifestForArtifact(path));
+  }
   return 0;
 }

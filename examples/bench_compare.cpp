@@ -1,0 +1,142 @@
+/// \file bench_compare.cpp
+/// Perf-trajectory gate: compares two "vanet-bench" documents (see
+/// bench_perf_kernel --json and docs/observability.md) and fails when a
+/// kernel regressed beyond the noise band.
+///
+///   $ ./example_bench_compare BASELINE.json CURRENT.json [--threshold=0.20]
+///
+/// A kernel counts as regressed when
+///   cur.mean - base.mean > threshold * base.mean + base.ci95 + cur.ci95
+/// i.e. the slowdown must exceed the relative threshold *plus* both
+/// runs' 95% confidence intervals, so noisy CI machines do not produce
+/// false alarms. The campaign jobs/sec delta is printed but advisory
+/// only (it depends on the host's core count).
+///
+/// Exit codes: 0 ok, 1 regression detected, 2 usage/parse error.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace {
+
+struct KernelRow {
+  std::string name;
+  double meanSeconds = 0.0;
+  double ci95Seconds = 0.0;
+  double nsPerItem = 0.0;
+};
+
+struct BenchDoc {
+  std::string gitRev;
+  std::vector<KernelRow> kernels;
+  double jobsPerSecond = 0.0;
+};
+
+BenchDoc readBench(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const vanet::json::Value doc = vanet::json::parse(text);
+  if (doc.at("format").asString() != "vanet-bench") {
+    throw std::runtime_error(path + " is not a vanet-bench document");
+  }
+  BenchDoc bench;
+  bench.gitRev = doc.at("git_rev").asString();
+  for (const vanet::json::Value& kernel : doc.at("kernels").asArray()) {
+    KernelRow row;
+    row.name = kernel.at("name").asString();
+    row.meanSeconds = kernel.at("mean_seconds").asDouble();
+    row.ci95Seconds = kernel.at("ci95_seconds").asDouble();
+    row.nsPerItem = kernel.at("ns_per_item").asDouble();
+    bench.kernels.push_back(row);
+  }
+  bench.jobsPerSecond = doc.at("campaign").at("jobs_per_second").asDouble();
+  return bench;
+}
+
+const KernelRow* findKernel(const BenchDoc& doc, const std::string& name) {
+  for (const KernelRow& row : doc.kernels) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vanet;
+  const Flags flags(argc, argv);
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CURRENT.json"
+                 " [--threshold=0.20]\n");
+    return 2;
+  }
+  const double threshold = flags.getDouble("threshold", 0.20);
+
+  BenchDoc base, cur;
+  try {
+    base = readBench(flags.positional()[0]);
+    cur = readBench(flags.positional()[1]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("baseline %s  vs  current %s  (threshold %.0f%%)\n\n",
+              base.gitRev.c_str(), cur.gitRev.c_str(), threshold * 100.0);
+  std::printf("%-16s %12s %12s %9s  %s\n", "kernel", "base ms", "cur ms",
+              "delta", "verdict");
+
+  bool regressed = false;
+  for (const KernelRow& baseRow : base.kernels) {
+    const KernelRow* curRow = findKernel(cur, baseRow.name);
+    if (curRow == nullptr) {
+      // A kernel the baseline knew about vanished: the trajectory lost
+      // coverage, which must fail rather than silently pass.
+      std::printf("%-16s %12.3f %12s %9s  MISSING\n", baseRow.name.c_str(),
+                  baseRow.meanSeconds * 1e3, "-", "-");
+      regressed = true;
+      continue;
+    }
+    const double delta = curRow->meanSeconds - baseRow.meanSeconds;
+    const double allowed = threshold * baseRow.meanSeconds +
+                           baseRow.ci95Seconds + curRow->ci95Seconds;
+    const bool bad = delta > allowed;
+    regressed = regressed || bad;
+    const double pct = baseRow.meanSeconds > 0.0
+                           ? 100.0 * delta / baseRow.meanSeconds
+                           : 0.0;
+    std::printf("%-16s %12.3f %12.3f %+8.1f%%  %s\n", baseRow.name.c_str(),
+                baseRow.meanSeconds * 1e3, curRow->meanSeconds * 1e3, pct,
+                bad ? "REGRESSED" : "ok");
+  }
+  for (const KernelRow& curRow : cur.kernels) {
+    if (findKernel(base, curRow.name) == nullptr) {
+      std::printf("%-16s %12s %12.3f %9s  new (no baseline)\n",
+                  curRow.name.c_str(), "-", curRow.meanSeconds * 1e3, "-");
+    }
+  }
+
+  if (base.jobsPerSecond > 0.0 && cur.jobsPerSecond > 0.0) {
+    std::printf("\ncampaign throughput: %.2f -> %.2f jobs/s (advisory)\n",
+                base.jobsPerSecond, cur.jobsPerSecond);
+  }
+
+  if (regressed) {
+    std::printf("\nperf regression detected (threshold %.0f%% + CI bands)\n",
+                threshold * 100.0);
+    return 1;
+  }
+  std::printf("\nno kernel regressed beyond the noise band\n");
+  return 0;
+}

@@ -16,12 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.h"
 #include "runner/campaign.h"
 #include "runner/emit.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
   if (flags.positional().empty()) {
     std::cerr << "usage: campaign_merge SHARD.json... [--csv=FILE]"

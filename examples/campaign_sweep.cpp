@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "obs/manifest.h"
 #include "runner/campaign.h"
 #include "runner/emit.h"
 #include "runner/registry.h"
@@ -24,6 +25,7 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
 
   if (flags.getBool("list", false)) {
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   campaign.roundThreads = run.roundThreads;
   campaign.shard = runner::Shard{run.shard.index, run.shard.count};
   campaign.streaming = run.streaming;
+  campaign.progress = run.progress;
   campaign.base.set("rounds", flags.getInt("rounds", 3));
   campaign.base.set("aps", 1);
   campaign.base.set("road_length", 2400.0);

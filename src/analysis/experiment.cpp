@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "analysis/round.h"
+#include "obs/counters.h"
 #include "util/reorder.h"
 #include "util/thread_pool.h"
 
@@ -39,6 +40,7 @@ int runRoundsOrdered(int rounds, int requestedWorkers, Kernel&& kernel,
       util::reorderWindowCap(workers),
       [&kernel](std::size_t round) { return kernel(static_cast<int>(round)); },
       [&fold](std::size_t round, Outcome& outcome) {
+        OBS_SCOPED_TIMER("round.fold");
         fold(static_cast<int>(round), outcome);
       });
   return workers;

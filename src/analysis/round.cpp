@@ -1,9 +1,11 @@
 #include "analysis/round.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "mobility/mobility_model.h"
+#include "obs/counters.h"
 #include "util/assert.h"
 
 namespace vanet::analysis {
@@ -154,9 +156,17 @@ UrbanRoundOutcome UrbanRoundWorld::takeOutcome() {
 UrbanRoundOutcome runUrbanRound(const UrbanExperimentConfig& config,
                                 const mobility::UrbanLoopScenario& scenario,
                                 int roundIndex) {
-  UrbanRoundWorld world(config, scenario, roundIndex);
-  world.simulate();
-  return world.takeOutcome();
+  // World build vs round kernel split out so the perf trajectory can
+  // tell setup cost from simulation cost (the worlds are non-movable,
+  // hence the optional).
+  std::optional<UrbanRoundWorld> world;
+  {
+    OBS_SCOPED_TIMER("round.build");
+    world.emplace(config, scenario, roundIndex);
+  }
+  OBS_SCOPED_TIMER("round.kernel");
+  world->simulate();
+  return world->takeOutcome();
 }
 
 // --------------------------------------------------------------- highway
@@ -268,9 +278,14 @@ HighwayRoundOutcome HighwayRoundWorld::takeOutcome() {
 HighwayRoundOutcome runHighwayRound(const HighwayExperimentConfig& config,
                                     const mobility::HighwayScenario& scenario,
                                     int roundIndex) {
-  HighwayRoundWorld world(config, scenario, roundIndex);
-  world.simulate();
-  return world.takeOutcome();
+  std::optional<HighwayRoundWorld> world;
+  {
+    OBS_SCOPED_TIMER("round.build");
+    world.emplace(config, scenario, roundIndex);
+  }
+  OBS_SCOPED_TIMER("round.kernel");
+  world->simulate();
+  return world->takeOutcome();
 }
 
 }  // namespace vanet::analysis

@@ -6,6 +6,7 @@
 
 #include "mac/airtime.h"
 #include "mac/radio.h"
+#include "obs/counters.h"
 #include "util/assert.h"
 
 namespace vanet::mac {
@@ -63,6 +64,7 @@ sim::SimTime RadioEnvironment::beginTransmission(Radio& src, Frame frame,
   tx->plans.reserve(radios_.size());
   for (Radio* rx : radios_) {
     if (rx == &src) continue;
+    OBS_COUNT("mac.link_evaluations");
     const double mean = link_.meanRxPowerDbm(src.id(), txPos, src.txPowerDbm(),
                                              rx->id(), rx->position());
     const double faded = link_.fadedRxPowerDbm(mean, rng_);
@@ -111,10 +113,12 @@ void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
     Radio* rx = plan.rx;
     if (rx->transmittedDuring(tx->start, tx->end)) {
       ++stats_.framesHalfDuplexMissed;
+      OBS_COUNT("mac.frames_dropped");
       continue;
     }
     if (plan.fadedDbm < budget.sensitivityDbm) {
       ++stats_.framesBelowSensitivity;
+      OBS_COUNT("mac.frames_dropped");
       continue;
     }
     const double interferenceDbm = interferenceDbmAt(rx, *tx);
@@ -126,11 +130,13 @@ void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
         plan.fadedDbm - milliwattToDbm(noiseMw + interferenceMw);
     if (interferenceMw > 0.0 && sinrDb < budget.captureThresholdDb) {
       ++stats_.framesCollided;
+      OBS_COUNT("mac.frames_dropped");
       continue;
     }
     const double pSuccess = link_.successProbability(tx->mode, sinrDb, bits);
     if (!rng_.bernoulli(pSuccess)) {
       ++stats_.framesChannelError;
+      OBS_COUNT("mac.frames_dropped");
       // The frame was detected (preamble robust, above sensitivity) but
       // the payload failed: radios that opted in receive it with its
       // SINR so they can soft-combine copies (C-ARQ/FC).
@@ -144,9 +150,11 @@ void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
     if (link_.burstLoss(tx->src, rx->id(), sim_.now(),
                         static_cast<int>(tx->frame.kind))) {
       ++stats_.framesBurstLost;
+      OBS_COUNT("mac.frames_dropped");
       continue;
     }
     ++stats_.framesDelivered;
+    OBS_COUNT("mac.frames_delivered");
     rx->onFrameDelivered(tx->frame,
                          RxInfo{tx->src, plan.fadedDbm, sinrDb, sim_.now()});
   }

@@ -1,0 +1,65 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+namespace vanet::obs {
+
+ProgressReporter::ProgressReporter(std::size_t totalJobs,
+                                   std::chrono::milliseconds minInterval)
+    : minInterval_(minInterval),
+      started_(Clock::now()),
+      jobsExpected_(totalJobs),
+      // Backdate the throttle so the first completed job of a slow run
+      // produces a line immediately.
+      lastEmit_(started_ - minInterval) {}
+
+void ProgressReporter::beginWave(int wave, std::size_t waveJobs,
+                                 std::size_t openPoints,
+                                 std::size_t totalPoints) {
+  (void)waveJobs;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  wave_ = wave;
+  totalPoints_ = totalPoints;
+  pointsDone_ = totalPoints >= openPoints ? totalPoints - openPoints : 0;
+}
+
+void ProgressReporter::jobDone() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++jobsDone_;
+  const Clock::time_point now = Clock::now();
+  if (now - lastEmit_ < minInterval_ && jobsDone_ < jobsExpected_) return;
+  emitLocked();
+}
+
+void ProgressReporter::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  emitLocked();
+}
+
+void ProgressReporter::emitLocked() {
+  const Clock::time_point now = Clock::now();
+  lastEmit_ = now;
+  const double elapsed =
+      std::chrono::duration<double>(now - started_).count();
+  const double rate = elapsed > 0.0
+                          ? static_cast<double>(jobsDone_) / elapsed
+                          : 0.0;
+  const std::size_t expected =
+      jobsExpected_ > jobsDone_ ? jobsExpected_ : jobsDone_;
+  const double percent =
+      expected > 0 ? 100.0 * static_cast<double>(jobsDone_) /
+                         static_cast<double>(expected)
+                   : 100.0;
+  // `expected` is the plan's job-index space: exact for fixed-count
+  // campaigns, an upper bound for adaptive ones (points that converge
+  // retire their tail jobs), so the ETA is a worst-case estimate.
+  const double eta =
+      rate > 0.0 ? static_cast<double>(expected - jobsDone_) / rate : 0.0;
+  std::fprintf(stderr,
+               "progress: jobs %zu/%zu (%.1f%%) | wave %d | points %zu/%zu | "
+               "%.1f jobs/s | eta %.1fs\n",
+               jobsDone_, expected, percent, wave_, pointsDone_, totalPoints_,
+               rate, eta);
+}
+
+}  // namespace vanet::obs

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "analysis/serialize.h"
+#include "obs/manifest.h"
 #include "trace/serialize.h"
 #include "util/json.h"
 #include "util/log.h"
@@ -263,7 +264,22 @@ bool writeCampaignPartial(const std::string& path,
     return false;
   }
   out << campaignPartialJson(partial);
-  return static_cast<bool>(out);
+  if (!out) return false;
+  // Provenance sidecar (best effort; never fails the partial write).
+  obs::RunManifest manifest = obs::manifestForArtifact(path);
+  manifest.scenario = partial.scenario;
+  manifest.masterSeed = partial.masterSeed;
+  manifest.shardIndex = partial.shard.index;
+  manifest.shardCount = partial.shard.count;
+  manifest.targetCi = partial.targetRelativeCi95;
+  manifest.targetMetric = partial.targetMetric;
+  manifest.points.reserve(partial.points.size());
+  for (const GridPointSummary& point : partial.points) {
+    manifest.points.push_back(obs::ManifestPoint{
+        point.gridIndex, point.replications, point.achievedCi95});
+  }
+  obs::writeManifestSidecar(manifest);
+  return true;
 }
 
 CampaignPartial readCampaignPartial(const std::string& path) {
@@ -274,7 +290,9 @@ CampaignPartial readCampaignPartial(const std::string& path) {
   std::ostringstream text;
   text << in.rdbuf();
   try {
-    return parseCampaignPartial(text.str());
+    CampaignPartial partial = parseCampaignPartial(text.str());
+    partial.sourcePath = path;
+    return partial;
   } catch (const std::runtime_error& error) {
     throw std::runtime_error(path + ": " + error.what());
   }
@@ -289,11 +307,22 @@ std::vector<GridPointSummary> mergeCampaignPartials(
             [](const CampaignPartial& a, const CampaignPartial& b) {
               return a.shard.index < b.shard.index;
             });
+  // Merge errors must name the culprit: "shard i/N from 'file'" pins
+  // exactly which partial (and which file on disk) broke the set.
+  const auto describe = [](const CampaignPartial& partial) {
+    std::string text = "shard " + std::to_string(partial.shard.index) + "/" +
+                       std::to_string(partial.shard.count);
+    if (!partial.sourcePath.empty()) {
+      text += " from '" + partial.sourcePath + "'";
+    }
+    return text;
+  };
   const CampaignPartial& first = partials.front();
   if (partials.size() != static_cast<std::size_t>(first.shard.count)) {
     throw std::runtime_error(
         "expected " + std::to_string(first.shard.count) +
-        " shard partials, got " + std::to_string(partials.size()));
+        " shard partials, got " + std::to_string(partials.size()) +
+        " (first: " + describe(first) + ")");
   }
   std::vector<GridPointSummary> merged(first.totalPoints);
   std::vector<bool> filled(first.totalPoints, false);
@@ -310,23 +339,24 @@ std::vector<GridPointSummary> mergeCampaignPartials(
         partial.totalJobs != first.totalJobs ||
         partial.shard.count != first.shard.count) {
       throw std::runtime_error(
-          "shard partials describe different campaigns (shard " +
-          std::to_string(partial.shard.index) + " disagrees)");
+          "shard partials describe different campaigns (" +
+          describe(partial) + " disagrees)");
     }
     if (partial.shard.index != static_cast<int>(s)) {
       throw std::runtime_error("missing or duplicate shard " +
-                               std::to_string(s) + " in partial set");
+                               std::to_string(s) + " in partial set (got " +
+                               describe(partial) + ")");
     }
     for (GridPointSummary& point : partial.points) {
       if (point.gridIndex >= merged.size()) {
         throw std::runtime_error("partial grid index " +
                                  std::to_string(point.gridIndex) +
-                                 " out of range");
+                                 " out of range (" + describe(partial) + ")");
       }
       if (filled[point.gridIndex]) {
-        throw std::runtime_error("grid point " +
-                                 std::to_string(point.gridIndex) +
-                                 " appears in more than one shard");
+        throw std::runtime_error(
+            "grid point " + std::to_string(point.gridIndex) +
+            " appears in more than one shard (" + describe(partial) + ")");
       }
       filled[point.gridIndex] = true;
       merged[point.gridIndex] = std::move(point);

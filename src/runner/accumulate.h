@@ -125,6 +125,10 @@ struct CampaignPartial {
   /// adaptive campaigns, whose converged points stop early).
   std::size_t totalJobs = 0;
   std::vector<GridPointSummary> points;  ///< this shard's, in grid order
+  /// Where this partial was read from (set by readCampaignPartial; empty
+  /// for in-process partials). Never serialized -- it exists so merge
+  /// validation errors can name the offending file.
+  std::string sourcePath;
 };
 
 /// Serializes a partial to its versioned JSON document. Deterministic:

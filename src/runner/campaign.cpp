@@ -1,34 +1,47 @@
 #include "runner/campaign.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/counters.h"
+#include "obs/progress.h"
 
 namespace vanet::runner {
 
 CampaignResult runCampaign(const CampaignConfig& config) {
-  const CampaignPlan plan = buildPlan(config);
-  CampaignAccumulator accumulator(plan);
-  const ExecutionStats stats =
-      executeCampaign(plan, config.threads, config.streaming, accumulator);
+  std::unique_ptr<const CampaignPlan> plan;
+  {
+    OBS_SCOPED_TIMER("campaign.plan");
+    plan = std::make_unique<const CampaignPlan>(buildPlan(config));
+  }
+  CampaignAccumulator accumulator(*plan);
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (config.progress) {
+    progress = std::make_unique<obs::ProgressReporter>(plan->shardJobCount());
+  }
+  const ExecutionStats stats = executeCampaign(
+      *plan, config.threads, config.streaming, accumulator, progress.get());
 
+  OBS_SCOPED_TIMER("campaign.accumulate");
   CampaignResult merged;
   merged.scenario = config.scenario;
   merged.masterSeed = config.masterSeed;
-  merged.replications = plan.replications();
-  if (plan.adaptive()) {
-    merged.targetRelativeCi95 = plan.targetRelativeCi95();
-    merged.minReplications = plan.minReplications();
-    merged.maxReplications = plan.maxReplications();
-    merged.targetMetric = plan.targetMetric();
+  merged.replications = plan->replications();
+  if (plan->adaptive()) {
+    merged.targetRelativeCi95 = plan->targetRelativeCi95();
+    merged.minReplications = plan->minReplications();
+    merged.maxReplications = plan->maxReplications();
+    merged.targetMetric = plan->targetMetric();
   }
   merged.waves = stats.waves;
   merged.shard = config.shard;
   merged.threads = stats.threads;
   merged.streaming = stats.streaming;
   merged.jobCount = stats.jobsRun;
-  merged.totalPoints = plan.points().size();
-  merged.totalJobs = plan.totalJobCount();
+  merged.totalPoints = plan->points().size();
+  merged.totalJobs = plan->totalJobCount();
   merged.peakBufferedResults = stats.peakBufferedResults;
   merged.wallSeconds = stats.wallSeconds;
   merged.jobsPerSecond = stats.wallSeconds > 0.0

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "analysis/csv.h"
+#include "obs/manifest.h"
 #include "util/json.h"
 #include "util/log.h"
 
@@ -47,6 +48,31 @@ bool anyCaseNames(const CampaignResult& result) {
     if (!point.caseName.empty()) return true;
   }
   return false;
+}
+
+/// Drops the provenance sidecar next to an emitted artefact. Best
+/// effort by contract: a failed sidecar write warns (inside
+/// writeManifestSidecar) without failing the artefact write, and the
+/// artefact bytes themselves are untouched either way.
+void writeResultManifest(const std::string& path,
+                         const CampaignResult& result) {
+  obs::RunManifest manifest = obs::manifestForArtifact(path);
+  manifest.scenario = result.scenario;
+  manifest.masterSeed = result.masterSeed;
+  manifest.threads = result.threads;
+  manifest.shardIndex = result.shard.index;
+  manifest.shardCount = result.shard.count;
+  manifest.streaming = result.streaming;
+  manifest.targetCi = result.targetRelativeCi95;
+  manifest.targetMetric = result.targetMetric;
+  manifest.wallSeconds = result.wallSeconds;
+  manifest.jobsPerSecond = result.jobsPerSecond;
+  manifest.points.reserve(result.points.size());
+  for (const GridPointSummary& point : result.points) {
+    manifest.points.push_back(obs::ManifestPoint{
+        point.gridIndex, point.replications, point.achievedCi95});
+  }
+  obs::writeManifestSidecar(manifest);
 }
 
 }  // namespace
@@ -116,7 +142,9 @@ bool writeCampaignCsv(const std::string& path, const CampaignResult& result) {
     return false;
   }
   out << campaignCsv(result);
-  return static_cast<bool>(out);
+  if (!out) return false;
+  writeResultManifest(path, result);
+  return true;
 }
 
 std::string campaignPointsJson(const CampaignResult& result) {
@@ -203,7 +231,9 @@ bool writeCampaignJson(const std::string& path, const CampaignResult& result) {
     return false;
   }
   out << campaignJson(result);
-  return static_cast<bool>(out);
+  if (!out) return false;
+  writeResultManifest(path, result);
+  return true;
 }
 
 std::string renderCampaignSummary(const CampaignResult& result,
@@ -314,6 +344,7 @@ std::size_t writeCampaignFigureCsvs(const std::string& dir,
       }
       path += "_flow" + std::to_string(flow) + ".csv";
       if (!writeFigureCsv(path, figure)) return written;
+      writeResultManifest(path, result);
       ++written;
     }
   }

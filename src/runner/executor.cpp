@@ -6,8 +6,12 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/progress.h"
 #include "util/reorder.h"
 #include "util/thread_pool.h"
 
@@ -56,13 +60,27 @@ JobResult runJob(const CampaignPlan& plan, const JobSpec& spec) {
   context.replication = spec.replication;
   context.jobIndex = spec.globalIndex;
   context.roundThreads = plan.roundThreads();
-  return plan.scenario().run(context);
+  try {
+    JobResult result = plan.scenario().run(context);
+    OBS_COUNT("campaign.jobs_run");
+    return result;
+  } catch (const std::exception& e) {
+    // Name the failing job precisely: the global index pins the seed
+    // stream, the (point, replication) pair pins the grid coordinates --
+    // enough to re-run exactly this job in isolation.
+    throw std::runtime_error(
+        "campaign job " + std::to_string(spec.globalIndex) +
+        " failed (grid point " + std::to_string(spec.pointIndex) +
+        ", replication " + std::to_string(spec.replication) +
+        "): " + e.what());
+  }
 }
 
 /// Buffered backend: collect the wave, then fold once the pool drains.
 std::size_t executeWaveBuffered(const CampaignPlan& plan,
                                 const std::vector<WaveJob>& jobs, int threads,
-                                CampaignAccumulator& into) {
+                                CampaignAccumulator& into,
+                                obs::ProgressReporter* progress) {
   std::vector<JobResult> results(jobs.size());
   std::atomic<std::size_t> nextJob{0};
   std::mutex errorMutex;
@@ -74,6 +92,7 @@ std::size_t executeWaveBuffered(const CampaignPlan& plan,
       if (i >= jobs.size()) return;
       try {
         results[i] = runJob(plan, jobs[i].spec);
+        if (progress != nullptr) progress->jobDone();
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMutex);
         if (!firstError) firstError = std::current_exception();
@@ -96,10 +115,15 @@ std::size_t executeWaveBuffered(const CampaignPlan& plan,
 /// layer's round engine now folds through the same template).
 std::size_t executeWaveStreaming(const CampaignPlan& plan,
                                  const std::vector<WaveJob>& jobs, int threads,
-                                 CampaignAccumulator& into) {
+                                 CampaignAccumulator& into,
+                                 obs::ProgressReporter* progress) {
   return util::foldOrdered<JobResult>(
       jobs.size(), threads, streamingWindowCap(threads),
-      [&plan, &jobs](std::size_t i) { return runJob(plan, jobs[i].spec); },
+      [&plan, &jobs, progress](std::size_t i) {
+        JobResult result = runJob(plan, jobs[i].spec);
+        if (progress != nullptr) progress->jobDone();
+        return result;
+      },
       [&into, &jobs](std::size_t i, JobResult& result) {
         into.fold(jobs[i].shardSlot, jobs[i].spec.replication, result);
       });
@@ -112,7 +136,9 @@ std::size_t streamingWindowCap(int threads) noexcept {
 }
 
 ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
-                               bool streaming, CampaignAccumulator& into) {
+                               bool streaming, CampaignAccumulator& into,
+                               obs::ProgressReporter* progress) {
+  OBS_SCOPED_TIMER("campaign.execute");
   const std::size_t jobCount = plan.shardJobCount();
   ExecutionStats stats;
   stats.threads = resolveThreadCount(requestedThreads, jobCount);
@@ -139,9 +165,15 @@ ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
     const int waveEnd = plan.waveEndReplication(wave);
     const std::vector<WaveJob> jobs =
         buildWave(plan, open, coveredReps, waveEnd);
+    OBS_COUNT("campaign.waves");
+    if (progress != nullptr) {
+      progress->beginWave(wave, jobs.size(), open.size(),
+                          plan.shardPointIndices().size());
+    }
     const std::size_t peak =
-        streaming ? executeWaveStreaming(plan, jobs, stats.threads, into)
-                  : executeWaveBuffered(plan, jobs, stats.threads, into);
+        streaming
+            ? executeWaveStreaming(plan, jobs, stats.threads, into, progress)
+            : executeWaveBuffered(plan, jobs, stats.threads, into, progress);
     stats.peakBufferedResults = std::max(stats.peakBufferedResults, peak);
     stats.jobsRun += jobs.size();
     stats.waves += 1;
@@ -156,6 +188,7 @@ ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - started;
   stats.wallSeconds = elapsed.count();
+  if (progress != nullptr) progress->finish();
   return stats;
 }
 

@@ -36,6 +36,10 @@
 #include "runner/accumulate.h"
 #include "runner/plan.h"
 
+namespace vanet::obs {
+class ProgressReporter;
+}  // namespace vanet::obs
+
 namespace vanet::runner {
 
 /// What the executor measured while running the plan.
@@ -63,9 +67,13 @@ std::size_t streamingWindowCap(int threads) noexcept;
 /// Runs every shard job of `plan` and folds the results into `into` in
 /// ascending local job order. `requestedThreads` <= 0 picks the hardware
 /// concurrency; the count is clamped to the job count. Rethrows the
-/// first worker exception after the pool drains; `into` is then
-/// incomplete and must be discarded.
+/// first worker exception after the pool drains -- wrapped with the
+/// failing job's global index, grid point and replication -- and `into`
+/// is then incomplete and must be discarded. `progress`, when non-null,
+/// receives a wave notification at each barrier and a (thread-safe)
+/// tick per completed job; it observes only, never schedules.
 ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
-                               bool streaming, CampaignAccumulator& into);
+                               bool streaming, CampaignAccumulator& into,
+                               obs::ProgressReporter* progress = nullptr);
 
 }  // namespace vanet::runner

@@ -94,6 +94,9 @@ struct CampaignConfig {
   /// JobResult-sized buffers instead of O(job count). Bit-identical to
   /// the buffered mode.
   bool streaming = false;
+  /// Live progress lines on stderr (CLI: --progress). Observability only:
+  /// result bytes are identical with it on or off.
+  bool progress = false;
 };
 
 /// One fully resolved grid point of the expanded campaign.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/counters.h"
 #include "util/assert.h"
 
 namespace vanet::sim {
@@ -24,6 +25,7 @@ EventId Simulator::scheduleAfter(SimTime delay, std::function<void()> fn) {
 
 void Simulator::cancel(EventId id) {
   if (handlers_.erase(id) == 0) return;  // already fired or cancelled
+  OBS_COUNT("sim.events_cancelled");
   ++cancelledInQueue_;
   maybeCompact();
 }
@@ -33,6 +35,7 @@ void Simulator::maybeCompact() {
       cancelledInQueue_ <= handlers_.size()) {
     return;
   }
+  OBS_COUNT("sim.queue_compactions");
   const auto live = std::remove_if(
       queue_.begin(), queue_.end(),
       [this](const Entry& entry) { return handlers_.count(entry.id) == 0; });
@@ -70,6 +73,7 @@ bool Simulator::step() {
   VANET_ASSERT(entry.at >= now_, "event queue must be monotone");
   now_ = entry.at;
   ++executed_;
+  OBS_COUNT("sim.events_dispatched");
   fn();
   return true;
 }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/log.h"
+
 namespace vanet {
 namespace {
 
@@ -152,6 +154,13 @@ CampaignRunFlags campaignRunFlags(const Flags& flags,
   run.minReps = flags.getInt("min-reps", 0);
   run.maxReps = flags.getInt("max-reps", 0);
   run.targetMetric = flags.getString("target-metric", "");
+  run.progress = flags.getBool("progress", false);
+  if (flags.has("log-level")) {
+    const std::string level = flags.getString("log-level", "");
+    if (!Log::setLevelFromName(level)) {
+      badValue("log-level", level, "level name (error|warn|info|debug|trace)");
+    }
+  }
   return run;
 }
 

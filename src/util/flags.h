@@ -73,6 +73,10 @@ class Flags {
 ///   --max-reps=N       adaptive replication cap (default 64)
 ///   --target-metric=M  metric the stop rule watches (default: the
 ///                      scenario's, e.g. "pdr")
+///   --progress         live progress lines on stderr (rate-limited,
+///                      `progress: `-prefixed; results are unchanged)
+///   --log-level=L      error|warn|info|debug|trace; overrides the
+///                      VANET_LOG environment variable (default warn)
 struct CampaignRunFlags {
   std::uint64_t seed = 2008;
   int threads = 0;
@@ -84,9 +88,12 @@ struct CampaignRunFlags {
   int minReps = 0;        ///< 0 = derive from the fixed count
   int maxReps = 0;        ///< 0 = engine default
   std::string targetMetric;
+  bool progress = false;
 };
 
-/// Reads the shared campaign flags from `flags`.
+/// Reads the shared campaign flags from `flags`. Also *applies* the
+/// logging flags as a side effect: `--log-level=L` (validated; abort on
+/// an unknown name) wins over the VANET_LOG environment default.
 CampaignRunFlags campaignRunFlags(const Flags& flags,
                                   std::uint64_t defaultSeed = 2008);
 

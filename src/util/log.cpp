@@ -1,10 +1,54 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace vanet {
+namespace {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+/// The process-wide initial level: `VANET_LOG` when set to a valid name,
+/// warn otherwise. Evaluated once, before main touches any flag.
+LogLevel initialLevel() noexcept {
+  const char* env = std::getenv("VANET_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string name(env);
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  std::fprintf(stderr, "[W] VANET_LOG='%s' is not a level name "
+                       "(error|warn|info|debug|trace); keeping 'warn'\n",
+               env);
+  return LogLevel::kWarn;
+}
+
+std::mutex& sinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+std::atomic<LogLevel> Log::level_{initialLevel()};
+
+bool Log::setLevelFromName(const std::string& name) noexcept {
+  if (name == "error") {
+    setLevel(LogLevel::kError);
+  } else if (name == "warn") {
+    setLevel(LogLevel::kWarn);
+  } else if (name == "info") {
+    setLevel(LogLevel::kInfo);
+  } else if (name == "debug") {
+    setLevel(LogLevel::kDebug);
+  } else if (name == "trace") {
+    setLevel(LogLevel::kTrace);
+  } else {
+    return false;
+  }
+  return true;
+}
 
 const char* Log::tag(LogLevel level) noexcept {
   switch (level) {
@@ -23,7 +67,17 @@ const char* Log::tag(LogLevel level) noexcept {
 }
 
 void Log::write(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", tag(level), message.c_str());
+  // Format the full line first so the locked region is one buffered
+  // write: concurrent workers' lines cannot interleave mid-line.
+  std::string line;
+  line.reserve(message.size() + 5);
+  line += '[';
+  line += tag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(sinkMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace vanet

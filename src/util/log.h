@@ -3,8 +3,16 @@
 /// \file log.h
 /// Minimal leveled logger. Messages are composed with `operator<<` into a
 /// per-call stream, so there is zero formatting cost when the level is
-/// disabled. Not thread-safe by design: the simulator is single-threaded.
+/// disabled. The sink is thread-safe: each line is formatted off-lock and
+/// written to stderr as a single mutex-guarded write, so lines from
+/// concurrent campaign workers never interleave mid-line.
+///
+/// The initial level comes from the `VANET_LOG` environment variable
+/// (error|warn|info|debug|trace; default warn); binaries that parse the
+/// shared campaign flags also honour `--log-level=LEVEL`, which wins over
+/// the environment.
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -17,18 +25,28 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 }
 class Log {
  public:
   /// Sets the most verbose level that will be emitted.
-  static void setLevel(LogLevel level) noexcept { level_ = level; }
-  static LogLevel level() noexcept { return level_; }
-  static bool enabled(LogLevel level) noexcept { return level <= level_; }
+  static void setLevel(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  static LogLevel level() noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  static bool enabled(LogLevel level) noexcept { return level <= Log::level(); }
+
+  /// Parses a level name ("error", "warn", "info", "debug", "trace",
+  /// case-sensitive). Returns false (and leaves the level untouched) on
+  /// an unknown name.
+  static bool setLevelFromName(const std::string& name) noexcept;
 
   /// Emits one formatted line to stderr. Used by the LOG_* macros.
+  /// Thread-safe: one locked write per line.
   static void write(LogLevel level, const std::string& message);
 
   /// Returns the short tag ("E", "W", ...) for a level.
   static const char* tag(LogLevel level) noexcept;
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace vanet

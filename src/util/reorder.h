@@ -29,6 +29,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/counters.h"
 #include "util/thread_pool.h"
 
 namespace vanet::util {
@@ -62,9 +63,14 @@ class ReorderWindow {
   /// left to claim.
   bool claim(std::size_t& index) {
     std::unique_lock<std::mutex> lock(mutex_);
-    claimable_.wait(lock, [&] {
+    const auto claimableNow = [&] {
       return failed_ || nextClaim_ >= count_ || nextClaim_ < frontier_ + cap_;
-    });
+    };
+    // A stall = the window is full and this worker must sleep until the
+    // frontier folds forward. Scheduling-dependent, so observability
+    // only -- never part of the determinism contract.
+    if (!claimableNow()) OBS_COUNT("util.reorder.stalls");
+    claimable_.wait(lock, claimableNow);
     if (failed_ || nextClaim_ >= count_) return false;
     index = nextClaim_++;
     return true;

@@ -1,0 +1,118 @@
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+namespace vanet::obs {
+namespace {
+
+RunManifest fullManifest() {
+  RunManifest manifest;
+  manifest.artifact = "out/campaign.json";
+  manifest.tool = "example_campaign_sweep";
+  manifest.args = {"--seed=2008", "--threads=2", "--out=out"};
+  manifest.gitRev = "abc1234";
+  manifest.buildFlags = "Release sanitize=OFF";
+  manifest.scenario = "highway";
+  manifest.masterSeed = 2008;
+  manifest.threads = 2;
+  manifest.roundThreads = 1;
+  manifest.shardIndex = 1;
+  manifest.shardCount = 3;
+  manifest.streaming = true;
+  manifest.targetCi = 0.05;
+  manifest.targetMetric = "pct_lost_after";
+  manifest.wallSeconds = 1.25;
+  manifest.jobsPerSecond = 12.5;
+  manifest.points = {{0, 4, 0.031}, {1, 8, 0.049}};
+  return manifest;
+}
+
+TEST(ObsManifestTest, RoundTripsEveryField) {
+  const RunManifest original = fullManifest();
+  const RunManifest parsed = manifestFromJson(manifestJson(original));
+  EXPECT_EQ(parsed.artifact, original.artifact);
+  EXPECT_EQ(parsed.tool, original.tool);
+  EXPECT_EQ(parsed.args, original.args);
+  EXPECT_EQ(parsed.gitRev, original.gitRev);
+  EXPECT_EQ(parsed.buildFlags, original.buildFlags);
+  EXPECT_EQ(parsed.scenario, original.scenario);
+  EXPECT_EQ(parsed.masterSeed, original.masterSeed);
+  EXPECT_EQ(parsed.threads, original.threads);
+  EXPECT_EQ(parsed.roundThreads, original.roundThreads);
+  EXPECT_EQ(parsed.shardIndex, original.shardIndex);
+  EXPECT_EQ(parsed.shardCount, original.shardCount);
+  EXPECT_EQ(parsed.streaming, original.streaming);
+  EXPECT_DOUBLE_EQ(parsed.targetCi, original.targetCi);
+  EXPECT_EQ(parsed.targetMetric, original.targetMetric);
+  EXPECT_DOUBLE_EQ(parsed.wallSeconds, original.wallSeconds);
+  EXPECT_DOUBLE_EQ(parsed.jobsPerSecond, original.jobsPerSecond);
+  ASSERT_EQ(parsed.points.size(), 2u);
+  EXPECT_EQ(parsed.points[1].gridIndex, 1u);
+  EXPECT_EQ(parsed.points[1].replications, 8);
+  EXPECT_DOUBLE_EQ(parsed.points[1].achievedCi95, 0.049);
+}
+
+TEST(ObsManifestTest, RenderParseRenderIsByteExact) {
+  // json::num round-trips doubles exactly, so render -> parse -> render
+  // is the identity on bytes; archived sidecars can be re-canonicalised.
+  const std::string text = manifestJson(fullManifest());
+  EXPECT_EQ(manifestJson(manifestFromJson(text)), text);
+
+  const std::string empty = manifestJson(RunManifest{});
+  EXPECT_EQ(manifestJson(manifestFromJson(empty)), empty);
+}
+
+TEST(ObsManifestTest, RejectsForeignDocuments) {
+  EXPECT_THROW(manifestFromJson("{\"format\":\"vanet-bench\",\"version\":1}"),
+               std::runtime_error);
+  EXPECT_THROW(manifestFromJson("not json at all"), std::runtime_error);
+}
+
+TEST(ObsManifestTest, SidecarPathAppendsSuffix) {
+  EXPECT_EQ(manifestPathFor("out/campaign.csv"),
+            "out/campaign.csv.manifest.json");
+}
+
+TEST(ObsManifestTest, SetRunIdentityCapturesToolBasenameAndArgs) {
+  const char* argv[] = {"/usr/local/bin/my_tool", "--seed=1", "--progress"};
+  setRunIdentity(3, argv);
+  EXPECT_EQ(runTool(), "my_tool");
+  ASSERT_EQ(runArgs().size(), 2u);
+  EXPECT_EQ(runArgs()[0], "--seed=1");
+  EXPECT_EQ(runArgs()[1], "--progress");
+
+  RunManifest manifest = manifestForArtifact("a.json");
+  EXPECT_EQ(manifest.artifact, "a.json");
+  EXPECT_EQ(manifest.tool, "my_tool");
+  EXPECT_EQ(manifest.args.size(), 2u);
+  EXPECT_FALSE(manifest.gitRev.empty());
+  EXPECT_FALSE(manifest.buildFlags.empty());
+}
+
+TEST(ObsManifestTest, WriteSidecarLandsNextToArtifactAndParses) {
+  const std::string artifact = ::testing::TempDir() + "/manifest_probe.json";
+  RunManifest manifest = fullManifest();
+  manifest.artifact = artifact;
+  ASSERT_TRUE(writeManifestSidecar(manifest));
+
+  std::ifstream in(manifestPathFor(artifact));
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const RunManifest parsed = manifestFromJson(text);
+  EXPECT_EQ(parsed.artifact, artifact);
+  EXPECT_EQ(parsed.scenario, "highway");
+
+  // Unwritable sidecar directory: warn-and-false, never throw -- the
+  // artefact write must not fail because its provenance could not land.
+  manifest.artifact = ::testing::TempDir() + "/no_such_dir/x.json";
+  EXPECT_FALSE(writeManifestSidecar(manifest));
+}
+
+}  // namespace
+}  // namespace vanet::obs

@@ -137,6 +137,50 @@ TEST(AccumulateTest, MergeValidatesShardSets) {
   EXPECT_EQ(mergeCampaignPartials({shard0, shard1}).size(), 4u);
 }
 
+TEST(AccumulateTest, MergeErrorsNameShardSpecAndSourceFile) {
+  CampaignConfig config = urbanCampaign();
+  config.shard = Shard{0, 2};
+  const CampaignResult result = runCampaign(config);
+  const std::string path = ::testing::TempDir() + "/culprit_shard0.json";
+  ASSERT_TRUE(writeCampaignPartial(path, campaignPartial(result)));
+
+  // A partial read back from disk remembers its file; merge failures
+  // must point the operator at that file, not just an index.
+  const CampaignPartial fromFile = readCampaignPartial(path);
+  EXPECT_EQ(fromFile.sourcePath, path);
+  try {
+    mergeCampaignPartials({fromFile, fromFile});
+    FAIL() << "duplicate shard set must not merge";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("shard 0/2"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+
+  // In-memory partials (no file) degrade to the bare shard spec.
+  const CampaignPartial inMemory = campaignPartial(result);
+  try {
+    mergeCampaignPartials({inMemory});
+    FAIL() << "incomplete shard set must not merge";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("shard 0/2"), std::string::npos) << what;
+    EXPECT_EQ(what.find(" from '"), std::string::npos) << what;
+  }
+}
+
+TEST(AccumulateTest, ReadErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "/broken_partial.json";
+  std::ofstream(path) << "{\"format\":\"other\",\"version\":1}";
+  try {
+    readCampaignPartial(path);
+    FAIL() << "foreign document must not parse";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(AccumulateTest, ParseRejectsWrongFormatAndVersion) {
   EXPECT_THROW(parseCampaignPartial("{}"), std::runtime_error);
   EXPECT_THROW(parseCampaignPartial("not json at all {"),

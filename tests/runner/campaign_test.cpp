@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <stdexcept>
 
+#include "obs/manifest.h"
 #include "runner/emit.h"
 #include "util/rng.h"
 
@@ -175,8 +177,21 @@ TEST(CampaignTest, WorkerExceptionPropagates) {
   CampaignConfig config;
   config.scenario = name;
   config.replications = 3;
-  config.threads = 2;
-  EXPECT_THROW(runCampaign(config), std::runtime_error);
+  // One worker, so job 0 deterministically fails first and the message
+  // is stable enough to assert on.
+  config.threads = 1;
+  // The propagated error names the exact job -- global index, grid
+  // point, replication -- so the operator can re-run it in isolation.
+  try {
+    runCampaign(config);
+    FAIL() << "throwing scenario must fail the campaign";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("campaign job 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("grid point 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("replication 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("job failed"), std::string::npos) << what;
+  }
 }
 
 TEST(CampaignEmitTest, WritesOneFigureCsvPerPointAndFlow) {
@@ -204,6 +219,35 @@ TEST(CampaignEmitTest, CsvHasHeaderAndOneRowPerPoint) {
   EXPECT_EQ(lines, 1u + result.points.size());
   EXPECT_EQ(csv.rfind("grid_index,replications,total_rounds", 0), 0u);
   EXPECT_NE(csv.find("pct_lost_after_mean"), std::string::npos);
+}
+
+TEST(CampaignEmitTest, ArtefactWritersDropManifestSidecars) {
+  CampaignConfig config = tinyUrbanCampaign();
+  config.threads = 2;
+  const CampaignResult result = runCampaign(config);
+  const std::string path = ::testing::TempDir() + "/sidecar_probe.json";
+  ASSERT_TRUE(writeCampaignJson(path, result));
+
+  std::ifstream in(obs::manifestPathFor(path));
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const obs::RunManifest manifest = obs::manifestFromJson(text);
+  EXPECT_EQ(manifest.artifact, path);
+  EXPECT_EQ(manifest.scenario, "urban");
+  EXPECT_EQ(manifest.masterSeed, 2008u);
+  EXPECT_EQ(manifest.threads, 2);
+  ASSERT_EQ(manifest.points.size(), result.points.size());
+  for (std::size_t p = 0; p < manifest.points.size(); ++p) {
+    EXPECT_EQ(manifest.points[p].gridIndex, result.points[p].gridIndex);
+    EXPECT_EQ(manifest.points[p].replications, result.points[p].replications);
+  }
+  // The sidecar is a *separate* file: the artefact bytes stay the pure
+  // render of the result, so byte-diff determinism checks are untouched.
+  std::ifstream artefact(path);
+  std::string artefactText((std::istreambuf_iterator<char>(artefact)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(artefactText, campaignJson(result));
 }
 
 TEST(CampaignEmitTest, JsonCarriesHeaderAndPoints) {

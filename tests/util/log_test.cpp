@@ -1,0 +1,74 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet {
+namespace {
+
+/// Restores the process-wide level after each test: the logger is global
+/// state other suites in this binary read.
+class LogLevelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Log::level(); }
+  void TearDown() override { Log::setLevel(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogLevelTest, EnabledFollowsTheSeverityOrder) {
+  Log::setLevel(LogLevel::kWarn);
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Log::enabled(LogLevel::kTrace));
+
+  Log::setLevel(LogLevel::kTrace);
+  EXPECT_TRUE(Log::enabled(LogLevel::kTrace));
+
+  Log::setLevel(LogLevel::kError);
+  EXPECT_FALSE(Log::enabled(LogLevel::kWarn));
+}
+
+TEST_F(LogLevelTest, SetLevelFromNameParsesEveryLevel) {
+  EXPECT_TRUE(Log::setLevelFromName("error"));
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+  EXPECT_TRUE(Log::setLevelFromName("warn"));
+  EXPECT_EQ(Log::level(), LogLevel::kWarn);
+  EXPECT_TRUE(Log::setLevelFromName("info"));
+  EXPECT_EQ(Log::level(), LogLevel::kInfo);
+  EXPECT_TRUE(Log::setLevelFromName("debug"));
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+  EXPECT_TRUE(Log::setLevelFromName("trace"));
+  EXPECT_EQ(Log::level(), LogLevel::kTrace);
+}
+
+TEST_F(LogLevelTest, UnknownNameIsRejectedAndLeavesLevelUntouched) {
+  Log::setLevel(LogLevel::kInfo);
+  EXPECT_FALSE(Log::setLevelFromName("verbose"));
+  EXPECT_FALSE(Log::setLevelFromName("WARN"));  // case-sensitive
+  EXPECT_FALSE(Log::setLevelFromName(""));
+  EXPECT_EQ(Log::level(), LogLevel::kInfo);
+}
+
+TEST_F(LogLevelTest, DisabledMacroNeverFormats) {
+  Log::setLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  LOG_DEBUG("never " << touch());
+  EXPECT_EQ(evaluations, 0);
+  LOG_ERROR("once " << touch());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogLevelTest, TagsAreStable) {
+  EXPECT_STREQ(Log::tag(LogLevel::kError), "E");
+  EXPECT_STREQ(Log::tag(LogLevel::kWarn), "W");
+  EXPECT_STREQ(Log::tag(LogLevel::kInfo), "I");
+  EXPECT_STREQ(Log::tag(LogLevel::kDebug), "D");
+  EXPECT_STREQ(Log::tag(LogLevel::kTrace), "T");
+}
+
+}  // namespace
+}  // namespace vanet
