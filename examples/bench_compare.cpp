@@ -3,7 +3,8 @@
 /// bench_perf_kernel --json and docs/observability.md) and fails when a
 /// kernel regressed beyond the noise band.
 ///
-///   $ ./example_bench_compare BASELINE.json CURRENT.json [--threshold=0.20]
+///   $ ./example_bench_compare BASELINE.json CURRENT.json
+///       [--threshold=0.20] [--markdown=summary.md]
 ///
 /// A kernel counts as regressed when
 ///   cur.mean - base.mean > threshold * base.mean + base.ci95 + cur.ci95
@@ -11,6 +12,10 @@
 /// runs' 95% confidence intervals, so noisy CI machines do not produce
 /// false alarms. The campaign jobs/sec delta is printed but advisory
 /// only (it depends on the host's core count).
+///
+/// --markdown appends a GitHub-flavoured summary table to the given file
+/// (pass "$GITHUB_STEP_SUMMARY" in CI so the trajectory is visible on the
+/// run page without opening logs).
 ///
 /// Exit codes: 0 ok, 1 regression detected, 2 usage/parse error.
 
@@ -38,6 +43,17 @@ struct BenchDoc {
   std::string gitRev;
   std::vector<KernelRow> kernels;
   double jobsPerSecond = 0.0;
+};
+
+/// One comparison line, shared by the text and markdown renderers.
+struct CompareRow {
+  std::string name;
+  bool haveBase = false;
+  bool haveCur = false;
+  double baseMs = 0.0;
+  double curMs = 0.0;
+  double pct = 0.0;
+  std::string verdict;
 };
 
 BenchDoc readBench(const std::string& path) {
@@ -70,6 +86,53 @@ const KernelRow* findKernel(const BenchDoc& doc, const std::string& name) {
   return nullptr;
 }
 
+void writeMarkdown(const std::string& path, const BenchDoc& base,
+                   const BenchDoc& cur, const std::vector<CompareRow>& rows,
+                   double threshold, bool regressed) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s for markdown summary\n",
+                 path.c_str());
+    return;
+  }
+  out << "### Perf trajectory: " << base.gitRev << " → " << cur.gitRev
+      << (regressed ? " — **REGRESSED**" : " — ok") << "\n\n";
+  out << "| kernel | base ms | current ms | delta | verdict |\n";
+  out << "|---|---:|---:|---:|---|\n";
+  char buf[64];
+  for (const CompareRow& row : rows) {
+    out << "| `" << row.name << "` | ";
+    if (row.haveBase) {
+      std::snprintf(buf, sizeof buf, "%.3f", row.baseMs);
+      out << buf;
+    } else {
+      out << "—";
+    }
+    out << " | ";
+    if (row.haveCur) {
+      std::snprintf(buf, sizeof buf, "%.3f", row.curMs);
+      out << buf;
+    } else {
+      out << "—";
+    }
+    out << " | ";
+    if (row.haveBase && row.haveCur) {
+      std::snprintf(buf, sizeof buf, "%+.1f%%", row.pct);
+      out << buf;
+    } else {
+      out << "—";
+    }
+    out << " | " << row.verdict << " |\n";
+  }
+  if (base.jobsPerSecond > 0.0 && cur.jobsPerSecond > 0.0) {
+    std::snprintf(buf, sizeof buf, "%.2f → %.2f", base.jobsPerSecond,
+                  cur.jobsPerSecond);
+    out << "\nCampaign throughput (advisory): " << buf << " jobs/s. ";
+  }
+  std::snprintf(buf, sizeof buf, "%.0f%%", threshold * 100.0);
+  out << "Gate: slowdown > " << buf << " of baseline + both CI95 bands.\n\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,10 +141,11 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare BASELINE.json CURRENT.json"
-                 " [--threshold=0.20]\n");
+                 " [--threshold=0.20] [--markdown=summary.md]\n");
     return 2;
   }
   const double threshold = flags.getDouble("threshold", 0.20);
+  const std::string markdownPath = flags.getString("markdown", "");
 
   BenchDoc base, cur;
   try {
@@ -97,15 +161,22 @@ int main(int argc, char** argv) {
   std::printf("%-16s %12s %12s %9s  %s\n", "kernel", "base ms", "cur ms",
               "delta", "verdict");
 
+  std::vector<CompareRow> rows;
   bool regressed = false;
   for (const KernelRow& baseRow : base.kernels) {
+    CompareRow out;
+    out.name = baseRow.name;
+    out.haveBase = true;
+    out.baseMs = baseRow.meanSeconds * 1e3;
     const KernelRow* curRow = findKernel(cur, baseRow.name);
     if (curRow == nullptr) {
       // A kernel the baseline knew about vanished: the trajectory lost
       // coverage, which must fail rather than silently pass.
       std::printf("%-16s %12.3f %12s %9s  MISSING\n", baseRow.name.c_str(),
                   baseRow.meanSeconds * 1e3, "-", "-");
+      out.verdict = "MISSING";
       regressed = true;
+      rows.push_back(out);
       continue;
     }
     const double delta = curRow->meanSeconds - baseRow.meanSeconds;
@@ -119,17 +190,32 @@ int main(int argc, char** argv) {
     std::printf("%-16s %12.3f %12.3f %+8.1f%%  %s\n", baseRow.name.c_str(),
                 baseRow.meanSeconds * 1e3, curRow->meanSeconds * 1e3, pct,
                 bad ? "REGRESSED" : "ok");
+    out.haveCur = true;
+    out.curMs = curRow->meanSeconds * 1e3;
+    out.pct = pct;
+    out.verdict = bad ? "**REGRESSED**" : "ok";
+    rows.push_back(out);
   }
   for (const KernelRow& curRow : cur.kernels) {
     if (findKernel(base, curRow.name) == nullptr) {
       std::printf("%-16s %12s %12.3f %9s  new (no baseline)\n",
                   curRow.name.c_str(), "-", curRow.meanSeconds * 1e3, "-");
+      CompareRow out;
+      out.name = curRow.name;
+      out.haveCur = true;
+      out.curMs = curRow.meanSeconds * 1e3;
+      out.verdict = "new (no baseline)";
+      rows.push_back(out);
     }
   }
 
   if (base.jobsPerSecond > 0.0 && cur.jobsPerSecond > 0.0) {
     std::printf("\ncampaign throughput: %.2f -> %.2f jobs/s (advisory)\n",
                 base.jobsPerSecond, cur.jobsPerSecond);
+  }
+
+  if (!markdownPath.empty()) {
+    writeMarkdown(markdownPath, base, cur, rows, threshold, regressed);
   }
 
   if (regressed) {

@@ -66,4 +66,21 @@ double RicianFading::sampleDb(Rng& rng) const {
   return 10.0 * std::log10(std::max(power, 1e-12));
 }
 
+// Batched variants: same per-draw math via the (devirtualised, same-TU)
+// scalar sampler, so values and rng positions match the scalar loop bit
+// for bit -- the batch only removes the per-receiver virtual dispatch.
+void RayleighFading::sampleDbBatch(Rng& rng, double* out,
+                                   std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = RayleighFading::sampleDb(rng);
+}
+
+void RicianFading::sampleDbBatch(Rng& rng, double* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = RicianFading::sampleDb(rng);
+}
+
+void NakagamiFading::sampleDbBatch(Rng& rng, double* out,
+                                   std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = NakagamiFading::sampleDb(rng);
+}
+
 }  // namespace vanet::channel

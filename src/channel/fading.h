@@ -5,6 +5,8 @@
 /// channel is assumed coherent over one frame and independent across
 /// frames, reasonable at vehicular speeds where frames are ~10 ms apart).
 
+#include <cstddef>
+
 #include "util/rng.h"
 
 namespace vanet::channel {
@@ -16,18 +18,29 @@ class FadingModel {
 
   /// Samples the fading gain for one frame.
   virtual double sampleDb(Rng& rng) const = 0;
+
+  /// Samples `n` per-receiver gains in receiver order (one transmission's
+  /// batch). Base implementation: scalar loop; overrides must consume
+  /// `rng` in exactly the same order.
+  virtual void sampleDbBatch(Rng& rng, double* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = sampleDb(rng);
+  }
 };
 
 /// No fading: always 0 dB.
 class NoFading final : public FadingModel {
  public:
   double sampleDb(Rng&) const override { return 0.0; }
+  void sampleDbBatch(Rng&, double* out, std::size_t n) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+  }
 };
 
 /// Rayleigh fading: power gain ~ Exp(1) (unit mean).
 class RayleighFading final : public FadingModel {
  public:
   double sampleDb(Rng& rng) const override;
+  void sampleDbBatch(Rng& rng, double* out, std::size_t n) const override;
 };
 
 /// Rician fading with K-factor (ratio of line-of-sight to scattered power).
@@ -36,6 +49,7 @@ class RicianFading final : public FadingModel {
  public:
   explicit RicianFading(double kFactor);
   double sampleDb(Rng& rng) const override;
+  void sampleDbBatch(Rng& rng, double* out, std::size_t n) const override;
 
   double kFactor() const noexcept { return k_; }
 
@@ -51,6 +65,7 @@ class NakagamiFading final : public FadingModel {
   /// Requires m >= 0.5.
   explicit NakagamiFading(double m);
   double sampleDb(Rng& rng) const override;
+  void sampleDbBatch(Rng& rng, double* out, std::size_t n) const override;
 
   double m() const noexcept { return m_; }
 

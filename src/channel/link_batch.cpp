@@ -1,0 +1,15 @@
+#include "channel/link_batch.h"
+
+namespace vanet::channel {
+
+void LinkBatch::prepare() {
+  const std::size_t n = ids_.size();
+  dist_.resize(n);
+  loss_.resize(n);
+  shadow_.resize(n);
+  fade_.resize(n);
+  mean_.resize(n);
+  faded_.resize(n);
+}
+
+}  // namespace vanet::channel

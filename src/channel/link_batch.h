@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file link_batch.h
+/// Struct-of-arrays scratch for one transmission's receiver set.
+///
+/// The radio environment gathers every receiver of a transmission into
+/// parallel arrays (id, position), then asks the link model to fill the
+/// per-receiver plan arrays (distance, path loss, shadowing, fading, mean
+/// and faded rx power) in staged passes over contiguous memory instead of
+/// one virtual-call chain per receiver. Stage order is chosen so each RNG
+/// stream (fading draws on the environment rng, shadowing pair constants
+/// on the shadowing rng) sees its draws in exactly the per-receiver order
+/// the scalar path used -- the streams are independent, so batching the
+/// stages cannot reorder draws *within* any stream.
+///
+/// The batch is reused across transmissions (capacity sticks), so the
+/// steady-state hot path performs no allocation.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "util/types.h"
+
+namespace vanet::channel {
+
+class LinkBatch {
+ public:
+  /// Drops all receivers; keeps capacity.
+  void clear() noexcept {
+    ids_.clear();
+    x_.clear();
+    y_.clear();
+  }
+
+  /// Appends one receiver to the gather arrays.
+  void add(NodeId id, geom::Vec2 pos) {
+    ids_.push_back(id);
+    x_.push_back(pos.x);
+    y_.push_back(pos.y);
+  }
+
+  /// Sizes the plan arrays to the gathered receiver count. Call once after
+  /// the last add() and before handing the batch to LinkModel::planBatch.
+  void prepare();
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  bool empty() const noexcept { return ids_.empty(); }
+
+  const NodeId* rxIds() const noexcept { return ids_.data(); }
+  const double* rxX() const noexcept { return x_.data(); }
+  const double* rxY() const noexcept { return y_.data(); }
+  geom::Vec2 rxPos(std::size_t i) const noexcept { return {x_[i], y_[i]}; }
+
+  // Plan arrays, filled by LinkModel::planBatch stages. distance/loss/
+  // shadow/fade are intermediate scratch; mean/faded are the outputs the
+  // environment consumes.
+  double* distance() noexcept { return dist_.data(); }
+  double* lossDb() noexcept { return loss_.data(); }
+  double* shadowDb() noexcept { return shadow_.data(); }
+  double* fadeDb() noexcept { return fade_.data(); }
+  double* meanDbm() noexcept { return mean_.data(); }
+  double* fadedDbm() noexcept { return faded_.data(); }
+  const double* meanDbm() const noexcept { return mean_.data(); }
+  const double* fadedDbm() const noexcept { return faded_.data(); }
+
+ private:
+  std::vector<NodeId> ids_;
+  std::vector<double> x_, y_;
+  std::vector<double> dist_, loss_, shadow_, fade_, mean_, faded_;
+};
+
+}  // namespace vanet::channel

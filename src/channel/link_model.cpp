@@ -3,6 +3,38 @@
 #include "util/assert.h"
 
 namespace vanet::channel {
+namespace {
+
+std::uint64_t packLink(NodeId tx, NodeId rx) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx)) << 32) |
+         static_cast<std::uint32_t>(rx);
+}
+
+}  // namespace
+
+void LinkModel::planBatch(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                          LinkBatch& batch, Rng& rng) {
+  // Scalar reference path: per receiver in order, mean then faded power --
+  // the exact draw order of a per-receiver loop. Kept virtual-call-per-
+  // receiver on purpose: it is the behavioural spec batched overrides are
+  // tested against.
+  const std::size_t n = batch.size();
+  double* mean = batch.meanDbm();
+  double* faded = batch.fadedDbm();
+  for (std::size_t i = 0; i < n; ++i) {
+    mean[i] =
+        meanRxPowerDbm(tx, txPos, txPowerDbm, batch.rxIds()[i], batch.rxPos(i));
+    faded[i] = fadedRxPowerDbm(mean[i], rng);
+  }
+}
+
+void LinkModel::successProbabilityBatch(PhyMode mode, const double* sinrDb,
+                                        int bits, double* pOut,
+                                        std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    pOut[i] = successProbability(mode, sinrDb[i], bits);
+  }
+}
 
 CompositeLinkModel::CompositeLinkModel(
     std::unique_ptr<PathLossModel> infraPathLoss,
@@ -45,19 +77,77 @@ double CompositeLinkModel::successProbability(PhyMode mode, double sinrDb,
   return frameSuccessProbability(mode, sinrDb, bits);
 }
 
+void CompositeLinkModel::planBatch(NodeId tx, geom::Vec2 txPos,
+                                   double txPowerDbm, LinkBatch& batch,
+                                   Rng& rng) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;  // no receivers: no draws on any stream
+  const NodeId* rxIds = batch.rxIds();
+  const double* rxX = batch.rxX();
+  const double* rxY = batch.rxY();
+  double* dist = batch.distance();
+  double* loss = batch.lossDb();
+  double* shadow = batch.shadowDb();
+  double* fade = batch.fadeDb();
+  double* mean = batch.meanDbm();
+  double* faded = batch.fadedDbm();
+
+  // Stage 1: distances. std::hypot (not sqrt of squares) to stay
+  // bit-identical with the scalar geom::distance.
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i] = geom::distance(txPos, {rxX[i], rxY[i]});
+  }
+
+  // Stage 2: path loss, split by link class exactly as the scalar path
+  // (infra when either endpoint is an AP).
+  if (tx >= kFirstApId) {
+    infraPathLoss_->lossDbBatch(dist, loss, n);
+  } else {
+    carToCarPathLoss_->lossDbBatch(dist, loss, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rxIds[i] >= kFirstApId) loss[i] = infraPathLoss_->lossDb(dist[i]);
+    }
+  }
+
+  // Stage 3: shadowing, one batched pass. Draws (c2c pair constants) occur
+  // in receiver order on the shadowing provider's own stream.
+  shadowing_->shadowDbBatch(tx, txPos, rxIds, rxX, rxY, shadow, n);
+
+  // Stage 4: mean power. Same association as the scalar expression
+  // (txPower - loss) + shadow.
+  for (std::size_t i = 0; i < n; ++i) {
+    mean[i] = txPowerDbm - loss[i] + shadow[i];
+  }
+
+  // Stage 5: fading draws in receiver order on the caller's stream, then
+  // faded = mean + fade as in the scalar composition.
+  fading_->sampleDbBatch(rng, fade, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    faded[i] = mean[i] + fade[i];
+  }
+}
+
+void CompositeLinkModel::successProbabilityBatch(PhyMode mode,
+                                                 const double* sinrDb, int bits,
+                                                 double* pOut,
+                                                 std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    pOut[i] = frameSuccessProbability(mode, sinrDb[i], bits);
+  }
+}
+
 bool CompositeLinkModel::burstLoss(NodeId tx, NodeId rx, sim::SimTime now,
                                    int /*frameClass*/) {
   if (!burstParams_.has_value()) return false;
-  const auto key = std::make_pair(tx, rx);
-  auto it = burstChains_.find(key);
-  if (it == burstChains_.end()) {
-    // Derive a per-link chain seed deterministically from the pair.
-    Rng chainRng = burstRng_->child(
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx)) << 32) |
-        static_cast<std::uint32_t>(rx));
-    it = burstChains_.emplace(key, GilbertElliott{*burstParams_, chainRng}).first;
+  const std::uint64_t key = packLink(tx, rx);
+  if (GilbertElliott* chain = burstChains_.find(key)) {
+    return chain->loseFrame(now);
   }
-  return it->second.loseFrame(now);
+  // Derive a per-link chain seed deterministically from the pair, so chain
+  // state is independent of link discovery order.
+  Rng chainRng = burstRng_->child(key);
+  return burstChains_.findOrEmplace(key, GilbertElliott{*burstParams_, chainRng})
+      .loseFrame(now);
 }
 
 }  // namespace vanet::channel

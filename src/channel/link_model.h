@@ -6,7 +6,6 @@
 /// receiver thresholds the radio environment needs (sensitivity, carrier
 /// sense, capture).
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -14,10 +13,12 @@
 #include "channel/error_model.h"
 #include "channel/fading.h"
 #include "channel/gilbert_elliott.h"
+#include "channel/link_batch.h"
 #include "channel/propagation.h"
 #include "channel/shadowing.h"
 #include "geom/vec2.h"
 #include "sim/time.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -47,6 +48,23 @@ class LinkModel {
   /// Frame decode probability at the given post-interference SINR.
   virtual double successProbability(PhyMode mode, double sinrDb,
                                     int bits) const = 0;
+
+  /// Fills `batch.meanDbm()`/`batch.fadedDbm()` for every gathered
+  /// receiver of one transmission. The base implementation is the scalar
+  /// reference: per receiver in order, meanRxPowerDbm then fadedRxPowerDbm
+  /// -- exactly the call (and RNG draw) sequence of a per-receiver loop.
+  /// Concrete models may override with staged struct-of-arrays passes, but
+  /// must produce bit-identical outputs and identical positions on every
+  /// RNG stream (the reference-equivalence tests assert this).
+  /// `batch.prepare()` must have been called.
+  virtual void planBatch(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                         LinkBatch& batch, Rng& rng);
+
+  /// Batched successProbability over `n` SINR values (one per surviving
+  /// receiver, in receiver order). Base implementation: scalar loop.
+  virtual void successProbabilityBatch(PhyMode mode, const double* sinrDb,
+                                       int bits, double* pOut,
+                                       std::size_t n) const;
 
   /// Stateful burst-loss overlay for a directed link; default: none.
   /// `frameClass` is an opaque tag supplied by the caller (the MAC passes
@@ -81,6 +99,16 @@ class CompositeLinkModel final : public LinkModel {
                         NodeId rx, geom::Vec2 rxPos) override;
   double fadedRxPowerDbm(double meanDbm, Rng& rng) override;
   double successProbability(PhyMode mode, double sinrDb, int bits) const override;
+
+  /// Staged struct-of-arrays pass: distances, path loss (infra/c2c split),
+  /// shadowing, mean power, fading. Bit-identical to the scalar reference
+  /// (see LinkModel::planBatch): every arithmetic expression matches the
+  /// scalar composition term for term, and each RNG stream is consumed in
+  /// receiver order within its stage.
+  void planBatch(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                 LinkBatch& batch, Rng& rng) override;
+  void successProbabilityBatch(PhyMode mode, const double* sinrDb, int bits,
+                               double* pOut, std::size_t n) const override;
   bool burstLoss(NodeId tx, NodeId rx, sim::SimTime now,
                  int frameClass) override;
   const LinkBudget& budget() const override { return budget_; }
@@ -93,7 +121,10 @@ class CompositeLinkModel final : public LinkModel {
   LinkBudget budget_;
   std::optional<GilbertElliottParams> burstParams_;
   std::optional<Rng> burstRng_;
-  std::map<std::pair<NodeId, NodeId>, GilbertElliott> burstChains_;
+  // Directed link (tx<<32 | rx) -> chain. Flat hash: the per-frame lookup
+  // on survivors sits on the hot path and the old std::map paid a pointer
+  // chase per tree level.
+  util::FlatMap64<GilbertElliott> burstChains_;
 };
 
 }  // namespace vanet::channel

@@ -59,4 +59,27 @@ double TwoRayGroundPathLoss::lossDb(double distanceMetres) const {
   return 40.0 * std::log10(d) - 20.0 * std::log10(txHeight_ * rxHeight_);
 }
 
+// Batched variants: identical per-element math through the same-TU scalar
+// function (devirtualised and inlinable), so outputs match bit for bit.
+void FreeSpacePathLoss::lossDbBatch(const double* distanceMetres, double* out,
+                                    std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = FreeSpacePathLoss::lossDb(distanceMetres[i]);
+  }
+}
+
+void LogDistancePathLoss::lossDbBatch(const double* distanceMetres, double* out,
+                                      std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = LogDistancePathLoss::lossDb(distanceMetres[i]);
+  }
+}
+
+void TwoRayGroundPathLoss::lossDbBatch(const double* distanceMetres,
+                                       double* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = TwoRayGroundPathLoss::lossDb(distanceMetres[i]);
+  }
+}
+
 }  // namespace vanet::channel

@@ -5,6 +5,7 @@
 /// transmitter/receiver separation in metres; stochastic terms (shadowing,
 /// fading) are layered on top by the composite link model.
 
+#include <cstddef>
 #include <memory>
 
 namespace vanet::channel {
@@ -18,6 +19,14 @@ class PathLossModel {
   /// Path loss in dB at `distanceMetres` (clamped internally to >= 1 m so
   /// co-located nodes do not produce infinities).
   virtual double lossDb(double distanceMetres) const = 0;
+
+  /// Batched lossDb over `n` distances (one transmission's receiver set).
+  /// Base implementation: scalar loop. Overrides apply the identical
+  /// per-element math, so outputs are bit-identical.
+  virtual void lossDbBatch(const double* distanceMetres, double* out,
+                           std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lossDb(distanceMetres[i]);
+  }
 };
 
 /// Free-space (Friis) propagation at a given carrier frequency.
@@ -25,6 +34,8 @@ class FreeSpacePathLoss final : public PathLossModel {
  public:
   explicit FreeSpacePathLoss(double frequencyHz = 2.4e9);
   double lossDb(double distanceMetres) const override;
+  void lossDbBatch(const double* distanceMetres, double* out,
+                   std::size_t n) const override;
 
  private:
   double fixedTermDb_;  // 20 log10(4 pi f / c)
@@ -39,6 +50,8 @@ class LogDistancePathLoss final : public PathLossModel {
   LogDistancePathLoss(double exponent, double referenceLossDb,
                       double referenceDistance = 1.0);
   double lossDb(double distanceMetres) const override;
+  void lossDbBatch(const double* distanceMetres, double* out,
+                   std::size_t n) const override;
 
   double exponent() const noexcept { return exponent_; }
 
@@ -55,6 +68,8 @@ class TwoRayGroundPathLoss final : public PathLossModel {
   TwoRayGroundPathLoss(double txHeightMetres, double rxHeightMetres,
                        double frequencyHz = 2.4e9);
   double lossDb(double distanceMetres) const override;
+  void lossDbBatch(const double* distanceMetres, double* out,
+                   std::size_t n) const override;
 
   double crossoverDistance() const noexcept { return crossover_; }
 

@@ -25,6 +25,32 @@ double ObstructedShadowing::shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
   return base - obstructionDb_(mobilePos);
 }
 
+void ObstructedShadowing::shadowDbBatch(NodeId tx, geom::Vec2 txPos,
+                                        const NodeId* rxIds, const double* rxX,
+                                        const double* rxY, double* out,
+                                        std::size_t n) {
+  base_->shadowDbBatch(tx, txPos, rxIds, rxX, rxY, out, n);
+  const bool txInfra = tx >= kFirstApId;
+  if (txInfra) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rxIds[i] < kFirstApId) out[i] -= obstructionDb_({rxX[i], rxY[i]});
+    }
+  } else {
+    // Mobile transmitter: every infra link is blocked as a function of the
+    // same transmitter position -- evaluate it once.
+    bool haveTxLoss = false;
+    double txLossDb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rxIds[i] < kFirstApId) continue;  // car<->car: no corner blocking
+      if (!haveTxLoss) {
+        txLossDb = obstructionDb_(txPos);
+        haveTxLoss = true;
+      }
+      out[i] -= txLossDb;
+    }
+  }
+}
+
 CorrelatedRoadShadowing::CorrelatedRoadShadowing(const geom::Polyline& road,
                                                  ShadowingParams params, Rng rng)
     : road_(road), params_(params), rng_(rng) {
@@ -58,12 +84,13 @@ double CorrelatedRoadShadowing::fieldAt(double arc) const {
 }
 
 double CorrelatedRoadShadowing::pairConstant(NodeId a, NodeId b) {
-  const auto key = std::minmax(a, b);
-  const auto it = pairDb_.find(key);
-  if (it != pairDb_.end()) return it->second;
+  const auto [lo, hi] = std::minmax(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+      static_cast<std::uint32_t>(hi);
+  if (const double* hit = pairDb_.find(key)) return *hit;
   const double value = rng_.normal(0.0, params_.c2cSigmaDb);
-  pairDb_.emplace(key, value);
-  return value;
+  return pairDb_.findOrEmplace(key, value);
 }
 
 double CorrelatedRoadShadowing::shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
@@ -76,6 +103,39 @@ double CorrelatedRoadShadowing::shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
   }
   const geom::Vec2 mobilePos = txInfra ? rxPos : txPos;
   return fieldAt(road_.project(mobilePos));
+}
+
+void CorrelatedRoadShadowing::shadowDbBatch(NodeId tx, geom::Vec2 txPos,
+                                            const NodeId* rxIds,
+                                            const double* rxX,
+                                            const double* rxY, double* out,
+                                            std::size_t n) {
+  const bool txInfra = isInfrastructure(tx);
+  if (txInfra) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = isInfrastructure(rxIds[i])
+                   ? pairConstant(tx, rxIds[i])
+                   : fieldAt(road_.project({rxX[i], rxY[i]}));
+    }
+    return;
+  }
+  // Mobile transmitter: every infra receiver reads the field at the same
+  // projected transmitter arc. Project once per batch; pair-constant draws
+  // still happen lazily in receiver order on this provider's own stream,
+  // exactly as the scalar loop would have drawn them.
+  bool haveTxField = false;
+  double txFieldDb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (isInfrastructure(rxIds[i])) {
+      if (!haveTxField) {
+        txFieldDb = fieldAt(road_.project(txPos));
+        haveTxField = true;
+      }
+      out[i] = txFieldDb;
+    } else {
+      out[i] = pairConstant(tx, rxIds[i]);
+    }
+  }
 }
 
 }  // namespace vanet::channel

@@ -10,14 +10,15 @@
 /// once per round (platoon members keep line of sight, so the variance is
 /// small). The field is resampled every round.
 
+#include <cstddef>
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "geom/polyline.h"
 #include "geom/vec2.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -31,12 +32,28 @@ class ShadowingProvider {
   /// Shadowing term in dB added to the link budget (may be negative).
   virtual double shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
                           geom::Vec2 rxPos) = 0;
+
+  /// Batched shadowDb over all receivers of one transmission (struct-of-
+  /// arrays positions). Base implementation: scalar loop in receiver
+  /// order. Overrides must keep bit-identical values and draw their RNG in
+  /// the same receiver order.
+  virtual void shadowDbBatch(NodeId tx, geom::Vec2 txPos, const NodeId* rxIds,
+                             const double* rxX, const double* rxY, double* out,
+                             std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = shadowDb(tx, txPos, rxIds[i], {rxX[i], rxY[i]});
+    }
+  }
 };
 
 /// Zero shadowing (for unit tests and idealised sweeps).
 class NoShadowing final : public ShadowingProvider {
  public:
   double shadowDb(NodeId, geom::Vec2, NodeId, geom::Vec2) override { return 0.0; }
+  void shadowDbBatch(NodeId, geom::Vec2, const NodeId*, const double*,
+                     const double*, double* out, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+  }
 };
 
 /// Parameters of the correlated road-shadowing model.
@@ -62,6 +79,9 @@ class ObstructedShadowing final : public ShadowingProvider {
 
   double shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
                   geom::Vec2 rxPos) override;
+  void shadowDbBatch(NodeId tx, geom::Vec2 txPos, const NodeId* rxIds,
+                     const double* rxX, const double* rxY, double* out,
+                     std::size_t n) override;
 
  private:
   std::unique_ptr<ShadowingProvider> base_;
@@ -80,6 +100,13 @@ class CorrelatedRoadShadowing final : public ShadowingProvider {
 
   double shadowDb(NodeId tx, geom::Vec2 txPos, NodeId rx,
                   geom::Vec2 rxPos) override;
+  /// Batched variant: when a car transmits to several APs, every such link
+  /// reads the field at the *transmitter's* projected arc -- computed once
+  /// per batch instead of once per AP (the road projection is the single
+  /// most expensive term of the link chain).
+  void shadowDbBatch(NodeId tx, geom::Vec2 txPos, const NodeId* rxIds,
+                     const double* rxX, const double* rxY, double* out,
+                     std::size_t n) override;
 
   /// Field value at road arc `s` (linear interpolation between grid points).
   double fieldAt(double arc) const;
@@ -93,7 +120,7 @@ class CorrelatedRoadShadowing final : public ShadowingProvider {
   ShadowingParams params_;
   Rng rng_;
   std::vector<double> field_;  // AR(1) samples every gridStepMetres
-  std::map<std::pair<NodeId, NodeId>, double> pairDb_;  // lazily sampled
+  util::FlatMap64<double> pairDb_;  // lazily sampled per unordered pair
 };
 
 }  // namespace vanet::channel

@@ -7,6 +7,28 @@
 
 namespace vanet::carq {
 
+PeerInfo& PeerMap::operator[](NodeId id) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const value_type& e, NodeId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == id) return it->second;
+  return entries_.emplace(it, id, PeerInfo{})->second;
+}
+
+const PeerInfo* PeerMap::find(NodeId id) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const value_type& e, NodeId key) { return e.first < key; });
+  if (it != entries_.end() && it->first == id) return &it->second;
+  return nullptr;
+}
+
+const PeerInfo& PeerMap::at(NodeId id) const {
+  const PeerInfo* hit = find(id);
+  VANET_ASSERT(hit != nullptr, "peer id not present in the table");
+  return *hit;
+}
+
 bool CooperatorTable::onHello(NodeId sender,
                               const std::vector<NodeId>& senderCooperators,
                               double rssiDbm, sim::SimTime now) {
@@ -30,9 +52,9 @@ bool CooperatorTable::onHello(NodeId sender,
 }
 
 std::optional<int> CooperatorTable::myOrderFor(NodeId requester) const {
-  const auto peer = peers_.find(requester);
-  if (peer == peers_.end()) return std::nullopt;
-  const auto& list = peer->second.announced;
+  const PeerInfo* peer = peers_.find(requester);
+  if (peer == nullptr) return std::nullopt;
+  const auto& list = peer->announced;
   const auto it = std::find(list.begin(), list.end(), self_);
   if (it == list.end()) return std::nullopt;
   return static_cast<int>(it - list.begin());

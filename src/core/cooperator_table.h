@@ -11,8 +11,9 @@
 ///    when answering x's REQUESTs; if I am absent from it, x has not asked
 ///    me to cooperate and I must not buffer or respond for x.
 
-#include <map>
+#include <cstddef>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -28,6 +29,40 @@ struct PeerInfo {
   int helloCount = 0;
   sim::SimTime lastHeard{};
   std::vector<NodeId> announced;    ///< the peer's own cooperator list
+};
+
+/// Flat sorted-vector map from node id to PeerInfo.
+///
+/// Peer tables are small (one-hop neighbourhood) but lookup-heavy -- every
+/// REQUEST consults the requester's announced list, every HELLO updates
+/// the sender's entry -- so a contiguous binary-searched vector replaces
+/// the node-based std::map: no per-peer allocation, no pointer chasing,
+/// and iteration (selection policies) walks cache lines in id order.
+class PeerMap {
+ public:
+  using value_type = std::pair<NodeId, PeerInfo>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  /// Returns the entry for `id`, inserting a default PeerInfo at its
+  /// sorted position when absent (std::map::operator[] semantics).
+  PeerInfo& operator[](NodeId id);
+
+  /// Returns the entry for `id`, or nullptr when absent.
+  const PeerInfo* find(NodeId id) const noexcept;
+
+  /// Returns the entry for `id`; asserts that it exists.
+  const PeerInfo& at(NodeId id) const;
+
+  std::size_t count(NodeId id) const noexcept {
+    return find(id) != nullptr ? 1 : 0;
+  }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+
+ private:
+  std::vector<value_type> entries_;  // sorted by node id
 };
 
 /// Per-node cooperator state machine (pure bookkeeping, no I/O).
@@ -58,12 +93,12 @@ class CooperatorTable {
   /// kAllOneHop keeps first-heard order (the paper's behaviour).
   void applySelection(SelectionPolicy policy, int maxCooperators, Rng& rng);
 
-  const std::map<NodeId, PeerInfo>& peers() const noexcept { return peers_; }
+  const PeerMap& peers() const noexcept { return peers_; }
 
  private:
   NodeId self_;
   std::vector<NodeId> cooperators_;  // ordered; announced in HELLOs
-  std::map<NodeId, PeerInfo> peers_;
+  PeerMap peers_;
 };
 
 }  // namespace vanet::carq

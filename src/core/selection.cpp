@@ -8,7 +8,7 @@ namespace vanet::carq {
 namespace {
 
 std::vector<NodeId> keepKnown(const std::vector<NodeId>& current,
-                              const std::map<NodeId, PeerInfo>& peers) {
+                              const PeerMap& peers) {
   std::vector<NodeId> out;
   out.reserve(current.size());
   for (const NodeId id : current) {
@@ -20,7 +20,7 @@ std::vector<NodeId> keepKnown(const std::vector<NodeId>& current,
 }  // namespace
 
 std::vector<NodeId> selectCooperators(SelectionPolicy policy,
-                                      const std::map<NodeId, PeerInfo>& peers,
+                                      const PeerMap& peers,
                                       const std::vector<NodeId>& current,
                                       int maxCooperators, Rng& rng) {
   std::vector<NodeId> known = keepKnown(current, peers);

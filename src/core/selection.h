@@ -5,7 +5,6 @@
 /// and explicitly leaves optimal selection as future work (§6); kBestRssi
 /// and kRandomK exist for the selection ablation bench.
 
-#include <map>
 #include <vector>
 
 #include "core/config.h"
@@ -14,7 +13,7 @@
 
 namespace vanet::carq {
 
-struct PeerInfo;  // defined in cooperator_table.h
+class PeerMap;  // defined in cooperator_table.h
 
 /// Returns the announced cooperator list under `policy`.
 ///
@@ -23,7 +22,7 @@ struct PeerInfo;  // defined in cooperator_table.h
 /// never exceeds `maxCooperators` except under kAllOneHop, which is
 /// unbounded like the paper's prototype.
 std::vector<NodeId> selectCooperators(SelectionPolicy policy,
-                                      const std::map<NodeId, PeerInfo>& peers,
+                                      const PeerMap& peers,
                                       const std::vector<NodeId>& current,
                                       int maxCooperators, Rng& rng);
 

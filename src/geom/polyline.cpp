@@ -17,6 +17,38 @@ Polyline::Polyline(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) 
     VANET_ASSERT(d > 0.0, "polyline has a zero-length segment");
     cumulative_.push_back(cumulative_.back() + d);
   }
+  const std::size_t segments = vertices_.size() - 1;
+  segAx_.reserve(segments);
+  segAy_.reserve(segments);
+  segDx_.reserve(segments);
+  segDy_.reserve(segments);
+  segLen2_.reserve(segments);
+  segArc0_.reserve(segments);
+  segArcLen_.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 ab = vertices_[i + 1] - a;
+    // Drop segments bitwise-identical to an earlier one: with project()'s
+    // strict `<` the later twin can never become the argmin, so the scan
+    // returns the same (earlier) arc with or without it. Multi-lap paths
+    // (the urban loop runs the block twice) halve their scan this way.
+    bool duplicate = false;
+    for (std::size_t j = 0; j < segAx_.size(); ++j) {
+      if (segAx_[j] == a.x && segAy_[j] == a.y && segDx_[j] == ab.x &&
+          segDy_[j] == ab.y) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    segAx_.push_back(a.x);
+    segAy_.push_back(a.y);
+    segDx_.push_back(ab.x);
+    segDy_.push_back(ab.y);
+    segLen2_.push_back(ab.normSquared());
+    segArc0_.push_back(cumulative_[i]);
+    segArcLen_.push_back(cumulative_[i + 1] - cumulative_[i]);
+  }
 }
 
 double Polyline::arcAtVertex(std::size_t i) const {
@@ -41,6 +73,25 @@ Vec2 Polyline::pointAt(double s) const noexcept {
   return lerp(vertices_[seg], vertices_[seg + 1], t);
 }
 
+Vec2 Polyline::pointAt(double s, std::size_t& hint) const noexcept {
+  const double clamped = std::clamp(s, 0.0, length());
+  // The hint names the containing segment iff cumulative_[h] <= s <
+  // cumulative_[h+1] -- exactly the segment upper_bound would select, so
+  // hit or miss the interpolation below sees the same index and bits.
+  std::size_t seg;
+  if (hint + 1 < cumulative_.size() && cumulative_[hint] <= clamped &&
+      clamped < cumulative_[hint + 1]) {
+    seg = hint;
+  } else {
+    seg = segmentIndex(clamped);
+    hint = seg;
+  }
+  const double segStart = cumulative_[seg];
+  const double segLen = cumulative_[seg + 1] - segStart;
+  const double t = segLen > 0.0 ? (clamped - segStart) / segLen : 0.0;
+  return lerp(vertices_[seg], vertices_[seg + 1], t);
+}
+
 Vec2 Polyline::pointAtWrapped(double s) const noexcept {
   const double len = length();
   double wrapped = std::fmod(s, len);
@@ -55,22 +106,28 @@ Vec2 Polyline::tangentAt(double s) const noexcept {
 }
 
 double Polyline::project(Vec2 p) const noexcept {
-  double bestArc = 0.0;
-  double bestDist = std::numeric_limits<double>::infinity();
-  for (std::size_t seg = 0; seg + 1 < vertices_.size(); ++seg) {
-    const Vec2 a = vertices_[seg];
-    const Vec2 b = vertices_[seg + 1];
-    const Vec2 ab = b - a;
-    const double t =
-        std::clamp((p - a).dot(ab) / ab.normSquared(), 0.0, 1.0);
-    const Vec2 q = lerp(a, b, t);
-    const double d = distance(p, q);
-    if (d < bestDist) {
-      bestDist = d;
-      bestArc = cumulative_[seg] + t * (cumulative_[seg + 1] - cumulative_[seg]);
+  // Squared distances order identically to distances (sqrt is monotone),
+  // so the scan never pays a per-segment sqrt; `t` keeps the exact
+  // division the scalar formulation used.
+  std::size_t bestSeg = 0;
+  double bestT = 0.0;
+  double bestDistSq = std::numeric_limits<double>::infinity();
+  const std::size_t segments = segLen2_.size();
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    const double px = p.x - segAx_[seg];
+    const double py = p.y - segAy_[seg];
+    const double t = std::clamp(
+        (px * segDx_[seg] + py * segDy_[seg]) / segLen2_[seg], 0.0, 1.0);
+    const double qx = px - t * segDx_[seg];
+    const double qy = py - t * segDy_[seg];
+    const double dSq = qx * qx + qy * qy;
+    if (dSq < bestDistSq) {
+      bestDistSq = dSq;
+      bestSeg = seg;
+      bestT = t;
     }
   }
-  return bestArc;
+  return segArc0_[bestSeg] + bestT * segArcLen_[bestSeg];
 }
 
 Polyline makeRectangleLoop(double width, double height) {

@@ -33,14 +33,24 @@ class Polyline {
   /// Position at arc length `s`, clamped to [0, length()].
   Vec2 pointAt(double s) const noexcept;
 
+  /// Hinted variant for callers whose queries have locality (mobility
+  /// models advancing along the path). `hint` is caller-owned scratch:
+  /// when it still names the containing segment the binary search is
+  /// skipped; the interpolation is bit-identical either way.
+  Vec2 pointAt(double s, std::size_t& hint) const noexcept;
+
   /// Position at arc length `s` modulo length() (for closed laps).
   Vec2 pointAtWrapped(double s) const noexcept;
 
   /// Unit tangent of the segment containing arc length `s` (clamped).
   Vec2 tangentAt(double s) const noexcept;
 
-  /// Arc length of the point on the path closest to `p` (linear scan; the
-  /// paths here have a handful of segments).
+  /// Arc length of the point on the path closest to `p`. Linear scan over
+  /// a precomputed struct-of-arrays segment table (start, direction,
+  /// 1/len^2, cumulative arc) comparing *squared* distances, so the loop
+  /// is branch-light and vectorizable even for finely subdivided roads
+  /// (the highway path has hundreds of segments and this is the single
+  /// hottest call of the radio hot path).
   double project(Vec2 p) const noexcept;
 
  private:
@@ -49,6 +59,17 @@ class Polyline {
 
   std::vector<Vec2> vertices_;
   std::vector<double> cumulative_;  // cumulative_[i] = arc length at vertex i
+
+  // Parallel per-segment arrays for project(), filled once at
+  // construction: segment start, delta to the next vertex, its squared
+  // norm, and the segment's arc interval. Exact duplicates of an earlier
+  // segment (multi-lap paths retrace the same streets) are dropped: with
+  // the scan's strict `<` the later twin can never win, so the compacted
+  // scan returns bit-identical arcs at half the work.
+  std::vector<double> segAx_, segAy_;
+  std::vector<double> segDx_, segDy_;
+  std::vector<double> segLen2_;
+  std::vector<double> segArc0_, segArcLen_;
 };
 
 /// Builds an axis-aligned rectangular lap: corners (0,0), (w,0), (w,h),

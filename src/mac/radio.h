@@ -81,6 +81,13 @@ class Radio {
   /// [start, end] (half-duplex receivers miss such frames).
   bool transmittedDuring(sim::SimTime start, sim::SimTime end) const;
 
+  /// Environment bookkeeping: this radio's dense index in the
+  /// environment's attach list, letting in-flight transmissions map a
+  /// receiver to its planned delivery in O(1) (carrier sense and
+  /// interference queries sit on the hot path).
+  std::size_t envSlot() const noexcept { return envSlot_; }
+  void setEnvSlot(std::size_t slot) noexcept { envSlot_ = slot; }
+
   std::uint64_t framesSent() const noexcept { return framesSent_; }
   std::uint64_t framesReceived() const noexcept { return framesReceived_; }
 
@@ -93,6 +100,7 @@ class Radio {
   RxCallback rxCallback_;
   RxCallback corruptCallback_;
   sim::SimTime txUntil_{};
+  std::size_t envSlot_ = 0;
   std::vector<std::pair<sim::SimTime, sim::SimTime>> txHistory_;
   std::uint64_t framesSent_ = 0;
   std::uint64_t framesReceived_ = 0;

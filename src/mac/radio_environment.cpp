@@ -25,10 +25,17 @@ double milliwattToDbm(double mw) noexcept {
 
 const RadioEnvironment::PlannedRx* RadioEnvironment::ActiveTx::planFor(
     const Radio* rx) const {
-  for (const PlannedRx& plan : plans) {
-    if (plan.rx == rx) return &plan;
+  const std::size_t slot = rx->envSlot();
+  if (slot >= planBySlot.size()) return nullptr;  // attached after planning
+  const std::int32_t idx = planBySlot[slot];
+  return idx >= 0 ? &plans[static_cast<std::size_t>(idx)] : nullptr;
+}
+
+void RadioEnvironment::ActiveTx::rebuildSlotIndex(std::size_t slotCount) {
+  planBySlot.assign(slotCount, -1);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    planBySlot[plans[i].rx->envSlot()] = static_cast<std::int32_t>(i);
   }
-  return nullptr;
 }
 
 RadioEnvironment::RadioEnvironment(sim::Simulator& sim, channel::LinkModel& link,
@@ -37,21 +44,41 @@ RadioEnvironment::RadioEnvironment(sim::Simulator& sim, channel::LinkModel& link
 
 void RadioEnvironment::attach(Radio* radio) {
   VANET_ASSERT(radio != nullptr, "cannot attach a null radio");
+  radio->setEnvSlot(radios_.size());
   radios_.push_back(radio);
 }
 
 void RadioEnvironment::detach(Radio* radio) {
   std::erase(radios_, radio);
-  // Forget any planned delivery to the detached radio.
-  for (auto& tx : active_) {
+  for (std::size_t slot = 0; slot < radios_.size(); ++slot) {
+    radios_[slot]->setEnvSlot(slot);
+  }
+  // Forget any planned delivery to the detached radio and re-key the
+  // surviving plans against the renumbered slots (recent_ records are
+  // still consulted by interference lookups of *other* receivers).
+  const auto scrub = [&](ActiveTx* tx) {
     std::erase_if(tx->plans,
                   [radio](const PlannedRx& p) { return p.rx == radio; });
+    tx->rebuildSlotIndex(radios_.size());
+  };
+  for (ActiveTx* tx : active_) scrub(tx);
+  for (ActiveTx* tx : recent_) scrub(tx);
+}
+
+RadioEnvironment::ActiveTx* RadioEnvironment::acquireTx() {
+  if (!freeTx_.empty()) {
+    ActiveTx* tx = freeTx_.back();
+    freeTx_.pop_back();
+    tx->plans.clear();  // keeps capacity
+    return tx;
   }
+  pool_.push_back(std::make_unique<ActiveTx>());
+  return pool_.back().get();
 }
 
 sim::SimTime RadioEnvironment::beginTransmission(Radio& src, Frame frame,
                                                  channel::PhyMode mode) {
-  auto tx = std::make_shared<ActiveTx>();
+  ActiveTx* tx = acquireTx();
   tx->id = nextFrameId_++;
   tx->src = src.id();
   frame.frameId = tx->id;
@@ -60,20 +87,38 @@ sim::SimTime RadioEnvironment::beginTransmission(Radio& src, Frame frame,
   tx->start = sim_.now();
   tx->end = sim_.now() + frameAirtime(mode, tx->frame.bytes);
 
+  // Gather every other radio into the struct-of-arrays batch (receiver
+  // order = attach order, as the scalar loop iterated), plan all links in
+  // staged passes, then scatter into the per-transmission plan records.
   const geom::Vec2 txPos = src.position();
-  tx->plans.reserve(radios_.size());
+  batch_.clear();
   for (Radio* rx : radios_) {
     if (rx == &src) continue;
-    OBS_COUNT("mac.link_evaluations");
-    const double mean = link_.meanRxPowerDbm(src.id(), txPos, src.txPowerDbm(),
-                                             rx->id(), rx->position());
-    const double faded = link_.fadedRxPowerDbm(mean, rng_);
-    tx->plans.push_back(PlannedRx{rx, mean, faded});
+    batch_.add(rx->id(), rx->position());
+  }
+  OBS_COUNT_N("mac.link_evaluations", batch_.size());
+  batch_.prepare();
+  link_.planBatch(src.id(), txPos, src.txPowerDbm(), batch_, rng_);
+
+  tx->plans.reserve(batch_.size());
+  tx->planBySlot.assign(radios_.size(), -1);
+  std::size_t i = 0;
+  for (Radio* rx : radios_) {
+    if (rx == &src) continue;
+    tx->planBySlot[rx->envSlot()] =
+        static_cast<std::int32_t>(tx->plans.size());
+    tx->plans.push_back(
+        PlannedRx{rx, batch_.meanDbm()[i], batch_.fadedDbm()[i]});
+    ++i;
   }
 
   active_.push_back(tx);
   ++stats_.framesTransmitted;
-  sim_.scheduleAt(tx->end, [this, tx] { finalize(tx); });
+  // Raw-pointer capture: fits std::function's small buffer (no per-event
+  // allocation). The pool owns `tx` for the environment's lifetime, and
+  // the record cannot be recycled before this event runs (recycling only
+  // happens once the record ages out of recent_, 50 ms *after* delivery).
+  sim_.scheduleAt(tx->end, [this, tx] { deliver(tx); });
   return tx->end;
 }
 
@@ -87,19 +132,35 @@ double RadioEnvironment::interferenceDbmAt(const Radio* rx,
       totalMw += dbmToMilliwatt(plan->fadedDbm);
     }
   };
-  for (const auto& other : active_) accumulate(*other);
-  for (const auto& other : recent_) accumulate(*other);
+  for (const ActiveTx* other : active_) accumulate(*other);
+  for (const ActiveTx* other : recent_) accumulate(*other);
+  return totalMw > 0.0 ? milliwattToDbm(totalMw)
+                       : -std::numeric_limits<double>::infinity();
+}
+
+double RadioEnvironment::interferenceDbmFromOverlap(const Radio* rx) const {
+  // Same accumulation (and order: active_ then recent_) as
+  // interferenceDbmAt, over the overlap set hoisted once per delivery.
+  double totalMw = 0.0;
+  for (const ActiveTx* other : overlap_) {
+    if (const PlannedRx* plan = other->planFor(rx)) {
+      totalMw += dbmToMilliwatt(plan->fadedDbm);
+    }
+  }
   return totalMw > 0.0 ? milliwattToDbm(totalMw)
                        : -std::numeric_limits<double>::infinity();
 }
 
 void RadioEnvironment::pruneRecent() {
   const sim::SimTime horizon = sim_.now() - kOverlapWindow;
-  std::erase_if(recent_,
-                [horizon](const auto& tx) { return tx->end < horizon; });
+  std::erase_if(recent_, [&](ActiveTx* tx) {
+    if (tx->end >= horizon) return false;
+    freeTx_.push_back(tx);  // recycle: no pending event references it
+    return true;
+  });
 }
 
-void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
+void RadioEnvironment::deliver(ActiveTx* tx) {
   // Move from in-flight to recent before evaluating receivers, so the frame
   // no longer contributes to carrier sensing but still counts as
   // interference for overlapping frames.
@@ -109,9 +170,40 @@ void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
 
   const channel::LinkBudget& budget = link_.budget();
   const int bits = frameBits(tx->frame.bytes);
-  for (const PlannedRx& plan : tx->plans) {
-    Radio* rx = plan.rx;
-    if (rx->transmittedDuring(tx->start, tx->end)) {
+  const double noiseMw = dbmToMilliwatt(budget.noiseFloorDbm);
+
+  // The overlap set is a property of the transmission, not the receiver:
+  // hoist it out of the gate loop (active_ then recent_, the accumulation
+  // order of interferenceDbmAt). In the common no-overlap case every
+  // receiver then reuses one noise-only denominator instead of paying a
+  // log10 each (x + 0.0 == x for the positive noiseMw, so the shared
+  // value is bit-identical to the per-receiver computation).
+  overlap_.clear();
+  for (ActiveTx* other : active_) {
+    if (other->id != tx->id && other->start < tx->end &&
+        tx->start < other->end) {
+      overlap_.push_back(other);
+    }
+  }
+  for (ActiveTx* other : recent_) {
+    if (other->id != tx->id && other->start < tx->end &&
+        tx->start < other->end) {
+      overlap_.push_back(other);
+    }
+  }
+  const double noiseOnlyDbm = milliwattToDbm(noiseMw);
+
+  // Stage 1 -- gates, one pass over the contiguous plan array: half-duplex,
+  // sensitivity, capture-vs-interference. No RNG is consumed here, so
+  // hoisting the gates off the per-receiver draw loop cannot reorder any
+  // stream. Receiver callbacks have not run yet either: MACs never
+  // transmit synchronously from a delivery (the CSMA kick schedules a
+  // timer), so gate inputs cannot depend on this stage's outcome order.
+  survivorIdx_.clear();
+  survivorSinrDb_.clear();
+  for (std::size_t i = 0; i < tx->plans.size(); ++i) {
+    const PlannedRx& plan = tx->plans[i];
+    if (plan.rx->transmittedDuring(tx->start, tx->end)) {
       ++stats_.framesHalfDuplexMissed;
       OBS_COUNT("mac.frames_dropped");
       continue;
@@ -121,20 +213,39 @@ void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
       OBS_COUNT("mac.frames_dropped");
       continue;
     }
-    const double interferenceDbm = interferenceDbmAt(rx, *tx);
-    const double noiseMw = dbmToMilliwatt(budget.noiseFloorDbm);
-    const double interferenceMw = std::isinf(interferenceDbm)
-                                      ? 0.0
-                                      : dbmToMilliwatt(interferenceDbm);
-    const double sinrDb =
-        plan.fadedDbm - milliwattToDbm(noiseMw + interferenceMw);
-    if (interferenceMw > 0.0 && sinrDb < budget.captureThresholdDb) {
-      ++stats_.framesCollided;
-      OBS_COUNT("mac.frames_dropped");
-      continue;
+    double sinrDb;
+    if (overlap_.empty()) {
+      sinrDb = plan.fadedDbm - noiseOnlyDbm;
+    } else {
+      const double interferenceDbm = interferenceDbmFromOverlap(plan.rx);
+      const double interferenceMw = std::isinf(interferenceDbm)
+                                        ? 0.0
+                                        : dbmToMilliwatt(interferenceDbm);
+      sinrDb = plan.fadedDbm - milliwattToDbm(noiseMw + interferenceMw);
+      if (interferenceMw > 0.0 && sinrDb < budget.captureThresholdDb) {
+        ++stats_.framesCollided;
+        OBS_COUNT("mac.frames_dropped");
+        continue;
+      }
     }
-    const double pSuccess = link_.successProbability(tx->mode, sinrDb, bits);
-    if (!rng_.bernoulli(pSuccess)) {
+    survivorIdx_.push_back(static_cast<std::uint32_t>(i));
+    survivorSinrDb_.push_back(sinrDb);
+  }
+
+  // Stage 2 -- decode probabilities for all survivors, batched (pure
+  // function of SINR; no draws).
+  survivorPSuccess_.resize(survivorIdx_.size());
+  link_.successProbabilityBatch(tx->mode, survivorSinrDb_.data(), bits,
+                                survivorPSuccess_.data(), survivorIdx_.size());
+
+  // Stage 3 -- conditional draws and delivery, in receiver order: the
+  // decode bernoulli on the environment stream, then the burst-chain
+  // advance, exactly the per-survivor sequence of the scalar loop.
+  for (std::size_t k = 0; k < survivorIdx_.size(); ++k) {
+    const PlannedRx& plan = tx->plans[survivorIdx_[k]];
+    Radio* rx = plan.rx;
+    const double sinrDb = survivorSinrDb_[k];
+    if (!rng_.bernoulli(survivorPSuccess_[k])) {
       ++stats_.framesChannelError;
       OBS_COUNT("mac.frames_dropped");
       // The frame was detected (preamble robust, above sensitivity) but
@@ -163,7 +274,7 @@ void RadioEnvironment::finalize(const std::shared_ptr<ActiveTx>& tx) {
 bool RadioEnvironment::channelBusy(const Radio& sensor) const {
   if (sensor.transmitting()) return true;
   const double threshold = link_.budget().carrierSenseDbm;
-  for (const auto& tx : active_) {
+  for (const ActiveTx* tx : active_) {
     if (tx->src == sensor.id()) continue;
     if (const PlannedRx* plan = tx->planFor(&sensor)) {
       if (plan->meanDbm >= threshold) return true;
@@ -176,7 +287,7 @@ sim::SimTime RadioEnvironment::channelBusyUntil(const Radio& sensor) const {
   sim::SimTime until = sim_.now();
   if (sensor.transmitting()) until = std::max(until, sensor.transmitUntil());
   const double threshold = link_.budget().carrierSenseDbm;
-  for (const auto& tx : active_) {
+  for (const ActiveTx* tx : active_) {
     if (tx->src == sensor.id()) continue;
     if (const PlannedRx* plan = tx->planFor(&sensor)) {
       if (plan->meanDbm >= threshold) until = std::max(until, tx->end);

@@ -6,11 +6,20 @@
 /// interference (SINR with a capture threshold), half-duplex loss, channel
 /// error sampling and the optional burst overlay, then delivers frames to
 /// the surviving receivers at airtime end.
+///
+/// Hot-path layout: receivers of one transmission are gathered into a
+/// struct-of-arrays LinkBatch and planned in staged passes (see
+/// channel/link_batch.h); in-flight transmission records are pooled and
+/// referenced by raw pointer (their finalize closures fit std::function's
+/// small buffer, so steady-state transmission churn never allocates); and
+/// each radio carries a dense environment slot so plan lookups during
+/// carrier sense / interference accumulation are O(1) array reads.
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "channel/link_batch.h"
 #include "channel/link_model.h"
 #include "mac/frame.h"
 #include "sim/simulator.h"
@@ -74,6 +83,9 @@ class RadioEnvironment {
     double meanDbm = 0.0;   // without fading: carrier sense, interference base
     double fadedDbm = 0.0;  // per-frame fading applied
   };
+  /// One in-flight (or recently finished) transmission. Pooled: acquired
+  /// in beginTransmission, recycled when it ages out of the overlap
+  /// window, so the vectors inside keep their capacity across reuse.
   struct ActiveTx {
     std::uint64_t id = 0;
     NodeId src = 0;
@@ -81,21 +93,36 @@ class RadioEnvironment {
     channel::PhyMode mode{};
     sim::SimTime start{};
     sim::SimTime end{};
-    std::vector<PlannedRx> plans;
+    std::vector<PlannedRx> plans;  ///< receiver order (= attach order)
+    /// Env slot -> index into `plans`, -1 when the slot's radio is the
+    /// source or detached. Sized to the radio count at planning time.
+    std::vector<std::int32_t> planBySlot;
 
     const PlannedRx* planFor(const Radio* rx) const;
+    void rebuildSlotIndex(std::size_t slotCount);
   };
 
-  void finalize(const std::shared_ptr<ActiveTx>& tx);
+  ActiveTx* acquireTx();
+  void deliver(ActiveTx* tx);
   double interferenceDbmAt(const Radio* rx, const ActiveTx& target) const;
+  /// Same accumulation over the per-delivery hoisted overlap_ set.
+  double interferenceDbmFromOverlap(const Radio* rx) const;
   void pruneRecent();
 
   sim::Simulator& sim_;
   channel::LinkModel& link_;
   Rng rng_;
   std::vector<Radio*> radios_;
-  std::vector<std::shared_ptr<ActiveTx>> active_;  ///< airtime in progress
-  std::vector<std::shared_ptr<ActiveTx>> recent_;  ///< kept for overlap checks
+  channel::LinkBatch batch_;             ///< per-transmission SoA scratch
+  std::vector<std::unique_ptr<ActiveTx>> pool_;  ///< owns every ActiveTx
+  std::vector<ActiveTx*> freeTx_;        ///< recycled records
+  std::vector<ActiveTx*> active_;        ///< airtime in progress
+  std::vector<ActiveTx*> recent_;        ///< kept for overlap checks
+  // deliver() scratch (member so steady state does not allocate):
+  std::vector<ActiveTx*> overlap_;  ///< per-delivery overlapping-tx scratch
+  std::vector<std::uint32_t> survivorIdx_;  ///< plan indices past the gates
+  std::vector<double> survivorSinrDb_;
+  std::vector<double> survivorPSuccess_;
   std::uint64_t nextFrameId_ = 1;
   MediumStats stats_;
 };

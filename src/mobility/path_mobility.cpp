@@ -17,12 +17,26 @@ SchedulePathMobility::SchedulePathMobility(geom::Polyline path,
   }
 }
 
+std::size_t SchedulePathMobility::timeSegmentAt(sim::SimTime t) const {
+  // The hint names the containing interval iff vertexTimes_[h] <= t <
+  // vertexTimes_[h+1] -- the segment upper_bound selects (times are
+  // strictly increasing), so hit or miss the caller sees the same index.
+  const std::size_t h = timeHint_;
+  if (h + 1 < vertexTimes_.size() && vertexTimes_[h] <= t &&
+      t < vertexTimes_[h + 1]) {
+    return h;
+  }
+  const auto it = std::upper_bound(vertexTimes_.begin(), vertexTimes_.end(), t);
+  const auto seg = static_cast<std::size_t>(it - vertexTimes_.begin()) - 1;
+  timeHint_ = seg;
+  return seg;
+}
+
 double SchedulePathMobility::arcAt(sim::SimTime t) const {
   if (t <= vertexTimes_.front()) return 0.0;
   if (t >= vertexTimes_.back()) return path_.length();
   // Find the segment whose time interval contains t.
-  const auto it = std::upper_bound(vertexTimes_.begin(), vertexTimes_.end(), t);
-  const auto seg = static_cast<std::size_t>(it - vertexTimes_.begin()) - 1;
+  const std::size_t seg = timeSegmentAt(t);
   const double t0 = vertexTimes_[seg].toSeconds();
   const double t1 = vertexTimes_[seg + 1].toSeconds();
   const double s0 = path_.arcAtVertex(seg);
@@ -32,13 +46,12 @@ double SchedulePathMobility::arcAt(sim::SimTime t) const {
 }
 
 geom::Vec2 SchedulePathMobility::positionAt(sim::SimTime t) const {
-  return path_.pointAt(arcAt(t));
+  return path_.pointAt(arcAt(t), pointHint_);
 }
 
 double SchedulePathMobility::speedAt(sim::SimTime t) const {
   if (t <= vertexTimes_.front() || t >= vertexTimes_.back()) return 0.0;
-  const auto it = std::upper_bound(vertexTimes_.begin(), vertexTimes_.end(), t);
-  const auto seg = static_cast<std::size_t>(it - vertexTimes_.begin()) - 1;
+  const std::size_t seg = timeSegmentAt(t);
   const double dt =
       (vertexTimes_[seg + 1] - vertexTimes_[seg]).toSeconds();
   const double ds = path_.arcAtVertex(seg + 1) - path_.arcAtVertex(seg);

@@ -38,8 +38,20 @@ class SchedulePathMobility final : public MobilityModel {
   sim::SimTime arrivalTime() const noexcept { return vertexTimes_.back(); }
 
  private:
+  /// Schedule segment containing `t` (vertexTimes_[seg] <= t <
+  /// vertexTimes_[seg+1]); checks the cached hint before binary-searching.
+  std::size_t timeSegmentAt(sim::SimTime t) const;
+
   geom::Polyline path_;
   std::vector<sim::SimTime> vertexTimes_;
+  // Query-locality hints (mobility advances along the path, so successive
+  // lookups almost always land on the same segment). Pure caches: hit or
+  // miss, the interpolated values are bit-identical. Mutating them from
+  // const accessors keeps the query API const; instances are not meant to
+  // be queried from several threads at once (each simulated world owns
+  // its mobility models and runs on one thread).
+  mutable std::size_t timeHint_ = 0;
+  mutable std::size_t pointHint_ = 0;
 };
 
 }  // namespace vanet::mobility

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -24,6 +23,13 @@ using EventId = std::uint64_t;
 /// sim.scheduleAt(SimTime::seconds(1.0), [&] { ... });
 /// sim.runUntil(SimTime::seconds(10.0));
 /// ```
+///
+/// Handlers live in a pooled slot store: an EventId encodes (generation,
+/// slot) and slots are recycled through a free list, so steady
+/// schedule/dispatch churn performs no per-event allocation and no hashing
+/// (the previous id->handler hash map dominated event dispatch cost).
+/// Handlers with captures up to the std::function small-buffer size are
+/// therefore allocation-free end to end.
 class Simulator {
  public:
   Simulator() = default;
@@ -47,7 +53,11 @@ class Simulator {
   void cancel(EventId id);
 
   /// True if the event is still pending.
-  bool isPending(EventId id) const { return handlers_.count(id) > 0; }
+  bool isPending(EventId id) const noexcept {
+    const std::size_t slot = slotOf(id);
+    return slot < slots_.size() && slots_[slot].generation == generationOf(id) &&
+           slots_[slot].live;
+  }
 
   /// Runs until the queue drains or stop() is called.
   void run();
@@ -66,7 +76,7 @@ class Simulator {
   void clearStop() noexcept { stopped_ = false; }
 
   /// Number of events currently pending (excluding cancelled ones).
-  std::size_t pendingCount() const noexcept { return handlers_.size(); }
+  std::size_t pendingCount() const noexcept { return liveCount_; }
 
   /// Queue entries currently held, *including* not-yet-discarded
   /// cancelled ones -- the memory the queue actually occupies. Compaction
@@ -90,6 +100,23 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  /// One pooled handler cell. `generation` advances on every recycle so a
+  /// stale EventId can never resolve to a newer occupant of the slot.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 1;
+    bool live = false;
+  };
+
+  static constexpr std::size_t slotOf(EventId id) noexcept {
+    return static_cast<std::size_t>(id & 0xffffffffu);
+  }
+  static constexpr std::uint32_t generationOf(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  // Returns a slot to the free list and invalidates outstanding ids to it.
+  void releaseSlot(std::size_t slot) noexcept;
 
   // Pops queue entries whose handler was cancelled; returns false when empty.
   bool popNextLive(Entry& out);
@@ -105,13 +132,14 @@ class Simulator {
   SimTime now_{};
   bool stopped_ = false;
   std::uint64_t nextSeq_ = 0;
-  EventId nextId_ = 1;
   std::uint64_t executed_ = 0;
   // Binary min-heap (std::push_heap/pop_heap with EntryLater) instead of
   // std::priority_queue: compaction needs access to the container.
   std::vector<Entry> queue_;
   std::size_t cancelledInQueue_ = 0;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::size_t liveCount_ = 0;
 };
 
 }  // namespace vanet::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file flat_hash.h
+/// Minimal open-addressing hash map from a 64-bit key to a value, for the
+/// per-link caches on the radio hot path (Gilbert-Elliott chains, c2c
+/// shadowing pair constants). Linear probing over a power-of-two index
+/// table of entry indices; entries themselves live contiguously in
+/// insertion order, so iteration-free lookups touch at most two cache
+/// lines. No erase support -- link caches only grow within a round.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vanet::util {
+
+/// Hash map keyed by std::uint64_t. Values must be movable. Pointers and
+/// references to values stay valid until the map is destroyed or cleared
+/// (entries are stored in a std::deque-free vector, but lookups return
+/// indices re-resolved per call, so growth is safe for callers holding
+/// only the reference returned by the current call).
+template <typename Value>
+class FlatMap64 {
+ public:
+  /// Returns the value for `key`, or nullptr when absent.
+  Value* find(std::uint64_t key) noexcept {
+    if (entries_.empty()) return nullptr;
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t probe = mix(key) & mask;; probe = (probe + 1) & mask) {
+      const std::int32_t slot = index_[probe];
+      if (slot < 0) return nullptr;
+      if (entries_[static_cast<std::size_t>(slot)].first == key) {
+        return &entries_[static_cast<std::size_t>(slot)].second;
+      }
+    }
+  }
+
+  /// Returns the value for `key`, inserting `Value(args...)` when absent.
+  template <typename... Args>
+  Value& findOrEmplace(std::uint64_t key, Args&&... args) {
+    if (Value* hit = find(key)) return *hit;
+    if ((entries_.size() + 1) * 10 >= index_.size() * 7) grow();
+    const std::size_t mask = index_.size() - 1;
+    std::size_t probe = mix(key) & mask;
+    while (index_[probe] >= 0) probe = (probe + 1) & mask;
+    index_[probe] = static_cast<std::int32_t>(entries_.size());
+    entries_.emplace_back(std::piecewise_construct, std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    return entries_.back().second;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  void clear() noexcept {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  // splitmix64 finalizer: full-avalanche mix so packed (tx, rx) node pairs
+  // spread over the table even when ids are small consecutive integers.
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void grow() {
+    const std::size_t cap = index_.empty() ? 16 : index_.size() * 2;
+    index_.assign(cap, -1);
+    const std::size_t mask = cap - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t probe = mix(entries_[i].first) & mask;
+      while (index_[probe] >= 0) probe = (probe + 1) & mask;
+      index_[probe] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, Value>> entries_;
+  std::vector<std::int32_t> index_;  // -1 = empty
+};
+
+}  // namespace vanet::util

@@ -1,0 +1,242 @@
+/// Reference-equivalence suite for the batched struct-of-arrays link path.
+///
+/// The behavioural spec of CompositeLinkModel::planBatch is the base-class
+/// LinkModel::planBatch: a scalar per-receiver loop calling
+/// meanRxPowerDbm / fadedRxPowerDbm in receiver order (exactly what the
+/// radio environment used to do inline). These tests run twin,
+/// identically-seeded model stacks -- one through the scalar reference,
+/// one through the batched override -- and assert outputs AND every RNG
+/// stream position stay bit-identical across urban/highway-like
+/// compositions, Gilbert-Elliott burst states, and receiver-set churn.
+
+#include "channel/link_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "channel/link_model.h"
+#include "geom/polyline.h"
+
+namespace vanet::channel {
+namespace {
+
+constexpr NodeId kAp0 = kFirstApId;
+constexpr NodeId kAp1 = kFirstApId + 1;
+
+/// Forwards every scalar virtual to a wrapped model while inheriting the
+/// base-class planBatch / successProbabilityBatch loops -- the scalar
+/// per-receiver reference path.
+class ScalarReference final : public LinkModel {
+ public:
+  explicit ScalarReference(LinkModel& inner) : inner_(inner) {}
+
+  double meanRxPowerDbm(NodeId tx, geom::Vec2 txPos, double txPowerDbm,
+                        NodeId rx, geom::Vec2 rxPos) override {
+    return inner_.meanRxPowerDbm(tx, txPos, txPowerDbm, rx, rxPos);
+  }
+  double fadedRxPowerDbm(double meanDbm, Rng& rng) override {
+    return inner_.fadedRxPowerDbm(meanDbm, rng);
+  }
+  double successProbability(PhyMode mode, double sinrDb,
+                            int bits) const override {
+    return inner_.successProbability(mode, sinrDb, bits);
+  }
+  bool burstLoss(NodeId tx, NodeId rx, sim::SimTime now,
+                 int frameClass) override {
+    return inner_.burstLoss(tx, rx, now, frameClass);
+  }
+  const LinkBudget& budget() const override { return inner_.budget(); }
+
+ private:
+  LinkModel& inner_;
+};
+
+/// One full model stack; two instances built with the same seeds produce
+/// identical streams, so one can run the scalar reference and the other
+/// the batched override.
+struct Stack {
+  geom::Polyline road;  // shadowing holds a reference; must outlive model
+  std::unique_ptr<CompositeLinkModel> model;
+  Rng envRng;
+
+  Stack(bool urban, bool burst, std::uint64_t seed)
+      : road(urban ? geom::makeRectangleLoop(200.0, 150.0)
+                   : geom::Polyline({{0.0, 0.0}, {3000.0, 0.0}})),
+        envRng(seed + 17) {
+    ShadowingParams shadowParams;
+    std::unique_ptr<ShadowingProvider> shadowing =
+        std::make_unique<CorrelatedRoadShadowing>(road, shadowParams,
+                                                  Rng{seed + 1});
+    if (urban) {
+      shadowing = std::make_unique<ObstructedShadowing>(
+          std::move(shadowing), [](geom::Vec2 pos) {
+            return pos.x > 150.0 ? 12.0 : 0.0;  // corner blocking
+          });
+    }
+    std::unique_ptr<FadingModel> fading;
+    if (urban) {
+      fading = std::make_unique<RayleighFading>();
+    } else {
+      fading = std::make_unique<NakagamiFading>(3.0);  // draws normals
+    }
+    model = std::make_unique<CompositeLinkModel>(
+        std::make_unique<LogDistancePathLoss>(3.0, 55.0),
+        std::make_unique<LogDistancePathLoss>(2.4, 40.0), std::move(shadowing),
+        std::move(fading), LinkBudget{});
+    if (burst) {
+      GilbertElliottParams params;
+      params.meanGoodSeconds = 0.3;
+      params.meanBadSeconds = 0.1;
+      params.lossInGood = 0.02;
+      params.lossInBad = 0.9;
+      model->enableBurstOverlay(params, Rng{seed + 2});
+    }
+  }
+};
+
+struct Receiver {
+  NodeId id;
+  geom::Vec2 pos;
+};
+
+void fillBatch(LinkBatch& batch, const std::vector<Receiver>& receivers) {
+  batch.clear();
+  for (const Receiver& rx : receivers) batch.add(rx.id, rx.pos);
+  batch.prepare();
+}
+
+/// Runs one transmission through both paths and asserts bit-identity of
+/// the planned mean/faded powers.
+void expectBatchMatchesScalar(Stack& scalarStack, Stack& batchedStack,
+                              NodeId tx, geom::Vec2 txPos,
+                              const std::vector<Receiver>& receivers) {
+  ScalarReference reference(*scalarStack.model);
+  LinkBatch scalarBatch, batchedBatch;
+  fillBatch(scalarBatch, receivers);
+  fillBatch(batchedBatch, receivers);
+  reference.planBatch(tx, txPos, 16.0, scalarBatch, scalarStack.envRng);
+  batchedStack.model->planBatch(tx, txPos, 16.0, batchedBatch,
+                                batchedStack.envRng);
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    EXPECT_EQ(scalarBatch.meanDbm()[i], batchedBatch.meanDbm()[i])
+        << "mean mismatch at receiver " << receivers[i].id;
+    EXPECT_EQ(scalarBatch.fadedDbm()[i], batchedBatch.fadedDbm()[i])
+        << "faded mismatch at receiver " << receivers[i].id;
+  }
+}
+
+/// Asserts both environment streams sit at the same position, including
+/// the Box-Muller spare-gaussian cache (normal() consumes it first).
+void expectSameRngPosition(Rng& a, Rng& b) {
+  EXPECT_EQ(a.normal(), b.normal());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(LinkBatchEquivalenceTest, UrbanConfigMatchesScalarReference) {
+  Stack scalar(/*urban=*/true, /*burst=*/false, 40);
+  Stack batched(/*urban=*/true, /*burst=*/false, 40);
+  // Car transmitter: mixed car and AP receivers (the AP links read the
+  // shadowing field at the transmitter's arc; car links draw lazy pair
+  // constants in receiver order).
+  expectBatchMatchesScalar(scalar, batched, 1, {10.0, 0.0},
+                           {{2, {30.0, 0.0}},
+                            {kAp0, {100.0, 0.0}},
+                            {3, {60.0, 5.0}},
+                            {kAp1, {200.0, 75.0}}});
+  // AP transmitter: field reads at each mobile receiver plus an AP<->AP
+  // pair constant.
+  expectBatchMatchesScalar(scalar, batched, kAp0, {100.0, 0.0},
+                           {{1, {12.0, 0.0}},
+                            {2, {180.0, 20.0}},
+                            {kAp1, {200.0, 75.0}},
+                            {3, {90.0, 0.0}}});
+  // Same pairs again: cached constants, no fresh shadowing draws.
+  expectBatchMatchesScalar(scalar, batched, 1, {40.0, 0.0},
+                           {{2, {55.0, 0.0}}, {kAp0, {100.0, 0.0}}});
+  expectSameRngPosition(scalar.envRng, batched.envRng);
+}
+
+TEST(LinkBatchEquivalenceTest, HighwayConfigWithBurstMatchesScalarReference) {
+  Stack scalar(/*urban=*/false, /*burst=*/true, 77);
+  Stack batched(/*urban=*/false, /*burst=*/true, 77);
+  ScalarReference reference(*scalar.model);
+
+  const std::vector<Receiver> receivers = {{2, {250.0, 0.0}},
+                                           {kAp0, {500.0, 10.0}},
+                                           {3, {300.0, 3.0}},
+                                           {kAp1, {1500.0, 10.0}}};
+  expectBatchMatchesScalar(scalar, batched, 1, {200.0, 0.0}, receivers);
+
+  // Burst chains: advance both overlays through an interleaved schedule
+  // of links and times; state (and the per-chain streams) must match at
+  // every step, including chains created lazily mid-sequence.
+  for (int step = 0; step < 200; ++step) {
+    const NodeId tx = (step % 3 == 0) ? kAp0 : 1;
+    const NodeId rx = (step % 2 == 0) ? 2 : 3 + (step % 5);
+    const sim::SimTime now = sim::SimTime::millis(step * 7.0);
+    EXPECT_EQ(reference.burstLoss(tx, rx, now, 0),
+              batched.model->burstLoss(tx, rx, now, 0))
+        << "burst divergence at step " << step;
+  }
+  expectSameRngPosition(scalar.envRng, batched.envRng);
+}
+
+TEST(LinkBatchEquivalenceTest, ReceiverChurnKeepsStreamsAligned) {
+  Stack scalar(/*urban=*/true, /*burst=*/false, 91);
+  Stack batched(/*urban=*/true, /*burst=*/false, 91);
+  // Join/leave churn: the receiver set changes between transmissions
+  // (node 4 joins, node 2 leaves, node 5 joins), so plan-array sizes and
+  // the lazy pair-constant draw schedule shift run to run.
+  expectBatchMatchesScalar(scalar, batched, 1, {5.0, 0.0},
+                           {{2, {20.0, 0.0}}, {3, {35.0, 0.0}}});
+  expectBatchMatchesScalar(scalar, batched, 1, {8.0, 0.0},
+                           {{2, {22.0, 0.0}},
+                            {3, {37.0, 0.0}},
+                            {4, {50.0, 0.0}}});
+  expectBatchMatchesScalar(scalar, batched, 3, {40.0, 0.0},
+                           {{4, {52.0, 0.0}}, {kAp0, {100.0, 0.0}}});
+  expectBatchMatchesScalar(scalar, batched, 1, {11.0, 0.0},
+                           {{4, {55.0, 0.0}}, {5, {70.0, 0.0}}});
+  expectSameRngPosition(scalar.envRng, batched.envRng);
+}
+
+TEST(LinkBatchEquivalenceTest, SuccessProbabilityBatchMatchesScalar) {
+  Stack scalar(/*urban=*/false, /*burst=*/false, 13);
+  Stack batched(/*urban=*/false, /*burst=*/false, 13);
+  ScalarReference reference(*scalar.model);
+  const std::vector<double> sinr = {-5.0, 2.5, 8.0, 14.0, 30.0};
+  std::vector<double> pScalar(sinr.size()), pBatched(sinr.size());
+  reference.successProbabilityBatch(PhyMode::kDsss1Mbps, sinr.data(), 8000,
+                                    pScalar.data(), sinr.size());
+  batched.model->successProbabilityBatch(PhyMode::kDsss1Mbps, sinr.data(),
+                                         8000, pBatched.data(), sinr.size());
+  for (std::size_t i = 0; i < sinr.size(); ++i) {
+    EXPECT_EQ(pScalar[i], pBatched[i]);
+  }
+}
+
+TEST(LinkBatchEquivalenceTest, EmptyReceiverSetConsumesNoRandomness) {
+  Stack batched(/*urban=*/true, /*burst=*/false, 3);
+  Rng before = batched.envRng;  // copy: continues the sequence identically
+  LinkBatch batch;
+  batch.clear();
+  batch.prepare();
+  batched.model->planBatch(1, {0.0, 0.0}, 16.0, batch, batched.envRng);
+  EXPECT_EQ(batch.size(), 0u);
+  // Environment stream untouched (probe copies: the position check
+  // itself draws, and the live stream must stay pristine for the twin
+  // comparison below).
+  Rng probeLive = batched.envRng;
+  Rng probeBefore = before;
+  expectSameRngPosition(probeLive, probeBefore);
+  // ...and the shadowing stream too: a twin stack that never saw the
+  // empty batch must still produce identical draws afterwards.
+  Stack twin(/*urban=*/true, /*burst=*/false, 3);
+  expectBatchMatchesScalar(twin, batched, 1, {10.0, 0.0},
+                           {{2, {30.0, 0.0}}, {kAp0, {100.0, 0.0}}});
+}
+
+}  // namespace
+}  // namespace vanet::channel

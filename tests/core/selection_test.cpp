@@ -10,9 +10,9 @@
 namespace vanet::carq {
 namespace {
 
-std::map<NodeId, PeerInfo> peersWithRssi(
+PeerMap peersWithRssi(
     std::initializer_list<std::pair<NodeId, double>> list) {
-  std::map<NodeId, PeerInfo> peers;
+  PeerMap peers;
   for (const auto& [id, rssi] : list) {
     PeerInfo info;
     info.emaRssiDbm = rssi;

@@ -4,6 +4,7 @@
 
 #include "../testing/medium_fixture.h"
 #include "mac/airtime.h"
+#include "obs/counters.h"
 
 namespace vanet::mac {
 namespace {
@@ -215,6 +216,28 @@ TEST(RadioEnvironmentTest, BelowSensitivityNeverSurfacesCorruptFrames) {
     h.sim().run();
   }
   EXPECT_EQ(corrupt, 0);  // undetectable frames contribute no soft energy
+}
+
+TEST(RadioEnvironmentTest, EmptyReceiverSetAdvancesNothing) {
+  // A transmission with zero receivers (sole radio on the medium) must
+  // not draw randomness, evaluate links, or touch any delivery counter:
+  // the batched path has to early-out before the plan stage.
+  MediumHarness h;
+  h.addRadio(1, {0.0, 0.0});
+  const std::uint64_t evalsBefore =
+      obs::takeSnapshot().counter("mac.link_evaluations");
+  h.radio(0).transmit(MediumHarness::dataFrame(2, 1), PhyMode::kDsss1Mbps);
+  h.sim().run();
+  const MediumStats& stats = h.environment().stats();
+  EXPECT_EQ(stats.framesTransmitted, 1u);
+  EXPECT_EQ(stats.framesDelivered, 0u);
+  EXPECT_EQ(stats.framesBelowSensitivity, 0u);
+  EXPECT_EQ(stats.framesHalfDuplexMissed, 0u);
+  EXPECT_EQ(stats.framesCollided, 0u);
+  EXPECT_EQ(stats.framesChannelError, 0u);
+  EXPECT_EQ(stats.framesBurstLost, 0u);
+  EXPECT_EQ(stats.framesCorruptDelivered, 0u);
+  EXPECT_EQ(obs::takeSnapshot().counter("mac.link_evaluations"), evalsBefore);
 }
 
 TEST(RadioEnvironmentDeathTest, DoubleTransmitAsserts) {
