@@ -14,7 +14,14 @@
 ///   --round-threads=N  round workers inside each job (1 = serial)
 ///   --csv=DIR        also write CSV/JSON outputs into DIR
 ///   --shard=i/N      run only shard i of N (whole grid points)
-///   --partial-out=F  write this shard's partial-result JSON to F
+///   --partial-out=F  write this shard's partial result to F
+///   --partial-format=bin|json  partial encoding (default: binary for
+///                    --shard runs, JSON otherwise)
+///   --checkpoint=F   write a binary checkpoint partial at every wave
+///                    barrier (atomically; resume point after a kill)
+///   --resume         restore from --checkpoint=F and continue; final
+///                    artifacts byte-match the uninterrupted run
+///   --halt-after-waves=K  stop after K wave barriers (kill simulation)
 ///   --streaming      bounded-memory streaming accumulation
 ///   --target-ci=X    adaptive replication: per grid point, keep
 ///                    replicating in doubling waves until the 95 % CI
@@ -57,6 +64,9 @@ inline runner::CampaignConfig campaignFromFlags(const Flags& flags,
   config.shard = runner::Shard{run.shard.index, run.shard.count};
   config.streaming = run.streaming;
   config.progress = run.progress;
+  config.checkpointPath = run.checkpoint;
+  config.resume = run.resume;
+  config.haltAfterWaves = run.haltAfterWaves;
   // Bad adaptive bounds die with the same exit(2) diagnostic style as
   // the flag parsers -- an explicit --min-reps=0, a --max-reps below the
   // floor, or a degenerate --repl floor must never silently read as
@@ -122,16 +132,25 @@ inline void applyUrbanFlags(const Flags& flags, runner::ParamSet& base) {
   }
 }
 
-/// Writes the shard's partial-result JSON when --partial-out is given.
-/// Only reached on a successful run: a failed campaign throws out of
-/// runCampaign before any summary exists, so a shard file is never
-/// truncated. A failed *write* exits non-zero -- a shard pipeline must
-/// never see success next to a missing or stale partial file.
+/// Writes the shard's partial-result file when --partial-out is given
+/// (--partial-format selects the encoding; the default is binary v3 for
+/// --shard runs and JSON otherwise). Only reached on a successful run: a
+/// failed campaign throws out of runCampaign before any summary exists,
+/// so a shard file is never truncated. A failed *write* exits non-zero --
+/// a shard pipeline must never see success next to a missing or stale
+/// partial file. Halted runs (--halt-after-waves) skip the write: their
+/// state lives in the checkpoint file.
 inline void maybeWritePartial(const Flags& flags,
                               const runner::CampaignResult& result) {
   const std::string path = flags.getString("partial-out", "");
-  if (path.empty()) return;
-  if (!runner::writeCampaignPartial(path, runner::campaignPartial(result))) {
+  if (path.empty() || result.halted) return;
+  const std::string formatName = flags.getString("partial-format", "");
+  const runner::PartialFormat format =
+      formatName == "bin"    ? runner::PartialFormat::kBinary
+      : formatName == "json" ? runner::PartialFormat::kJson
+                             : runner::PartialFormat::kAuto;
+  if (!runner::writeCampaignPartial(path, runner::campaignPartial(result),
+                                    format)) {
     std::exit(1);
   }
   std::cout << "wrote " << path << "\n";
@@ -143,7 +162,7 @@ inline void maybeWriteCampaign(const Flags& flags, const std::string& name,
                                const runner::CampaignResult& result) {
   maybeWritePartial(flags, result);
   const std::string dir = flags.getString("csv", "");
-  if (dir.empty()) return;
+  if (dir.empty() || result.halted) return;
   const std::string csvPath = dir + "/" + name + "_campaign.csv";
   if (runner::writeCampaignCsv(csvPath, result)) {
     std::cout << "wrote " << csvPath << "\n";
@@ -171,6 +190,14 @@ inline void maybeWriteFigures(const Flags& flags, const std::string& name,
 /// The per-bench throughput footer.
 inline void printThroughput(const runner::CampaignResult& result) {
   char footer[160];
+  if (result.halted) {
+    std::snprintf(footer, sizeof footer,
+                  "\nhalted at a wave barrier after %d wave(s), %zu jobs; "
+                  "the checkpoint file holds the fold state\n",
+                  result.waves, result.jobCount);
+    std::cout << footer;
+    return;
+  }
   std::snprintf(footer, sizeof footer,
                 "\n%zu jobs in %.2f s (%.2f jobs/s, %d threads)\n",
                 result.jobCount, result.wallSeconds, result.jobsPerSecond,

@@ -25,6 +25,10 @@ inline int runFigureBench(int argc, char** argv, FlowId flow,
       flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
   applyUrbanFlags(flags, campaign.base);
   const runner::CampaignResult result = runner::runCampaign(campaign);
+  if (result.halted) {  // --halt-after-waves: fold state is in the checkpoint
+    printThroughput(result);
+    return 0;
+  }
   const runner::GridPointSummary& point = result.points.front();
 
   const auto it = point.figures.find(flow);

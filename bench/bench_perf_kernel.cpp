@@ -28,8 +28,11 @@
 #include "mac/airtime.h"
 #include "obs/counters.h"
 #include "obs/manifest.h"
+#include "runner/accumulate.h"
 #include "runner/campaign.h"
+#include "runner/partial_binary.h"
 #include "sim/simulator.h"
+#include "trace/aggregate.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -183,6 +186,127 @@ RunningStats timeHighwayRound(int iters, std::uint64_t seed) {
   return wall;
 }
 
+/// One synthetic shard partial for the serialization kernels: every
+/// point carries a realistic payload (Table-1 rows, two figure flows,
+/// protocol totals, metrics), so the write/merge timings reflect the
+/// production record shape rather than a toy. Shard s owns the grid
+/// indices s, s+count, s+2*count, ... -- together the shards tile the
+/// full grid, so the merge kernels exercise the real validation path.
+runner::CampaignPartial syntheticPartial(int shardIndex, int shardCount,
+                                         int pointsPerShard,
+                                         std::uint64_t seed) {
+  Rng rng{seed + static_cast<std::uint64_t>(shardIndex)};
+  const auto stats = [&rng](int samples) {
+    RunningStats s;
+    for (int i = 0; i < samples; ++i) s.add(rng.uniform(0.0, 100.0));
+    return s;
+  };
+  runner::CampaignPartial partial;
+  partial.scenario = "urban";
+  partial.masterSeed = seed;
+  partial.shard = runner::Shard{shardIndex, shardCount};
+  partial.replications = 4;
+  partial.totalPoints =
+      static_cast<std::size_t>(pointsPerShard) * shardCount;
+  partial.totalJobs = partial.totalPoints * 4;
+  partial.points.reserve(static_cast<std::size_t>(pointsPerShard));
+  for (int p = 0; p < pointsPerShard; ++p) {
+    runner::GridPointSummary point;
+    point.gridIndex = static_cast<std::size_t>(shardIndex) +
+                      static_cast<std::size_t>(p) * shardCount;
+    point.caseName = "case" + std::to_string(p % 3);
+    point.replications = 4;
+    point.rounds = 40;
+    point.achievedCi95 = rng.uniform(0.0, 0.1);
+    point.params.set("speed_kmh", 20.0 + p);
+    point.params.set("cars", 3.0);
+    for (NodeId car = 1; car <= 3; ++car) {
+      trace::Table1Row row;
+      row.car = car;
+      row.txByAp = stats(8);
+      row.lostBefore = stats(8);
+      row.lostAfter = stats(8);
+      row.lostJoint = stats(8);
+      row.pctLostBefore = stats(8);
+      row.pctLostAfter = stats(8);
+      row.pctLostJoint = stats(8);
+      point.table1.rows.push_back(row);
+    }
+    point.table1.rounds = 40;
+    for (FlowId flow = 1; flow <= 2; ++flow) {
+      trace::FlowFigure figure;
+      figure.flow = flow;
+      for (NodeId car = 1; car <= 3; ++car) {
+        SeriesAccumulator& series = figure.rxByCar[car];
+        for (std::size_t k = 0; k < 64; ++k) {
+          series.add(k, rng.uniform(0.0, 1.0));
+        }
+      }
+      for (std::size_t k = 0; k < 64; ++k) {
+        figure.afterCoop.add(k, rng.uniform(0.0, 1.0));
+        figure.joint.add(k, rng.uniform(0.0, 1.0));
+      }
+      figure.regionBoundary12 = stats(4);
+      figure.regionBoundary23 = stats(4);
+      point.figures[flow] = std::move(figure);
+    }
+    point.totals.requestsPerRound = stats(8);
+    point.totals.requestSeqsPerRound = stats(8);
+    point.totals.coopDataPerRound = stats(8);
+    point.totals.suppressedPerRound = stats(8);
+    point.totals.hellosPerRound = stats(8);
+    point.totals.bufferedPerRound = stats(8);
+    point.totals.medium.framesTransmitted = 100000 + static_cast<std::uint64_t>(p);
+    point.totals.medium.framesDelivered = 90000;
+    point.totals.medium.framesCollided = 700;
+    point.totals.medium.framesChannelError = 1200;
+    point.metrics["pdr"] = stats(4);
+    point.metrics["losses_after_pct"] = stats(4);
+    partial.points.push_back(std::move(point));
+  }
+  return partial;
+}
+
+/// Serializes every shard once per repetition (in memory, both formats --
+/// no disk noise in the timing).
+RunningStats timePartialWrite(
+    const std::vector<runner::CampaignPartial>& shards, int iters,
+    bool binary) {
+  RunningStats wall;
+  for (int it = 0; it < iters; ++it) {
+    const auto start = Clock::now();
+    for (const runner::CampaignPartial& shard : shards) {
+      const std::string bytes = binary
+                                    ? runner::campaignPartialBinary(shard)
+                                    : runner::campaignPartialJson(shard);
+      gSink += bytes.size();
+    }
+    wall.add(secondsSince(start));
+  }
+  return wall;
+}
+
+/// Parses every serialized shard and folds them back into the full grid
+/// once per repetition -- the campaign_merge hot path, both formats.
+RunningStats timePartialMerge(const std::vector<std::string>& shardBytes,
+                              int iters, bool binary) {
+  RunningStats wall;
+  for (int it = 0; it < iters; ++it) {
+    const auto start = Clock::now();
+    std::vector<runner::CampaignPartial> partials;
+    partials.reserve(shardBytes.size());
+    for (const std::string& bytes : shardBytes) {
+      partials.push_back(binary ? runner::parseCampaignPartialBinary(bytes)
+                                : runner::parseCampaignPartial(bytes));
+    }
+    const std::vector<runner::GridPointSummary> merged =
+        runner::mergeCampaignPartials(std::move(partials));
+    gSink += merged.size();
+    wall.add(secondsSince(start));
+  }
+  return wall;
+}
+
 /// A small fixed campaign through the full plan/execute/accumulate
 /// pipeline, to put an end-to-end jobs/sec figure next to the kernel
 /// numbers.
@@ -268,6 +392,36 @@ int main(int argc, char** argv) {
       "");
   timeKernel("highway_round", "full highway round",
              timeHighwayRound(iters, run.seed), 0, "");
+
+  // Campaign-partial serialization: a synthetic 4-shard, 256-point
+  // campaign with production-shaped records, written and merged in both
+  // formats. The bin/json ratios are the Table-1 numbers behind making
+  // binary the --shard default.
+  const int kShardCount = 4;
+  const int kPointsPerShard = 64;
+  std::vector<runner::CampaignPartial> shards;
+  std::vector<std::string> jsonShards;
+  std::vector<std::string> binShards;
+  for (int s = 0; s < kShardCount; ++s) {
+    shards.push_back(
+        syntheticPartial(s, kShardCount, kPointsPerShard, run.seed));
+    jsonShards.push_back(runner::campaignPartialJson(shards.back()));
+    binShards.push_back(runner::campaignPartialBinary(shards.back()));
+  }
+  const double partialPoints =
+      static_cast<double>(kShardCount) * kPointsPerShard;
+  timeKernel("partial_write_json", "partial write json (256 pts)",
+             timePartialWrite(shards, iters, /*binary=*/false), partialPoints,
+             "points");
+  timeKernel("partial_write_bin", "partial write bin (256 pts)",
+             timePartialWrite(shards, iters, /*binary=*/true), partialPoints,
+             "points");
+  timeKernel("partial_merge_json", "partial merge json (4 shards)",
+             timePartialMerge(jsonShards, iters, /*binary=*/false),
+             partialPoints, "points");
+  timeKernel("partial_merge_bin", "partial merge bin (4 shards)",
+             timePartialMerge(binShards, iters, /*binary=*/true),
+             partialPoints, "points");
 
   // Experiment-level wall: the round engine at --round-threads workers
   // against the serial fold (same bytes, fewer seconds).

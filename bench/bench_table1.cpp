@@ -29,6 +29,10 @@ int main(int argc, char** argv) {
       flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
   bench::applyUrbanFlags(flags, campaign.base);
   const runner::CampaignResult result = runner::runCampaign(campaign);
+  if (result.halted) {  // --halt-after-waves: fold state is in the checkpoint
+    bench::printThroughput(result);
+    return 0;
+  }
   const runner::GridPointSummary& point = result.points.front();
 
   std::cout << analysis::renderTable1(point.table1) << "\n";

@@ -4,14 +4,19 @@
 /// kernel regressed beyond the noise band.
 ///
 ///   $ ./example_bench_compare BASELINE.json CURRENT.json
-///       [--threshold=0.20] [--markdown=summary.md]
+///       [--threshold=0.20] [--gate-campaign[=0.5]] [--markdown=summary.md]
 ///
 /// A kernel counts as regressed when
 ///   cur.mean - base.mean > threshold * base.mean + base.ci95 + cur.ci95
 /// i.e. the slowdown must exceed the relative threshold *plus* both
 /// runs' 95% confidence intervals, so noisy CI machines do not produce
-/// false alarms. The campaign jobs/sec delta is printed but advisory
-/// only (it depends on the host's core count).
+/// false alarms.
+///
+/// The campaign jobs/sec figure is gated too (--gate-campaign, on by
+/// default): the current throughput must not drop more than the gate
+/// threshold (default 0.5 -- generous, because jobs/s depends on the
+/// host's core count) below the baseline. --gate-campaign=X sets the
+/// threshold; --gate-campaign=off reverts it to advisory.
 ///
 /// --markdown appends a GitHub-flavoured summary table to the given file
 /// (pass "$GITHUB_STEP_SUMMARY" in CI so the trajectory is visible on the
@@ -124,13 +129,8 @@ void writeMarkdown(const std::string& path, const BenchDoc& base,
     }
     out << " | " << row.verdict << " |\n";
   }
-  if (base.jobsPerSecond > 0.0 && cur.jobsPerSecond > 0.0) {
-    std::snprintf(buf, sizeof buf, "%.2f → %.2f", base.jobsPerSecond,
-                  cur.jobsPerSecond);
-    out << "\nCampaign throughput (advisory): " << buf << " jobs/s. ";
-  }
   std::snprintf(buf, sizeof buf, "%.0f%%", threshold * 100.0);
-  out << "Gate: slowdown > " << buf << " of baseline + both CI95 bands.\n\n";
+  out << "\nGate: slowdown > " << buf << " of baseline + both CI95 bands.\n\n";
 }
 
 }  // namespace
@@ -141,11 +141,25 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare BASELINE.json CURRENT.json"
-                 " [--threshold=0.20] [--markdown=summary.md]\n");
+                 " [--threshold=0.20] [--gate-campaign[=0.5]]"
+                 " [--markdown=summary.md]\n");
     return 2;
   }
   const double threshold = flags.getDouble("threshold", 0.20);
   const std::string markdownPath = flags.getString("markdown", "");
+  // Campaign-throughput gate: on by default. --gate-campaign=off|false|no
+  // reverts to advisory; a bare --gate-campaign (or =true) keeps the
+  // default threshold; any other value parses as the threshold itself.
+  bool gateCampaign = true;
+  double gateThreshold = 0.5;
+  if (flags.has("gate-campaign")) {
+    const std::string value = flags.getString("gate-campaign", "");
+    if (value == "off" || value == "false" || value == "no") {
+      gateCampaign = false;
+    } else if (value != "true" && value != "on" && value != "yes") {
+      gateThreshold = flags.getDouble("gate-campaign", gateThreshold);
+    }
+  }
 
   BenchDoc base, cur;
   try {
@@ -209,9 +223,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (base.jobsPerSecond > 0.0 && cur.jobsPerSecond > 0.0) {
-    std::printf("\ncampaign throughput: %.2f -> %.2f jobs/s (advisory)\n",
-                base.jobsPerSecond, cur.jobsPerSecond);
+  if (base.jobsPerSecond > 0.0) {
+    CompareRow out;
+    out.name = "campaign (jobs/s)";
+    out.haveBase = true;
+    out.baseMs = base.jobsPerSecond;  // jobs/s, not ms -- named in the row
+    if (cur.jobsPerSecond > 0.0) {
+      // Higher is better here: the gate fires on a throughput *drop*
+      // beyond the (generous, host-dependent) threshold.
+      const double drop =
+          (base.jobsPerSecond - cur.jobsPerSecond) / base.jobsPerSecond;
+      const bool bad = gateCampaign && drop > gateThreshold;
+      regressed = regressed || bad;
+      out.haveCur = true;
+      out.curMs = cur.jobsPerSecond;
+      out.pct = -100.0 * drop;
+      out.verdict = !gateCampaign  ? "advisory"
+                    : bad          ? "**REGRESSED**"
+                                   : "ok";
+      std::printf("\ncampaign throughput: %.2f -> %.2f jobs/s (%+.1f%%, %s)\n",
+                  base.jobsPerSecond, cur.jobsPerSecond, out.pct,
+                  !gateCampaign ? "advisory"
+                  : bad         ? "REGRESSED"
+                                : "ok");
+    } else {
+      // The current document lost the campaign figure: gated coverage
+      // vanished, which must fail like a MISSING kernel.
+      out.verdict = gateCampaign ? "MISSING" : "advisory";
+      regressed = regressed || gateCampaign;
+      std::printf("\ncampaign throughput: %.2f -> ? jobs/s (%s)\n",
+                  base.jobsPerSecond,
+                  gateCampaign ? "MISSING" : "advisory");
+    }
+    rows.push_back(out);
   }
 
   if (!markdownPath.empty()) {

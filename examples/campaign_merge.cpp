@@ -1,12 +1,17 @@
 /// \file campaign_merge.cpp
 /// Folds campaign shard partials back into the full campaign result.
-/// Each shard process runs `--shard=i/N --partial-out=shard_i.json`;
+/// Each shard process runs `--shard=i/N --partial-out=shard_i.part`;
 /// this tool validates the set (same campaign, every shard present,
 /// full grid coverage) and re-emits the merged artefacts -- byte-for-byte
 /// identical to what the single-process run would have written.
 ///
-///   $ ./example_campaign_merge shard_0.json shard_1.json
+///   $ ./example_campaign_merge shard_0.part shard_1.part
 ///       [--csv=FILE] [--json=FILE] [--figures-dir=DIR --figures-base=B]
+///
+/// Shard files may be binary v3 or JSON v1/v2 (mixed freely; the format
+/// is auto-detected per file). Binary shards stream point-by-point
+/// through a bounded record buffer -- the fast path for many-point
+/// campaigns -- while JSON falls back to the DOM reader.
 ///
 /// With no output flags the tool just validates and prints the merged
 /// point count (useful as a shard-set integrity check).
@@ -26,19 +31,14 @@ int main(int argc, char** argv) {
   obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
   if (flags.positional().empty()) {
-    std::cerr << "usage: campaign_merge SHARD.json... [--csv=FILE]"
+    std::cerr << "usage: campaign_merge SHARD... [--csv=FILE]"
                  " [--json=FILE] [--figures-dir=DIR --figures-base=B]\n";
     return 2;
   }
 
   runner::CampaignResult merged;
   try {
-    std::vector<runner::CampaignPartial> partials;
-    partials.reserve(flags.positional().size());
-    for (const std::string& path : flags.positional()) {
-      partials.push_back(runner::readCampaignPartial(path));
-    }
-    merged = runner::resultFromPartials(std::move(partials));
+    merged = runner::resultFromPartialFiles(flags.positional());
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
   campaign.shard = runner::Shard{run.shard.index, run.shard.count};
   campaign.streaming = run.streaming;
   campaign.progress = run.progress;
+  campaign.checkpointPath = run.checkpoint;
+  campaign.resume = run.resume;
+  campaign.haltAfterWaves = run.haltAfterWaves;
   campaign.base.set("rounds", flags.getInt("rounds", 3));
   campaign.base.set("aps", 1);
   campaign.base.set("road_length", 2400.0);
@@ -68,13 +71,23 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
   }
+  if (result.halted) {
+    std::cout << "halted at a wave barrier after " << result.waves
+              << " wave(s); the checkpoint file holds the fold state\n";
+    return 0;
+  }
   std::cout << runner::renderCampaignSummary(result, campaign.grid);
 
   if (!run.partialOut.empty()) {
+    const runner::PartialFormat format =
+        run.partialFormat == "bin"    ? runner::PartialFormat::kBinary
+        : run.partialFormat == "json" ? runner::PartialFormat::kJson
+                                      : runner::PartialFormat::kAuto;
     // A failed partial write must fail the process: the merge step would
     // otherwise happily pick up a stale file from an earlier run.
     if (!runner::writeCampaignPartial(run.partialOut,
-                                      runner::campaignPartial(result))) {
+                                      runner::campaignPartial(result),
+                                      format)) {
       return 1;
     }
     std::cout << "wrote " << run.partialOut << "\n";

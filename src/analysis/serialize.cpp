@@ -66,4 +66,28 @@ ProtocolTotals protocolTotalsFromJson(const json::Value& value) {
   return totals;
 }
 
+void protocolTotalsToBin(util::BinWriter& out, const ProtocolTotals& totals) {
+  for (const auto& [name, field] : totalsColumns()) {
+    (void)name;  // binary records carry positions, not names
+    trace::runningStatsToBin(out, totals.*field);
+  }
+  for (const auto& [name, field] : mediumColumns()) {
+    (void)name;
+    out.u64(totals.medium.*field);
+  }
+}
+
+ProtocolTotals protocolTotalsFromBin(util::BinReader& in) {
+  ProtocolTotals totals;
+  for (const auto& [name, field] : totalsColumns()) {
+    (void)name;
+    totals.*field = trace::runningStatsFromBin(in);
+  }
+  for (const auto& [name, field] : mediumColumns()) {
+    (void)name;
+    totals.medium.*field = in.u64("medium counter");
+  }
+  return totals;
+}
+
 }  // namespace vanet::analysis

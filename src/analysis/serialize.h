@@ -9,6 +9,7 @@
 #include <string>
 
 #include "analysis/experiment.h"
+#include "util/binio.h"
 #include "util/json.h"
 
 namespace vanet::analysis {
@@ -19,5 +20,11 @@ std::string protocolTotalsToJson(const ProtocolTotals& totals);
 /// Parses protocolTotalsToJson() output; throws std::runtime_error on
 /// malformed input.
 ProtocolTotals protocolTotalsFromJson(const json::Value& value);
+
+/// Binary twins for the compact campaign-partial format v3; same column
+/// lists as the JSON pair (writer and reader cannot drift), raw IEEE-754
+/// doubles (bit-exact by construction).
+void protocolTotalsToBin(util::BinWriter& out, const ProtocolTotals& totals);
+ProtocolTotals protocolTotalsFromBin(util::BinReader& in);
 
 }  // namespace vanet::analysis

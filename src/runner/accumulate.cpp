@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/serialize.h"
 #include "obs/manifest.h"
+#include "runner/partial_binary.h"
 #include "trace/serialize.h"
 #include "util/json.h"
 #include "util/log.h"
@@ -114,6 +116,26 @@ std::vector<GridPointSummary> CampaignAccumulator::take() {
                            " planned jobs folded");
   }
   return std::move(points_);
+}
+
+void CampaignAccumulator::restore(std::vector<GridPointSummary> points) {
+  if (points.size() != points_.size()) {
+    throw std::runtime_error(
+        "checkpoint restore: " + std::to_string(points.size()) +
+        " points, but the plan's shard has " + std::to_string(points_.size()));
+  }
+  std::size_t folded = 0;
+  for (std::size_t slot = 0; slot < points.size(); ++slot) {
+    if (points[slot].gridIndex != points_[slot].gridIndex) {
+      throw std::runtime_error(
+          "checkpoint restore: slot " + std::to_string(slot) +
+          " carries grid index " + std::to_string(points[slot].gridIndex) +
+          ", plan expects " + std::to_string(points_[slot].gridIndex));
+    }
+    folded += static_cast<std::size_t>(points[slot].replications);
+  }
+  points_ = std::move(points);
+  folded_ = folded;
 }
 
 namespace {
@@ -257,13 +279,18 @@ CampaignPartial parseCampaignPartial(const std::string& text) {
 }
 
 bool writeCampaignPartial(const std::string& path,
-                          const CampaignPartial& partial) {
-  std::ofstream out(path);
+                          const CampaignPartial& partial,
+                          PartialFormat format) {
+  const bool binary =
+      format == PartialFormat::kBinary ||
+      (format == PartialFormat::kAuto && partial.shard.count > 1);
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     LOG_ERROR("cannot open " << path << " for writing");
     return false;
   }
-  out << campaignPartialJson(partial);
+  out << (binary ? campaignPartialBinary(partial)
+                 : campaignPartialJson(partial));
   if (!out) return false;
   // Provenance sidecar (best effort; never fails the partial write).
   obs::RunManifest manifest = obs::manifestForArtifact(path);
@@ -282,21 +309,162 @@ bool writeCampaignPartial(const std::string& path,
   return true;
 }
 
+bool writeCampaignPartial(const std::string& path,
+                          const CampaignPartial& partial) {
+  return writeCampaignPartial(path, partial, PartialFormat::kJson);
+}
+
 CampaignPartial readCampaignPartial(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open " + path + " for reading");
   }
-  std::ostringstream text;
-  text << in.rdbuf();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
   try {
-    CampaignPartial partial = parseCampaignPartial(text.str());
+    CampaignPartial partial = looksLikeBinaryPartial(text)
+                                  ? parseCampaignPartialBinary(text)
+                                  : parseCampaignPartial(text);
     partial.sourcePath = path;
     return partial;
   } catch (const std::runtime_error& error) {
     throw std::runtime_error(path + ": " + error.what());
   }
 }
+
+namespace {
+
+/// Merge errors must name the culprit: "shard i/N from 'file'" pins
+/// exactly which partial (and which file on disk) broke the set.
+std::string describePartial(const CampaignPartial& partial) {
+  std::string text = "shard " + std::to_string(partial.shard.index) + "/" +
+                     std::to_string(partial.shard.count);
+  if (!partial.sourcePath.empty()) {
+    text += " from '" + partial.sourcePath + "'";
+  }
+  return text;
+}
+
+/// The campaign-identity fields of a partial, points left behind (so a
+/// merger can keep them without copying point payloads).
+CampaignPartial identityOf(const CampaignPartial& partial) {
+  CampaignPartial header;
+  header.scenario = partial.scenario;
+  header.masterSeed = partial.masterSeed;
+  header.shard = partial.shard;
+  header.replications = partial.replications;
+  header.targetRelativeCi95 = partial.targetRelativeCi95;
+  header.minReplications = partial.minReplications;
+  header.maxReplications = partial.maxReplications;
+  header.targetMetric = partial.targetMetric;
+  header.totalPoints = partial.totalPoints;
+  header.totalJobs = partial.totalJobs;
+  header.hasCheckpoint = partial.hasCheckpoint;
+  header.checkpointCoveredReps = partial.checkpointCoveredReps;
+  header.checkpointComplete = partial.checkpointComplete;
+  header.sourcePath = partial.sourcePath;
+  return header;
+}
+
+/// Incremental shard merge shared by the in-memory and streaming entry
+/// points: shards announce themselves in ascending index order via
+/// beginShard(), then feed points one at a time -- so a binary shard file
+/// never needs to materialize its whole point set.
+class PartialMerger {
+ public:
+  explicit PartialMerger(std::size_t partialCount) : total_(partialCount) {}
+
+  void beginShard(const CampaignPartial& header) {
+    // A checkpoint mid-campaign is resume state, not a shard result:
+    // folding it in would silently drop every replication past its wave.
+    if (header.hasCheckpoint && !header.checkpointComplete) {
+      throw std::runtime_error(describePartial(header) +
+                               " is an unfinished wave checkpoint (resume "
+                               "state), not a finished shard partial");
+    }
+    if (begun_ == 0) {
+      first_ = identityOf(header);
+      if (total_ != static_cast<std::size_t>(first_.shard.count)) {
+        throw std::runtime_error(
+            "expected " + std::to_string(first_.shard.count) +
+            " shard partials, got " + std::to_string(total_) +
+            " (first: " + describePartial(first_) + ")");
+      }
+      merged_.resize(first_.totalPoints);
+      filled_.assign(first_.totalPoints, false);
+    } else if (header.scenario != first_.scenario ||
+               header.masterSeed != first_.masterSeed ||
+               header.replications != first_.replications ||
+               header.targetRelativeCi95 != first_.targetRelativeCi95 ||
+               header.minReplications != first_.minReplications ||
+               header.maxReplications != first_.maxReplications ||
+               header.targetMetric != first_.targetMetric ||
+               header.totalPoints != first_.totalPoints ||
+               header.totalJobs != first_.totalJobs ||
+               header.shard.count != first_.shard.count) {
+      throw std::runtime_error("shard partials describe different campaigns (" +
+                               describePartial(header) + " disagrees)");
+    }
+    if (header.shard.index != static_cast<int>(begun_)) {
+      throw std::runtime_error(
+          "missing or duplicate shard " + std::to_string(begun_) +
+          " in partial set (got " + describePartial(header) + ")");
+    }
+    current_ = identityOf(header);
+    ++begun_;
+  }
+
+  void addPoint(GridPointSummary point) {
+    if (point.gridIndex >= merged_.size()) {
+      throw std::runtime_error(
+          "partial grid index " + std::to_string(point.gridIndex) +
+          " out of range (" + describePartial(current_) + ")");
+    }
+    if (filled_[point.gridIndex]) {
+      throw std::runtime_error(
+          "grid point " + std::to_string(point.gridIndex) +
+          " appears in more than one shard (" + describePartial(current_) +
+          ")");
+    }
+    filled_[point.gridIndex] = true;
+    merged_[point.gridIndex] = std::move(point);
+  }
+
+  std::vector<GridPointSummary> finish() {
+    for (std::size_t p = 0; p < filled_.size(); ++p) {
+      if (!filled_[p]) {
+        throw std::runtime_error("grid point " + std::to_string(p) +
+                                 " is missing from every shard");
+      }
+    }
+    return std::move(merged_);
+  }
+
+  /// Identity of the merged set (the first shard's header, points empty).
+  const CampaignPartial& first() const noexcept { return first_; }
+
+ private:
+  std::size_t total_;
+  std::size_t begun_ = 0;
+  CampaignPartial first_;
+  CampaignPartial current_;
+  std::vector<GridPointSummary> merged_;
+  std::vector<bool> filled_;
+};
+
+bool fileStartsWithBinaryMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path + " for reading");
+  }
+  char prefix[sizeof kPartialBinaryMagic] = {};
+  in.read(prefix, sizeof prefix);
+  return looksLikeBinaryPartial(
+      std::string_view(prefix, static_cast<std::size_t>(in.gcount())));
+}
+
+}  // namespace
 
 std::vector<GridPointSummary> mergeCampaignPartials(
     std::vector<CampaignPartial> partials) {
@@ -307,68 +475,62 @@ std::vector<GridPointSummary> mergeCampaignPartials(
             [](const CampaignPartial& a, const CampaignPartial& b) {
               return a.shard.index < b.shard.index;
             });
-  // Merge errors must name the culprit: "shard i/N from 'file'" pins
-  // exactly which partial (and which file on disk) broke the set.
-  const auto describe = [](const CampaignPartial& partial) {
-    std::string text = "shard " + std::to_string(partial.shard.index) + "/" +
-                       std::to_string(partial.shard.count);
-    if (!partial.sourcePath.empty()) {
-      text += " from '" + partial.sourcePath + "'";
-    }
-    return text;
-  };
-  const CampaignPartial& first = partials.front();
-  if (partials.size() != static_cast<std::size_t>(first.shard.count)) {
-    throw std::runtime_error(
-        "expected " + std::to_string(first.shard.count) +
-        " shard partials, got " + std::to_string(partials.size()) +
-        " (first: " + describe(first) + ")");
-  }
-  std::vector<GridPointSummary> merged(first.totalPoints);
-  std::vector<bool> filled(first.totalPoints, false);
-  for (std::size_t s = 0; s < partials.size(); ++s) {
-    CampaignPartial& partial = partials[s];
-    if (partial.scenario != first.scenario ||
-        partial.masterSeed != first.masterSeed ||
-        partial.replications != first.replications ||
-        partial.targetRelativeCi95 != first.targetRelativeCi95 ||
-        partial.minReplications != first.minReplications ||
-        partial.maxReplications != first.maxReplications ||
-        partial.targetMetric != first.targetMetric ||
-        partial.totalPoints != first.totalPoints ||
-        partial.totalJobs != first.totalJobs ||
-        partial.shard.count != first.shard.count) {
-      throw std::runtime_error(
-          "shard partials describe different campaigns (" +
-          describe(partial) + " disagrees)");
-    }
-    if (partial.shard.index != static_cast<int>(s)) {
-      throw std::runtime_error("missing or duplicate shard " +
-                               std::to_string(s) + " in partial set (got " +
-                               describe(partial) + ")");
-    }
+  PartialMerger merger(partials.size());
+  for (CampaignPartial& partial : partials) {
+    merger.beginShard(partial);
     for (GridPointSummary& point : partial.points) {
-      if (point.gridIndex >= merged.size()) {
-        throw std::runtime_error("partial grid index " +
-                                 std::to_string(point.gridIndex) +
-                                 " out of range (" + describe(partial) + ")");
-      }
-      if (filled[point.gridIndex]) {
-        throw std::runtime_error(
-            "grid point " + std::to_string(point.gridIndex) +
-            " appears in more than one shard (" + describe(partial) + ")");
-      }
-      filled[point.gridIndex] = true;
-      merged[point.gridIndex] = std::move(point);
+      merger.addPoint(std::move(point));
+    }
+    partial.points.clear();
+  }
+  return merger.finish();
+}
+
+std::vector<GridPointSummary> mergeCampaignPartialFiles(
+    const std::vector<std::string>& paths, CampaignPartial* headerOut) {
+  if (paths.empty()) {
+    throw std::runtime_error("no campaign partials to merge");
+  }
+  // Binary files open as streaming readers (header parsed, points left on
+  // disk); JSON files fall back to the DOM reader.
+  struct Source {
+    std::unique_ptr<PartialBinaryFileReader> bin;  // non-null => binary
+    CampaignPartial json;                          // parsed JSON otherwise
+  };
+  const auto headerOf = [](const Source& source) -> const CampaignPartial& {
+    return source.bin ? source.bin->header() : source.json;
+  };
+  std::vector<Source> sources(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (fileStartsWithBinaryMagic(paths[i])) {
+      sources[i].bin = std::make_unique<PartialBinaryFileReader>(paths[i]);
+    } else {
+      sources[i].json = readCampaignPartial(paths[i]);
     }
   }
-  for (std::size_t p = 0; p < filled.size(); ++p) {
-    if (!filled[p]) {
-      throw std::runtime_error("grid point " + std::to_string(p) +
-                               " is missing from every shard");
+  std::sort(sources.begin(), sources.end(),
+            [&headerOf](const Source& a, const Source& b) {
+              return headerOf(a).shard.index < headerOf(b).shard.index;
+            });
+  PartialMerger merger(sources.size());
+  for (Source& source : sources) {
+    merger.beginShard(headerOf(source));
+    if (source.bin) {
+      GridPointSummary point;
+      while (source.bin->nextPoint(point)) {
+        merger.addPoint(std::move(point));
+      }
+    } else {
+      for (GridPointSummary& point : source.json.points) {
+        merger.addPoint(std::move(point));
+      }
+      source.json.points.clear();
     }
   }
-  return merged;
+  if (headerOut != nullptr) {
+    *headerOut = merger.first();
+  }
+  return merger.finish();
 }
 
 }  // namespace vanet::runner

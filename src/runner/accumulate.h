@@ -4,10 +4,13 @@
 /// The *accumulate* layer of the campaign pipeline: folds JobResults
 /// into per-grid-point summaries strictly in job order (the merge that
 /// used to live inline in runCampaign), and (de)serializes summaries to
-/// the versioned JSON partial-result format that shard processes
-/// exchange. Because every RunningStats round-trips its full Welford
-/// merge state, results reassembled from shard files are bit-identical
-/// to a single-process run.
+/// the versioned partial-result formats that shard processes exchange:
+/// JSON v1/v2 (text, human-greppable) and the compact binary v3
+/// (runner/partial_binary.h; the fast path for large campaigns).
+/// Because every RunningStats round-trips its full Welford merge state
+/// -- shortest-round-trip text in JSON, raw IEEE-754 payloads in binary
+/// -- results reassembled from shard files are bit-identical to a
+/// single-process run whichever format carried them.
 
 #include <cstddef>
 #include <cstdint>
@@ -85,6 +88,21 @@ class CampaignAccumulator {
   /// run must never surface a truncated summary set.
   std::vector<GridPointSummary> take();
 
+  /// Read-only view of the fold state so far, in shard-slot order. Only
+  /// meaningful at wave barriers (no worker is folding); this is what
+  /// the per-wave checkpoint writer snapshots.
+  const std::vector<GridPointSummary>& foldedPoints() const noexcept {
+    return points_;
+  }
+
+  /// Restores a wave-barrier fold state saved by a checkpoint: `points`
+  /// must describe exactly this shard's grid points in slot order (same
+  /// gridIndex per slot). Because the summaries round-trip their full
+  /// merge state bit-exactly, folding the remaining replications on top
+  /// reproduces the uninterrupted run's bytes. Throws std::runtime_error
+  /// when the points do not match the plan.
+  void restore(std::vector<GridPointSummary> points);
+
  private:
   bool converged(const GridPointSummary& point) const;
 
@@ -101,12 +119,16 @@ class CampaignAccumulator {
 /// A shard's serialized contribution: the campaign identity (so merging
 /// validates shards belong together) plus its merged point summaries.
 struct CampaignPartial {
-  /// Format version of the partial-result file. Writers always emit the
-  /// current version; readers accept every version back to kMinVersion
-  /// (v1 files predate adaptive replication -- their adaptive fields
-  /// read as "fixed count") and reject anything else.
+  /// Format version of the JSON partial-result file. Writers always emit
+  /// the current version; readers accept every version back to
+  /// kMinVersion (v1 files predate adaptive replication -- their
+  /// adaptive fields read as "fixed count") and reject anything else.
   static constexpr int kVersion = 2;
   static constexpr int kMinVersion = 1;
+  /// Version of the compact binary encoding (runner/partial_binary.h).
+  /// The version space is shared across formats: v1/v2 are JSON, v3 is
+  /// binary; readCampaignPartial auto-detects by magic.
+  static constexpr int kBinaryVersion = 3;
 
   std::string scenario;
   std::uint64_t masterSeed = 0;
@@ -125,11 +147,27 @@ struct CampaignPartial {
   /// adaptive campaigns, whose converged points stop early).
   std::size_t totalJobs = 0;
   std::vector<GridPointSummary> points;  ///< this shard's, in grid order
+  /// Checkpoint trailer (binary v3 only): set when this partial is a
+  /// per-wave checkpoint rather than a finished shard contribution.
+  /// `checkpointCoveredReps` is the replication prefix every still-open
+  /// point has folded; `checkpointComplete` marks the final barrier (the
+  /// campaign finished -- resuming just re-emits). Incomplete checkpoints
+  /// are rejected by mergeCampaignPartials: they are resume state, not a
+  /// shard result.
+  bool hasCheckpoint = false;
+  int checkpointCoveredReps = 0;
+  bool checkpointComplete = false;
   /// Where this partial was read from (set by readCampaignPartial; empty
   /// for in-process partials). Never serialized -- it exists so merge
   /// validation errors can name the offending file.
   std::string sourcePath;
 };
+
+/// On-disk encoding of a campaign partial. kAuto picks binary for shard
+/// runs (the CLI default for --shard; compact and ~an order of magnitude
+/// faster to write+merge) and JSON otherwise (back-compat for tooling
+/// that greps partials).
+enum class PartialFormat { kAuto, kJson, kBinary };
 
 /// Serializes a partial to its versioned JSON document. Deterministic:
 /// bit-identical summaries render byte-identical text.
@@ -139,21 +177,41 @@ std::string campaignPartialJson(const CampaignPartial& partial);
 /// malformed input or a version mismatch.
 CampaignPartial parseCampaignPartial(const std::string& text);
 
-/// Writes the partial to `path`; false (and logs) on I/O failure.
+/// Writes the partial to `path` in the requested format (kAuto: binary
+/// when partial.shard.count > 1, JSON otherwise); false (and logs) on
+/// I/O failure. The two-argument overload keeps the historical JSON
+/// behaviour.
+bool writeCampaignPartial(const std::string& path,
+                          const CampaignPartial& partial,
+                          PartialFormat format);
 bool writeCampaignPartial(const std::string& path,
                           const CampaignPartial& partial);
 
-/// Reads and parses a partial file. Throws std::runtime_error when the
-/// file cannot be read or parsed.
+/// Reads and parses a partial file, auto-detecting the format by magic:
+/// binary v3 files start with the kPartialBinaryMagic bytes, everything
+/// else parses as JSON v1/v2. Throws std::runtime_error (prefixed with
+/// the path; binary errors also carry the byte offset of the bad
+/// section) when the file cannot be read or parsed.
 CampaignPartial readCampaignPartial(const std::string& path);
 
 /// Folds shard partials (any order given; folded in shard order) back
 /// into the full grid. Validates that the partials describe the same
-/// campaign, that every shard 0..count-1 is present exactly once, and
-/// that the points cover the full grid without overlap. Throws
-/// std::runtime_error on any mismatch. The returned summaries are
-/// bit-identical to the single-process run's.
+/// campaign, that every shard 0..count-1 is present exactly once, that
+/// none is an unfinished checkpoint, and that the points cover the full
+/// grid without overlap. Throws std::runtime_error on any mismatch. The
+/// returned summaries are bit-identical to the single-process run's.
 std::vector<GridPointSummary> mergeCampaignPartials(
     std::vector<CampaignPartial> partials);
+
+/// The streaming fast path behind campaign_merge: reads the named shard
+/// files and folds their points into the full grid with the same
+/// validation as mergeCampaignPartials, but binary partials stream
+/// point-by-point through buffered reads (peak memory one point record,
+/// never a parsed DOM). JSON files fall back to the DOM reader. When
+/// `headerOut` is non-null it receives the campaign identity of the set
+/// (points left empty). Formats may be mixed across files.
+std::vector<GridPointSummary> mergeCampaignPartialFiles(
+    const std::vector<std::string>& paths,
+    CampaignPartial* headerOut = nullptr);
 
 }  // namespace vanet::runner

@@ -54,6 +54,10 @@ struct CampaignResult {
   std::size_t peakBufferedResults = 0;
   double wallSeconds = 0.0;
   double jobsPerSecond = 0.0;
+  /// True when CampaignConfig::haltAfterWaves stopped the run at a wave
+  /// barrier: the checkpoint file holds the fold state, `points` is empty
+  /// (a halted run has no complete summary to surface).
+  bool halted = false;
   std::vector<GridPointSummary> points;  ///< in grid order
 };
 
@@ -63,6 +67,12 @@ struct CampaignResult {
 /// replication count is < 1 or the shard is malformed. Worker exceptions
 /// are rethrown on the calling thread after the pool drains; no partial
 /// summaries survive a failed run.
+///
+/// With config.checkpointPath set, a binary checkpoint partial is written
+/// atomically at every wave barrier; with config.resume also set, the
+/// fold state restores from that file (std::runtime_error when it
+/// describes a different campaign) and execution continues at the first
+/// uncovered wave -- byte-identical to the uninterrupted run.
 CampaignResult runCampaign(const CampaignConfig& config);
 
 /// This result's shard contribution, ready for writeCampaignPartial().
@@ -74,5 +84,13 @@ CampaignPartial campaignPartial(const CampaignResult& result);
 /// throughput fields (threads, wall-clock) are zeroed -- they are not
 /// meaningful for a merge.
 CampaignResult resultFromPartials(std::vector<CampaignPartial> partials);
+
+/// resultFromPartials over files: the streaming fast path of
+/// campaign_merge. Binary shard files fold point-by-point through
+/// buffered reads (peak memory one point record); JSON files fall back
+/// to the DOM reader. Formats may be mixed. Same validation -- and the
+/// same merged bytes -- as reading every file and calling
+/// resultFromPartials.
+CampaignResult resultFromPartialFiles(const std::vector<std::string>& paths);
 
 }  // namespace vanet::runner

@@ -137,7 +137,8 @@ std::size_t streamingWindowCap(int threads) noexcept {
 
 ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
                                bool streaming, CampaignAccumulator& into,
-                               obs::ProgressReporter* progress) {
+                               obs::ProgressReporter* progress,
+                               const WaveHooks& hooks) {
   OBS_SCOPED_TIMER("campaign.execute");
   const std::size_t jobCount = plan.shardJobCount();
   ExecutionStats stats;
@@ -157,11 +158,22 @@ ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
   // adaptive plans double the covered prefix each wave and, at each wave
   // barrier, drop the points whose stop rule fired. The open set and the
   // wave bounds are pure functions of the folded state, so the schedule
-  // -- and therefore the bytes -- never depend on thread count.
-  std::vector<std::size_t> open(plan.shardPointIndices().size());
-  for (std::size_t slot = 0; slot < open.size(); ++slot) open[slot] = slot;
-  int coveredReps = 0;
-  for (int wave = 0; !open.empty(); ++wave) {
+  // -- and therefore the bytes -- never depend on thread count. A resumed
+  // run seeds both from the restored accumulator: the open set filters on
+  // the (pure) stop rule, and the wave counter skips the prefix the
+  // checkpoint already covered, so the continuation replays the exact
+  // schedule tail of the uninterrupted run.
+  std::vector<std::size_t> open;
+  open.reserve(plan.shardPointIndices().size());
+  for (std::size_t slot = 0; slot < plan.shardPointIndices().size(); ++slot) {
+    if (!into.pointDone(slot)) open.push_back(slot);
+  }
+  int coveredReps = hooks.resumeCoveredReps;
+  int wave = 0;
+  if (coveredReps > 0 && coveredReps < plan.replications()) {
+    while (plan.waveEndReplication(wave) <= coveredReps) ++wave;
+  }
+  for (; !open.empty(); ++wave) {
     const int waveEnd = plan.waveEndReplication(wave);
     const std::vector<WaveJob> jobs =
         buildWave(plan, open, coveredReps, waveEnd);
@@ -178,11 +190,23 @@ ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
     stats.jobsRun += jobs.size();
     stats.waves += 1;
     coveredReps = waveEnd;
-    if (coveredReps >= plan.replications()) break;  // cap reached
-    open.erase(std::remove_if(
-                   open.begin(), open.end(),
-                   [&into](std::size_t slot) { return into.pointDone(slot); }),
-               open.end());
+    if (coveredReps >= plan.replications()) {
+      open.clear();  // cap reached: every point is done
+    } else {
+      open.erase(
+          std::remove_if(
+              open.begin(), open.end(),
+              [&into](std::size_t slot) { return into.pointDone(slot); }),
+          open.end());
+    }
+    if (hooks.onWaveBarrier) {
+      hooks.onWaveBarrier(wave, coveredReps, open.empty());
+    }
+    if (open.empty()) break;
+    if (hooks.haltAfterWaves >= 0 && stats.waves >= hooks.haltAfterWaves) {
+      stats.halted = true;
+      break;
+    }
   }
 
   const std::chrono::duration<double> elapsed =

@@ -32,6 +32,7 @@
 /// CampaignAccumulator::take() refuses to surface a truncated summary.
 
 #include <cstddef>
+#include <functional>
 
 #include "runner/accumulate.h"
 #include "runner/plan.h"
@@ -57,6 +58,31 @@ struct ExecutionStats {
   /// Buffered mode reports the largest wave's job count; streaming mode
   /// is bounded by streamingWindowCap(threads).
   std::size_t peakBufferedResults = 0;
+  /// True when WaveHooks::haltAfterWaves stopped the run at a barrier
+  /// before the campaign completed. The accumulator then holds a valid
+  /// wave-boundary fold state but take() would (correctly) refuse.
+  bool halted = false;
+};
+
+/// Checkpoint/resume instrumentation of the executor's wave loop. All
+/// hooks run at wave *barriers* -- no worker is executing -- so reading
+/// the accumulator from onWaveBarrier is race-free.
+struct WaveHooks {
+  /// Replication prefix every still-open point had folded when a resumed
+  /// checkpoint was written; 0 starts from scratch. The wave loop skips
+  /// the waves that prefix already covers and continues the schedule
+  /// exactly where the checkpointed run stopped (the accumulator must
+  /// have been restore()d to the matching fold state first).
+  int resumeCoveredReps = 0;
+  /// Stop after this many wave barriers *this process* (< 0: run to
+  /// completion). Simulates a kill at a barrier for checkpoint tests and
+  /// the CI resume smoke; the executor returns with stats.halted = true.
+  int haltAfterWaves = -1;
+  /// Called after each wave barrier's fold + stop-rule pruning, with the
+  /// wave index, the covered replication prefix, and whether the campaign
+  /// is now complete. This is where runCampaign snapshots the accumulator
+  /// into a checkpoint file. Exceptions propagate to the caller.
+  std::function<void(int wave, int coveredReps, bool complete)> onWaveBarrier;
 };
 
 /// The reordering-window capacity for `threads` workers: the most
@@ -74,6 +100,7 @@ std::size_t streamingWindowCap(int threads) noexcept;
 /// tick per completed job; it observes only, never schedules.
 ExecutionStats executeCampaign(const CampaignPlan& plan, int requestedThreads,
                                bool streaming, CampaignAccumulator& into,
-                               obs::ProgressReporter* progress = nullptr);
+                               obs::ProgressReporter* progress = nullptr,
+                               const WaveHooks& hooks = {});
 
 }  // namespace vanet::runner

@@ -97,6 +97,25 @@ struct CampaignConfig {
   /// Live progress lines on stderr (CLI: --progress). Observability only:
   /// result bytes are identical with it on or off.
   bool progress = false;
+  /// Per-wave checkpoint file (CLI: --checkpoint). Non-empty makes
+  /// runCampaign write a binary-v3 checkpoint partial (atomically:
+  /// tmp + rename) at every wave barrier; with `resume` also set, a
+  /// matching checkpoint at this path restores the fold state and the
+  /// run continues at the first uncovered wave -- final artifacts are
+  /// byte-identical to the uninterrupted run (same seeds, same fold
+  /// order). Checkpointing is observability-grade: result bytes are
+  /// identical with it on or off.
+  std::string checkpointPath;
+  /// Resume from `checkpointPath` (CLI: --resume). The checkpoint must
+  /// describe this exact campaign (scenario, master seed, shard,
+  /// replication cap, adaptive stop rule, grid totals) or runCampaign
+  /// throws. A missing checkpoint file is an error; a *complete*
+  /// checkpoint just re-emits the finished result.
+  bool resume = false;
+  /// Stop after this many wave barriers (< 0: run to completion); the
+  /// result comes back with halted = true and no points. Simulates a
+  /// kill between waves for checkpoint tests and the CI resume smoke.
+  int haltAfterWaves = -1;
 };
 
 /// One fully resolved grid point of the expanded campaign.

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "trace/aggregate.h"
+#include "util/binio.h"
 #include "util/json.h"
 
 namespace vanet::trace {
@@ -37,5 +38,23 @@ RunningStats runningStatsFromJson(const json::Value& value);
 /// A SeriesAccumulator as an array of cell states.
 std::string seriesToJson(const SeriesAccumulator& series);
 SeriesAccumulator seriesFromJson(const json::Value& value);
+
+/// Binary twins of the JSON serializers above, used by the compact
+/// campaign-partial format v3 (runner/partial_binary.h). Writer and
+/// reader share the same column lists as the JSON pair, so the two wire
+/// formats cannot drift apart; doubles travel as raw IEEE-754 payloads,
+/// which makes the round trip bit-exact by construction rather than by
+/// shortest-round-trip formatting.
+void runningStatsToBin(util::BinWriter& out, const RunningStats& stats);
+RunningStats runningStatsFromBin(util::BinReader& in);
+
+void seriesToBin(util::BinWriter& out, const SeriesAccumulator& series);
+SeriesAccumulator seriesFromBin(util::BinReader& in);
+
+void table1ToBin(util::BinWriter& out, const Table1Data& data);
+Table1Data table1FromBin(util::BinReader& in);
+
+void flowFigureToBin(util::BinWriter& out, const FlowFigure& figure);
+FlowFigure flowFigureFromBin(util::BinReader& in);
 
 }  // namespace vanet::trace

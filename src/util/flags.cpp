@@ -149,6 +149,18 @@ CampaignRunFlags campaignRunFlags(const Flags& flags,
   run.roundThreads = flags.getInt("round-threads", 1);
   run.shard = flags.getShard("shard");
   run.partialOut = flags.getString("partial-out", "");
+  run.partialFormat = flags.getString("partial-format", "");
+  if (!run.partialFormat.empty() && run.partialFormat != "bin" &&
+      run.partialFormat != "json") {
+    badValue("partial-format", run.partialFormat, "'bin' or 'json'");
+  }
+  run.checkpoint = flags.getString("checkpoint", "");
+  run.resume = flags.getBool("resume", false);
+  if (run.resume && run.checkpoint.empty()) {
+    std::fprintf(stderr, "flag --resume needs --checkpoint=<path>\n");
+    std::exit(2);
+  }
+  run.haltAfterWaves = flags.getInt("halt-after-waves", -1);
   run.streaming = flags.getBool("streaming", false);
   run.targetCi = flags.getDouble("target-ci", 0.0);
   run.minReps = flags.getInt("min-reps", 0);

@@ -61,7 +61,18 @@ class Flags {
 ///                      thread budget has left); results are identical
 ///                      for every value
 ///   --shard=i/N        run shard i of N (whole grid points)
-///   --partial-out=F    write this shard's partial-result JSON to F
+///   --partial-out=F    write this shard's partial result to F
+///   --partial-format=X partial encoding: "bin" (compact binary v3) or
+///                      "json"; omit for the default (binary for --shard
+///                      runs, JSON otherwise)
+///   --checkpoint=F     write a binary checkpoint partial to F at every
+///                      replication-wave barrier (atomically)
+///   --resume           restore the fold state from --checkpoint=F and
+///                      continue at the first uncovered wave; the final
+///                      artifacts are byte-identical to an uninterrupted
+///                      run
+///   --halt-after-waves=K  stop after K wave barriers (kill simulation
+///                      for checkpoint tests; default: run to completion)
 ///   --streaming        fold results through the bounded reordering
 ///                      window (O(points+threads) memory)
 ///   --target-ci=X      adaptive replication: stop a grid point once the
@@ -83,6 +94,12 @@ struct CampaignRunFlags {
   int roundThreads = 1;
   ShardSpec shard{};
   std::string partialOut;
+  /// Partial-file encoding: "bin", "json", or empty for the format-auto
+  /// default (binary when sharded, JSON otherwise).
+  std::string partialFormat;
+  std::string checkpoint;     ///< per-wave checkpoint file; empty = off
+  bool resume = false;        ///< restore from `checkpoint` first
+  int haltAfterWaves = -1;    ///< stop after K barriers (< 0: run all)
   bool streaming = false;
   double targetCi = 0.0;  ///< <= 0 keeps the fixed replication count
   int minReps = 0;        ///< 0 = derive from the fixed count

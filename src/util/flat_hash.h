@@ -6,10 +6,14 @@
 /// shadowing pair constants). Linear probing over a power-of-two index
 /// table of entry indices; entries themselves live contiguously in
 /// insertion order, so iteration-free lookups touch at most two cache
-/// lines. No erase support -- link caches only grow within a round.
+/// lines. Erase uses tombstones in the index table plus swap-pop in the
+/// entry array, so the entry storage stays dense and probe chains stay
+/// intact; tombstoned cells are recycled by later inserts and dropped
+/// wholesale on the next rehash.
 
 #include <cstddef>
 #include <cstdint>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -29,7 +33,8 @@ class FlatMap64 {
     const std::size_t mask = index_.size() - 1;
     for (std::size_t probe = mix(key) & mask;; probe = (probe + 1) & mask) {
       const std::int32_t slot = index_[probe];
-      if (slot < 0) return nullptr;
+      if (slot == kEmpty) return nullptr;
+      if (slot == kTombstone) continue;
       if (entries_[static_cast<std::size_t>(slot)].first == key) {
         return &entries_[static_cast<std::size_t>(slot)].second;
       }
@@ -39,23 +44,77 @@ class FlatMap64 {
   /// Returns the value for `key`, inserting `Value(args...)` when absent.
   template <typename... Args>
   Value& findOrEmplace(std::uint64_t key, Args&&... args) {
-    if (Value* hit = find(key)) return *hit;
-    if ((entries_.size() + 1) * 10 >= index_.size() * 7) grow();
+    // Grow on index occupancy (live + tombstones), not entry count, so
+    // probe chains stay short even after heavy erase churn.
+    if ((used_ + 1) * 10 >= index_.size() * 7) grow();
     const std::size_t mask = index_.size() - 1;
+    std::size_t graveyard = index_.size();  // first tombstone on the chain
     std::size_t probe = mix(key) & mask;
-    while (index_[probe] >= 0) probe = (probe + 1) & mask;
+    for (;; probe = (probe + 1) & mask) {
+      const std::int32_t slot = index_[probe];
+      if (slot == kEmpty) break;
+      if (slot == kTombstone) {
+        if (graveyard == index_.size()) graveyard = probe;
+        continue;
+      }
+      if (entries_[static_cast<std::size_t>(slot)].first == key) {
+        return entries_[static_cast<std::size_t>(slot)].second;
+      }
+    }
+    if (graveyard != index_.size()) {
+      probe = graveyard;  // recycle the tombstone: the chain stays intact
+    } else {
+      ++used_;
+    }
     index_[probe] = static_cast<std::int32_t>(entries_.size());
     entries_.emplace_back(std::piecewise_construct, std::forward_as_tuple(key),
                           std::forward_as_tuple(std::forward<Args>(args)...));
     return entries_.back().second;
   }
 
+  /// Removes `key`; returns true when it was present. The hole in the
+  /// entry array is back-filled by the last entry (swap-pop), so erase
+  /// invalidates pointers to the moved value and reorders iteration;
+  /// the index cell becomes a tombstone so other probe chains survive.
+  bool erase(std::uint64_t key) noexcept {
+    if (entries_.empty()) return false;
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t probe = mix(key) & mask;; probe = (probe + 1) & mask) {
+      const std::int32_t slot = index_[probe];
+      if (slot == kEmpty) return false;
+      if (slot == kTombstone) continue;
+      const std::size_t hole = static_cast<std::size_t>(slot);
+      if (entries_[hole].first != key) continue;
+      index_[probe] = kTombstone;
+      const std::size_t last = entries_.size() - 1;
+      if (hole != last) {
+        // Re-point the moved entry's index cell before the swap-pop.
+        std::size_t p = mix(entries_[last].first) & mask;
+        while (index_[p] != static_cast<std::int32_t>(last)) {
+          p = (p + 1) & mask;
+        }
+        index_[p] = static_cast<std::int32_t>(hole);
+        entries_[hole] = std::move(entries_[last]);
+      }
+      entries_.pop_back();
+      return true;
+    }
+  }
+
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
+
+  /// Iteration over (key, value) pairs in storage order. Insertion order
+  /// until the first erase; erase swap-pops, which reorders.
+  auto begin() noexcept { return entries_.begin(); }
+  auto end() noexcept { return entries_.end(); }
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
 
   void clear() noexcept {
     entries_.clear();
     index_.clear();
+    used_ = 0;
   }
 
  private:
@@ -70,17 +129,22 @@ class FlatMap64 {
 
   void grow() {
     const std::size_t cap = index_.empty() ? 16 : index_.size() * 2;
-    index_.assign(cap, -1);
+    index_.assign(cap, kEmpty);  // rehash from scratch: tombstones vanish
     const std::size_t mask = cap - 1;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       std::size_t probe = mix(entries_[i].first) & mask;
-      while (index_[probe] >= 0) probe = (probe + 1) & mask;
+      while (index_[probe] != kEmpty) probe = (probe + 1) & mask;
       index_[probe] = static_cast<std::int32_t>(i);
     }
+    used_ = entries_.size();
   }
 
+  static constexpr std::int32_t kEmpty = -1;
+  static constexpr std::int32_t kTombstone = -2;
+
   std::vector<std::pair<std::uint64_t, Value>> entries_;
-  std::vector<std::int32_t> index_;  // -1 = empty
+  std::vector<std::int32_t> index_;  // entry index, kEmpty or kTombstone
+  std::size_t used_ = 0;             // occupied index cells, live + tombstones
 };
 
 }  // namespace vanet::util

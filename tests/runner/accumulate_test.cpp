@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -177,6 +178,52 @@ TEST(AccumulateTest, ReadErrorsNameTheFile) {
     FAIL() << "foreign document must not parse";
   } catch (const std::runtime_error& error) {
     EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(AccumulateTest, BinaryReadErrorsNameFileAndByteOffset) {
+  // The binary reader must match the JSON reader's error contract --
+  // the failing file is always named -- and add the byte offset of the
+  // damage, which text formats cannot give.
+  CampaignConfig config = urbanCampaign();
+  config.shard = Shard{0, 2};
+  const std::string good = ::testing::TempDir() + "/bin_ok.part";
+  ASSERT_TRUE(writeCampaignPartial(good,
+                                   campaignPartial(runCampaign(config)),
+                                   PartialFormat::kBinary));
+  std::string bytes;
+  {
+    std::ifstream in(good, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string truncated = ::testing::TempDir() + "/bin_cut.part";
+  std::ofstream(truncated, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+  try {
+    readCampaignPartial(truncated);
+    FAIL() << "truncated binary partial must not parse";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(truncated), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+  }
+}
+
+TEST(AccumulateTest, MergeFilesReportsTheUnreadableFile) {
+  CampaignConfig config = urbanCampaign();
+  config.shard = Shard{0, 2};
+  const std::string good = ::testing::TempDir() + "/merge_ok.part";
+  ASSERT_TRUE(writeCampaignPartial(good,
+                                   campaignPartial(runCampaign(config)),
+                                   PartialFormat::kBinary));
+  const std::string missing = ::testing::TempDir() + "/merge_gone.part";
+  try {
+    mergeCampaignPartialFiles({good, missing});
+    FAIL() << "missing shard file must not merge";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(missing), std::string::npos)
         << error.what();
   }
 }

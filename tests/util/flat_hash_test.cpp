@@ -1,0 +1,183 @@
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vanet::util {
+namespace {
+
+TEST(FlatHashTest, FindOnEmptyMapReturnsNull) {
+  FlatMap64<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_FALSE(map.erase(42));
+}
+
+TEST(FlatHashTest, InsertFindAndValueIdentity) {
+  FlatMap64<std::string> map;
+  map.findOrEmplace(1, "one");
+  map.findOrEmplace(2, "two");
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(1), "one");
+  // findOrEmplace on a present key returns the existing value untouched.
+  EXPECT_EQ(map.findOrEmplace(1, "ignored"), "one");
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.find(3), nullptr);
+}
+
+TEST(FlatHashTest, SurvivesRehashGrowth) {
+  FlatMap64<std::uint64_t> map;
+  // Far past the initial 16-cell table and several doublings.
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    map.findOrEmplace(key * 1315423911ull, key);
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    auto* value = map.find(key * 1315423911ull);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_EQ(*value, key);
+  }
+}
+
+TEST(FlatHashTest, EraseRemovesOnlyTheTarget) {
+  FlatMap64<int> map;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    map.findOrEmplace(key, static_cast<int>(key) * 3);
+  }
+  EXPECT_TRUE(map.erase(37));
+  EXPECT_FALSE(map.erase(37));  // already gone
+  EXPECT_EQ(map.size(), 99u);
+  EXPECT_EQ(map.find(37), nullptr);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    if (key == 37) continue;
+    ASSERT_NE(map.find(key), nullptr) << key;
+    EXPECT_EQ(*map.find(key), static_cast<int>(key) * 3);
+  }
+}
+
+TEST(FlatHashTest, EraseKeepsCollisionChainsIntact) {
+  // Sequential keys hash through splitmix64, so force long probe chains
+  // the honest way: load many keys into a small logical neighbourhood and
+  // delete from the middle of the insertion order. Every surviving key
+  // must stay reachable even when its probe chain crossed a tombstone.
+  FlatMap64<std::uint64_t> map;
+  constexpr std::uint64_t kCount = 512;
+  for (std::uint64_t key = 0; key < kCount; ++key) {
+    map.findOrEmplace(key, key + 1000);
+  }
+  for (std::uint64_t key = 0; key < kCount; key += 3) {
+    EXPECT_TRUE(map.erase(key));
+  }
+  for (std::uint64_t key = 0; key < kCount; ++key) {
+    if (key % 3 == 0) {
+      EXPECT_EQ(map.find(key), nullptr) << key;
+    } else {
+      ASSERT_NE(map.find(key), nullptr) << key;
+      EXPECT_EQ(*map.find(key), key + 1000);
+    }
+  }
+}
+
+TEST(FlatHashTest, TombstonesAreRecycledByInserts) {
+  FlatMap64<int> map;
+  for (std::uint64_t key = 0; key < 64; ++key) map.findOrEmplace(key, 1);
+  // Churn the same keyspace: every erase leaves a tombstone, every
+  // re-insert must be able to reuse one instead of growing the chain.
+  for (int round = 0; round < 1000; ++round) {
+    const std::uint64_t key = static_cast<std::uint64_t>(round % 64);
+    EXPECT_TRUE(map.erase(key));
+    map.findOrEmplace(key, round);
+  }
+  EXPECT_EQ(map.size(), 64u);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    ASSERT_NE(map.find(key), nullptr) << key;
+  }
+}
+
+TEST(FlatHashTest, EraseEverythingThenReuse) {
+  FlatMap64<int> map;
+  for (std::uint64_t key = 0; key < 200; ++key) map.findOrEmplace(key, 7);
+  for (std::uint64_t key = 0; key < 200; ++key) EXPECT_TRUE(map.erase(key));
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(5), nullptr);
+  // The emptied map accepts fresh keys (rehash drops the tombstones).
+  for (std::uint64_t key = 1000; key < 1200; ++key) {
+    map.findOrEmplace(key, 9);
+  }
+  EXPECT_EQ(map.size(), 200u);
+  EXPECT_EQ(*map.find(1100), 9);
+}
+
+TEST(FlatHashTest, LookupResultsIndependentOfOperationOrder) {
+  // Two maps built through different insert/erase interleavings must
+  // agree on every lookup: contents, not history, define the map.
+  FlatMap64<int> forward;
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    forward.findOrEmplace(key, static_cast<int>(key));
+  }
+  for (std::uint64_t key = 0; key < 300; key += 2) forward.erase(key);
+
+  FlatMap64<int> shuffled;
+  for (std::uint64_t key = 300; key-- > 0;) {
+    shuffled.findOrEmplace(key, static_cast<int>(key));
+    if (key % 5 == 0 && key + 2 < 300) shuffled.erase(key + 2);
+  }
+  for (std::uint64_t key = 0; key < 300; key += 2) shuffled.erase(key);
+  for (std::uint64_t key = 1; key < 300; key += 2) {
+    shuffled.findOrEmplace(key, static_cast<int>(key));
+  }
+
+  EXPECT_EQ(forward.size(), shuffled.size());
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    const int* a = forward.find(key);
+    const int* b = shuffled.find(key);
+    EXPECT_EQ(a == nullptr, b == nullptr) << key;
+    if (a != nullptr && b != nullptr) {
+      EXPECT_EQ(*a, *b) << key;
+    }
+  }
+}
+
+TEST(FlatHashTest, IterationCoversExactlyTheLiveEntries) {
+  FlatMap64<int> map;
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    map.findOrEmplace(key, static_cast<int>(key) + 5);
+  }
+  for (std::uint64_t key = 10; key < 20; ++key) map.erase(key);
+
+  std::map<std::uint64_t, int> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "duplicate " << key;
+  }
+  EXPECT_EQ(seen.size(), 40u);
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    if (key >= 10 && key < 20) {
+      EXPECT_EQ(seen.count(key), 0u) << key;
+    } else {
+      ASSERT_EQ(seen.count(key), 1u) << key;
+      EXPECT_EQ(seen[key], static_cast<int>(key) + 5);
+    }
+  }
+}
+
+TEST(FlatHashTest, ClearResetsForReuse) {
+  FlatMap64<int> map;
+  for (std::uint64_t key = 0; key < 40; ++key) map.findOrEmplace(key, 1);
+  map.erase(3);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), nullptr);
+  map.findOrEmplace(99, 42);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.find(99), 42);
+}
+
+}  // namespace
+}  // namespace vanet::util
