@@ -24,6 +24,7 @@
 
 #include "analysis/experiment.h"
 #include "analysis/round.h"
+#include "channel/link_batch.h"
 #include "channel/link_model.h"
 #include "mac/airtime.h"
 #include "obs/counters.h"
@@ -38,6 +39,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
+#include "util/vmath.h"
 
 namespace {
 
@@ -112,24 +114,87 @@ RunningStats timeCancelHeavy(int iters, int events) {
 }
 
 RunningStats timeLinkSampling(int iters, int samples) {
+  // Times link evaluation the way RadioEnvironment::deliver pays for it
+  // since the struct-of-arrays rewiring: one planBatch (distance, path
+  // loss, shadowing, mean power, fading) plus one successProbabilityBatch
+  // per transmission's receiver set, 16 receivers per batch (the 9plus
+  // occupancy bucket of a highway platoon). The scalar per-receiver calls
+  // this loop used to make remain as the bit-identical behavioural
+  // reference (LinkModel::planBatch base implementation).
   const geom::Polyline road{{{0.0, 0.0}, {500.0, 0.0}}};
   analysis::ChannelConfig config;
   auto model = analysis::buildLinkModel(road, config, Rng{7});
   Rng rng{9};
   RunningStats wall;
+  constexpr int kRxPerBatch = 16;
+  channel::LinkBatch batch;
+  std::vector<double> probs(kRxPerBatch);
   double x = 0.0;
   for (int it = 0; it < iters; ++it) {
     const auto start = Clock::now();
-    for (int i = 0; i < samples; ++i) {
-      x += 1.0;
-      if (x > 400.0) x = 0.0;
-      const double mean = model->meanRxPowerDbm(kFirstApId, {250.0, -8.0},
-                                                18.0, 1, {x, 0.0});
-      const double faded = model->fadedRxPowerDbm(mean, rng);
-      gSink += model->successProbability(channel::PhyMode::kDsss1Mbps,
-                                         faded + 94.0, 8224) > 0.5;
+    for (int i = 0; i < samples; i += kRxPerBatch) {
+      batch.clear();
+      for (int r = 0; r < kRxPerBatch; ++r) {
+        x += 1.0;
+        if (x > 400.0) x = 0.0;
+        batch.add(static_cast<NodeId>(r + 1), {x, 0.0});
+      }
+      batch.prepare();
+      model->planBatch(kFirstApId, {250.0, -8.0}, 18.0, batch, rng);
+      const double* faded = batch.fadedDbm();
+      double* sinr = batch.meanDbm();  // reuse plan scratch for SINR
+      for (int r = 0; r < kRxPerBatch; ++r) {
+        sinr[r] = faded[r] + 94.0;
+      }
+      model->successProbabilityBatch(channel::PhyMode::kDsss1Mbps, sinr, 8224,
+                                     probs.data(), kRxPerBatch);
+      for (int r = 0; r < kRxPerBatch; ++r) {
+        gSink += probs[r] > 0.5;
+      }
     }
     wall.add(secondsSince(start));
+  }
+  return wall;
+}
+
+/// ns/op for one batched vmath kernel over a hot-cache input vector --
+/// the per-element cost the link/error-model stages pay after the rewiring.
+template <class Fn>
+RunningStats timeVmathKernel(int iters, int n, double lo, double hi, Fn&& fn) {
+  Rng rng{31};
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> out(x.size());
+  for (double& v : x) v = rng.uniform(lo, hi);
+  RunningStats wall;
+  for (int it = 0; it < iters; ++it) {
+    const auto start = Clock::now();
+    for (int rep = 0; rep < 64; ++rep) {
+      fn(x.data(), out.data(), x.size());
+      gSink += static_cast<std::uint64_t>(out[0] != 0.0);
+    }
+    wall.add(secondsSince(start) / 64.0);
+  }
+  return wall;
+}
+
+RunningStats timeVmathNormal(int iters, int n) {
+  Rng rng{33};
+  std::vector<double> u1(static_cast<std::size_t>(n));
+  std::vector<double> u2(u1.size());
+  std::vector<double> z0(u1.size());
+  std::vector<double> z1(u1.size());
+  for (std::size_t i = 0; i < u1.size(); ++i) {
+    u1[i] = 1.0 - rng.uniform();
+    u2[i] = rng.uniform();
+  }
+  RunningStats wall;
+  for (int it = 0; it < iters; ++it) {
+    const auto start = Clock::now();
+    for (int rep = 0; rep < 64; ++rep) {
+      vmath::vnormalpair(u1.data(), u2.data(), z0.data(), z1.data(), u1.size());
+      gSink += static_cast<std::uint64_t>(z0[0] != 0.0);
+    }
+    wall.add(secondsSince(start) / 64.0);
   }
   return wall;
 }
@@ -387,6 +452,29 @@ int main(int argc, char** argv) {
              timeLinkSampling(iters, 10000), 10000, "samples");
   timeKernel("frame_airtime", "frame airtime (20k)",
              timeFrameAirtime(iters, 10000), 20000, "frames");
+  // The vmath kernels behind the batched radio pipeline (simdIsa() says
+  // which body runs; VANET_SIMD=off forces the scalar one).
+  const int kVmathN = 4096;
+  timeKernel("vmath_exp", "vmath exp (4k batch)",
+             timeVmathKernel(iters, kVmathN, -700.0, 700.0,
+                             [](const double* x, double* o, std::size_t n) {
+                               vmath::vexp(x, o, n);
+                             }),
+             kVmathN, "elems");
+  timeKernel("vmath_log10", "vmath log10 (4k batch)",
+             timeVmathKernel(iters, kVmathN, 1e-15, 1e9,
+                             [](const double* x, double* o, std::size_t n) {
+                               vmath::vlog10(x, o, n);
+                             }),
+             kVmathN, "elems");
+  timeKernel("vmath_erfc", "vmath erfc (4k batch)",
+             timeVmathKernel(iters, kVmathN, -3.0, 20.0,
+                             [](const double* x, double* o, std::size_t n) {
+                               vmath::verfc(x, o, n);
+                             }),
+             kVmathN, "elems");
+  timeKernel("vmath_normal", "vmath normal pairs (4k batch)",
+             timeVmathNormal(iters, kVmathN), kVmathN, "pairs");
   const RunningStats roundWall = timeKernel(
       "urban_round", "full urban round", timeUrbanRound(iters, run.seed), 0,
       "");

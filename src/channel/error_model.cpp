@@ -4,20 +4,54 @@
 #include <cmath>
 
 #include "util/assert.h"
+#include "util/vmath.h"
 
 namespace vanet::channel {
 namespace {
 
-double qFunction(double x) noexcept { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+constexpr double kRoot2 = 1.4142135623730951;  // sqrt(2), correctly rounded
 
-double snrLinear(double snrDb) noexcept { return std::pow(10.0, snrDb / 10.0); }
+/// One row per PHY mode: BER(snr) = isExp ? 0.5 exp(-min(ebn0, 700))
+///                                        : k1 Q(sqrt(k2 ebn0))
+/// with ebn0 = 10^(snr/10) * scale and scale = noise bandwidth / bitrate
+/// (22 MHz over the data rate: 11-chip spreading for DSSS, coded OFDM for
+/// ERP). Folding the per-mode constants into single factors lets the
+/// scalar and batched evaluations share one literal op sequence.
+struct BerParams {
+  bool isExp;
+  double scale;
+  double k1;
+  double k2;
+};
 
-/// Effective Eb/N0 from channel SNR: processing gain = noise bandwidth over
-/// data rate (11 MHz chip rate spreading for DSSS; coded OFDM for ERP).
-double ebN0Linear(PhyMode mode, double snrDb) noexcept {
-  const double bandwidthHz = 22e6;
-  const double rateHz = bitrateMbps(mode) * 1e6;
-  return snrLinear(snrDb) * bandwidthHz / rateHz;
+constexpr BerParams berParams(PhyMode mode) noexcept {
+  switch (mode) {
+    case PhyMode::kDsss1Mbps:
+      // DBPSK: Pb = 1/2 exp(-Eb/N0).
+      return {true, 22.0, 0.0, 0.0};
+    case PhyMode::kDsss2Mbps:
+      // DQPSK approximation: Pb ~ Q(sqrt(1.172 Eb/N0)) (standard fit).
+      return {false, 11.0, 1.0, 1.172};
+    case PhyMode::kCck5_5Mbps:
+      // CCK approximations follow the shape used by simulator error
+      // models: an SNR-shifted QPSK curve.
+      return {false, 4.0, 1.0, 1.0 / 2.0};
+    case PhyMode::kCck11Mbps:
+      return {false, 2.0, 1.0, 1.0 / 4.0};
+    case PhyMode::kErpOfdm6Mbps:
+      // BPSK r=1/2 with ~4 dB coding gain folded in.
+      return {false, 22.0 / 6.0, 1.0, 2.0 * 2.5};
+    case PhyMode::kErpOfdm12Mbps:
+      // QPSK r=1/2.
+      return {false, 22.0 / 12.0, 1.0, 2.5};
+    case PhyMode::kErpOfdm24Mbps:
+      // 16-QAM r=1/2.
+      return {false, 22.0 / 24.0, 0.75, 0.4 * 2.5};
+    case PhyMode::kErpOfdm54Mbps:
+      // 64-QAM r=3/4.
+      return {false, 22.0 / 54.0, 7.0 / 12.0, 0.142 * 1.8};
+  }
+  return {true, 22.0, 0.0, 0.0};
 }
 
 }  // namespace
@@ -67,43 +101,55 @@ std::string_view modeName(PhyMode mode) noexcept {
 }
 
 double bitErrorRate(PhyMode mode, double snrDb) noexcept {
-  const double ebn0 = ebN0Linear(mode, snrDb);
-  switch (mode) {
-    case PhyMode::kDsss1Mbps:
-      // DBPSK: Pb = 1/2 exp(-Eb/N0).
-      return 0.5 * std::exp(-std::min(ebn0, 700.0));
-    case PhyMode::kDsss2Mbps:
-      // DQPSK approximation: Pb ~ Q(sqrt(1.172 Eb/N0)) (standard fit).
-      return qFunction(std::sqrt(1.172 * ebn0));
-    case PhyMode::kCck5_5Mbps:
-      // CCK approximations follow the shape used by simulator error
-      // models: an SNR-shifted QPSK curve.
-      return qFunction(std::sqrt(1.0 * ebn0 / 2.0));
-    case PhyMode::kCck11Mbps:
-      return qFunction(std::sqrt(1.0 * ebn0 / 4.0));
-    case PhyMode::kErpOfdm6Mbps:
-      // BPSK r=1/2 with ~4 dB coding gain folded in.
-      return qFunction(std::sqrt(2.0 * ebn0 * 2.5));
-    case PhyMode::kErpOfdm12Mbps:
-      // QPSK r=1/2.
-      return qFunction(std::sqrt(1.0 * ebn0 * 2.5));
-    case PhyMode::kErpOfdm24Mbps:
-      // 16-QAM r=1/2.
-      return 0.75 * qFunction(std::sqrt(0.4 * ebn0 * 2.5));
-    case PhyMode::kErpOfdm54Mbps:
-      // 64-QAM r=3/4.
-      return (7.0 / 12.0) * qFunction(std::sqrt(0.142 * ebn0 * 1.8));
+  const BerParams p = berParams(mode);
+  const double ebn0 = vmath::dbToLinear(snrDb) * p.scale;
+  if (p.isExp) {
+    return 0.5 * vmath::vexp(-std::min(ebn0, 700.0));
   }
-  return 0.5;
+  const double x = std::sqrt(p.k2 * ebn0);
+  return p.k1 * (0.5 * vmath::verfc(x / kRoot2));
 }
 
 double frameSuccessProbability(PhyMode mode, double snrDb, int bits) noexcept {
   VANET_DASSERT(bits > 0, "frame must contain bits");
   const double ber = std::clamp(bitErrorRate(mode, snrDb), 0.0, 0.5);
   if (ber <= 0.0) return 1.0;
-  // log-domain to avoid underflow for long frames at low SNR.
-  const double logSuccess = static_cast<double>(bits) * std::log1p(-ber);
-  return std::exp(logSuccess);
+  // log-domain to avoid underflow for long frames at low SNR. vlog1p and
+  // vexp compose to exactly 1.0 at ber == 0, so this early return is an
+  // optimisation, not a behaviour difference from the batched chain.
+  const double logSuccess = static_cast<double>(bits) * vmath::vlog1p(-ber);
+  return vmath::vexp(logSuccess);
+}
+
+void frameSuccessProbabilityBatch(PhyMode mode, const double* sinrDb, int bits,
+                                  double* out, std::size_t n) noexcept {
+  VANET_DASSERT(bits > 0, "frame must contain bits");
+  // Same op sequence per element as the scalar chain above -- every
+  // transcendental goes through the identical vmath kernel and every glue
+  // op (scale, sqrt, clamp, negate) is a single correctly rounded IEEE
+  // operation, so out[i] == frameSuccessProbability(mode, sinrDb[i], bits)
+  // bit for bit (asserted by tests/channel/error_model_test.cpp).
+  const BerParams p = berParams(mode);
+  vmath::dbToLinear(sinrDb, out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] *= p.scale;
+  if (p.isExp) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = -std::min(out[i], 700.0);
+    vmath::vexp(out, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.5 * out[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::sqrt(p.k2 * out[i]) / kRoot2;
+    }
+    vmath::verfc(out, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = p.k1 * (0.5 * out[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = -std::clamp(out[i], 0.0, 0.5);
+  }
+  vmath::vlog1p(out, out, n);
+  const double bitsD = static_cast<double>(bits);
+  for (std::size_t i = 0; i < n; ++i) out[i] = bitsD * out[i];
+  vmath::vexp(out, out, n);
 }
 
 }  // namespace vanet::channel

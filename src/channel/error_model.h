@@ -8,6 +8,7 @@
 /// absolute calibration is done at the link-budget level, the role of this
 /// module is a physically shaped S-curve.
 
+#include <cstddef>
 #include <string_view>
 
 namespace vanet::channel {
@@ -37,5 +38,12 @@ double bitErrorRate(PhyMode mode, double snrDb) noexcept;
 /// Probability that a frame of `bits` payload+header bits is received
 /// without error: (1 - BER)^bits, with the PLCP preamble assumed robust.
 double frameSuccessProbability(PhyMode mode, double snrDb, int bits) noexcept;
+
+/// Batched frameSuccessProbability over `n` SINR values (one transmission's
+/// surviving receivers): out[i] == frameSuccessProbability(mode, sinrDb[i],
+/// bits) bit for bit, with the transcendentals running through the batched
+/// vmath kernels. `out` may alias `sinrDb` exactly.
+void frameSuccessProbabilityBatch(PhyMode mode, const double* sinrDb, int bits,
+                                  double* out, std::size_t n) noexcept;
 
 }  // namespace vanet::channel

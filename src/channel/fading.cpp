@@ -1,8 +1,10 @@
 #include "channel/fading.h"
 
 #include <cmath>
+#include <vector>
 
 #include "util/assert.h"
+#include "util/vmath.h"
 
 namespace vanet::channel {
 
@@ -10,8 +12,8 @@ double RayleighFading::sampleDb(Rng& rng) const {
   // Power gain is exponential with unit mean; guard against log(0).
   double u = rng.uniform();
   while (u <= 0.0) u = rng.uniform();
-  const double power = -std::log(u);
-  return 10.0 * std::log10(power);
+  const double power = -vmath::vlog(u);
+  return vmath::vlinear2db(power);
 }
 
 RicianFading::RicianFading(double kFactor) : k_(kFactor) {
@@ -41,7 +43,8 @@ double sampleGamma(double shape, Rng& rng) {
     v = v * v * v;
     const double u = rng.uniform();
     if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
-    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+    if (u > 0.0 &&
+        vmath::vlog(u) < 0.5 * x * x + d * (1.0 - v + vmath::vlog(v))) {
       return d * v;
     }
   }
@@ -52,7 +55,7 @@ double sampleGamma(double shape, Rng& rng) {
 double NakagamiFading::sampleDb(Rng& rng) const {
   // Power ~ Gamma(m, 1/m): unit mean, variance 1/m.
   const double power = sampleGamma(m_, rng) / m_;
-  return 10.0 * std::log10(std::max(power, 1e-12));
+  return vmath::vlinear2db(power);
 }
 
 double RicianFading::sampleDb(Rng& rng) const {
@@ -63,24 +66,53 @@ double RicianFading::sampleDb(Rng& rng) const {
   const double re = losAmplitude + rng.normal(0.0, scatterSigma);
   const double im = rng.normal(0.0, scatterSigma);
   const double power = re * re + im * im;
-  return 10.0 * std::log10(std::max(power, 1e-12));
+  return vmath::vlinear2db(power);
 }
 
-// Batched variants: same per-draw math via the (devirtualised, same-TU)
-// scalar sampler, so values and rng positions match the scalar loop bit
-// for bit -- the batch only removes the per-receiver virtual dispatch.
+// Batched variants: uniforms are drawn per receiver in the exact order the
+// scalar loop would consume them (RNG stream positions unchanged; the
+// twin-stack tests in tests/channel/link_batch_test.cpp prove this), then
+// the log / Box-Muller / dB transforms run through the batched vmath
+// kernels -- which are bit-identical to the scalar kernels the sampleDb
+// methods above use, so values match the scalar loop bit for bit.
+
 void RayleighFading::sampleDbBatch(Rng& rng, double* out,
                                    std::size_t n) const {
-  for (std::size_t i = 0; i < n; ++i) out[i] = RayleighFading::sampleDb(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    out[i] = u;
+  }
+  vmath::vlog(out, out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = -out[i];
+  vmath::vlinear2db(out, out, n);
 }
 
 void RicianFading::sampleDbBatch(Rng& rng, double* out, std::size_t n) const {
-  for (std::size_t i = 0; i < n; ++i) out[i] = RicianFading::sampleDb(rng);
+  const double losAmplitude = std::sqrt(k_ / (k_ + 1.0));
+  const double scatterSigma = std::sqrt(1.0 / (2.0 * (k_ + 1.0)));
+  thread_local std::vector<double> z;
+  z.resize(2 * n);
+  rng.normalBatch(z.data(), 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same association as the scalar path: rng.normal(0, sigma) returns
+    // 0.0 + sigma * z, then losAmplitude is added.
+    const double re = losAmplitude + (0.0 + scatterSigma * z[2 * i]);
+    const double im = 0.0 + scatterSigma * z[2 * i + 1];
+    out[i] = re * re + im * im;
+  }
+  vmath::vlinear2db(out, out, n);
 }
 
 void NakagamiFading::sampleDbBatch(Rng& rng, double* out,
                                    std::size_t n) const {
-  for (std::size_t i = 0; i < n; ++i) out[i] = NakagamiFading::sampleDb(rng);
+  // The rejection sampler stays scalar (data-dependent draw counts), but
+  // its normals now ride the vmath Box-Muller and the final dB conversion
+  // is one batched pass.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = sampleGamma(m_, rng) / m_;
+  }
+  vmath::vlinear2db(out, out, n);
 }
 
 }  // namespace vanet::channel

@@ -92,8 +92,9 @@ void CompositeLinkModel::planBatch(NodeId tx, geom::Vec2 txPos,
   double* mean = batch.meanDbm();
   double* faded = batch.fadedDbm();
 
-  // Stage 1: distances. std::hypot (not sqrt of squares) to stay
-  // bit-identical with the scalar geom::distance.
+  // Stage 1: distances through geom::distance (sqrt of squares), the same
+  // expression the scalar path evaluates -- bit-identical and free to
+  // auto-vectorize.
   for (std::size_t i = 0; i < n; ++i) {
     dist[i] = geom::distance(txPos, {rxX[i], rxY[i]});
   }
@@ -131,9 +132,9 @@ void CompositeLinkModel::successProbabilityBatch(PhyMode mode,
                                                  const double* sinrDb, int bits,
                                                  double* pOut,
                                                  std::size_t n) const {
-  for (std::size_t i = 0; i < n; ++i) {
-    pOut[i] = frameSuccessProbability(mode, sinrDb[i], bits);
-  }
+  // Batched BER->PER chain; bit-identical to per-element
+  // frameSuccessProbability (the LinkModel base-class reference loop).
+  frameSuccessProbabilityBatch(mode, sinrDb, bits, pOut, n);
 }
 
 bool CompositeLinkModel::burstLoss(NodeId tx, NodeId rx, sim::SimTime now,

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "util/assert.h"
+#include "util/vmath.h"
 
 namespace vanet::channel {
 namespace {
@@ -22,21 +23,20 @@ FreeSpacePathLoss::FreeSpacePathLoss(double frequencyHz) {
 
 double FreeSpacePathLoss::lossDb(double distanceMetres) const {
   const double d = std::max(distanceMetres, kMinDistance);
-  return fixedTermDb_ + 20.0 * std::log10(d);
+  return fixedTermDb_ + 20.0 * vmath::vlog10(d);
 }
 
 LogDistancePathLoss::LogDistancePathLoss(double exponent, double referenceLossDb,
                                          double referenceDistance)
-    : exponent_(exponent), referenceLossDb_(referenceLossDb),
-      referenceDistance_(referenceDistance) {
+    : exponent_(exponent), slopeDb_(10.0 * exponent),
+      referenceLossDb_(referenceLossDb), referenceDistance_(referenceDistance) {
   VANET_ASSERT(exponent_ > 0.0, "path-loss exponent must be positive");
   VANET_ASSERT(referenceDistance_ > 0.0, "reference distance must be positive");
 }
 
 double LogDistancePathLoss::lossDb(double distanceMetres) const {
   const double d = std::max(distanceMetres, kMinDistance);
-  return referenceLossDb_ +
-         10.0 * exponent_ * std::log10(d / referenceDistance_);
+  return referenceLossDb_ + slopeDb_ * vmath::vlog10(d / referenceDistance_);
 }
 
 TwoRayGroundPathLoss::TwoRayGroundPathLoss(double txHeightMetres,
@@ -48,6 +48,7 @@ TwoRayGroundPathLoss::TwoRayGroundPathLoss(double txHeightMetres,
                "antenna heights must be positive");
   const double wavelength = kSpeedOfLight / frequencyHz;
   crossover_ = 4.0 * std::numbers::pi * txHeight_ * rxHeight_ / wavelength;
+  heightTermDb_ = 20.0 * std::log10(txHeight_ * rxHeight_);
 }
 
 double TwoRayGroundPathLoss::lossDb(double distanceMetres) const {
@@ -56,29 +57,46 @@ double TwoRayGroundPathLoss::lossDb(double distanceMetres) const {
     return freeSpace_.lossDb(d);
   }
   // Beyond the crossover the two-ray model: PL = 40 log10(d) - 20 log10(ht hr).
-  return 40.0 * std::log10(d) - 20.0 * std::log10(txHeight_ * rxHeight_);
+  return 40.0 * vmath::vlog10(d) - heightTermDb_;
 }
 
-// Batched variants: identical per-element math through the same-TU scalar
-// function (devirtualised and inlinable), so outputs match bit for bit.
+// Batched variants: one clamp pass, one batched vlog10, one elementwise
+// finish -- the same per-element op sequence as the scalar lossDb (which
+// runs the identical vmath kernel), so outputs match bit for bit.
+
 void FreeSpacePathLoss::lossDbBatch(const double* distanceMetres, double* out,
                                     std::size_t n) const {
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = FreeSpacePathLoss::lossDb(distanceMetres[i]);
+    out[i] = std::max(distanceMetres[i], kMinDistance);
+  }
+  vmath::vlog10(out, out, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = fixedTermDb_ + 20.0 * out[i];
   }
 }
 
 void LogDistancePathLoss::lossDbBatch(const double* distanceMetres, double* out,
                                       std::size_t n) const {
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = LogDistancePathLoss::lossDb(distanceMetres[i]);
+    out[i] = std::max(distanceMetres[i], kMinDistance) / referenceDistance_;
+  }
+  vmath::vlog10(out, out, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = referenceLossDb_ + slopeDb_ * out[i];
   }
 }
 
 void TwoRayGroundPathLoss::lossDbBatch(const double* distanceMetres,
                                        double* out, std::size_t n) const {
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = TwoRayGroundPathLoss::lossDb(distanceMetres[i]);
+    out[i] = std::max(distanceMetres[i], kMinDistance);
+  }
+  vmath::vlog10(out, out, n);
+  const double fsFixed = freeSpace_.fixedTermDb();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::max(distanceMetres[i], kMinDistance);
+    out[i] = d < crossover_ ? fsFixed + 20.0 * out[i]
+                            : 40.0 * out[i] - heightTermDb_;
   }
 }
 

@@ -37,6 +37,8 @@ class FreeSpacePathLoss final : public PathLossModel {
   void lossDbBatch(const double* distanceMetres, double* out,
                    std::size_t n) const override;
 
+  double fixedTermDb() const noexcept { return fixedTermDb_; }
+
  private:
   double fixedTermDb_;  // 20 log10(4 pi f / c)
 };
@@ -57,6 +59,7 @@ class LogDistancePathLoss final : public PathLossModel {
 
  private:
   double exponent_;
+  double slopeDb_;  // 10 * exponent, the log10 multiplier
   double referenceLossDb_;
   double referenceDistance_;
 };
@@ -78,6 +81,7 @@ class TwoRayGroundPathLoss final : public PathLossModel {
   double rxHeight_;
   FreeSpacePathLoss freeSpace_;
   double crossover_;
+  double heightTermDb_;  // 20 log10(ht hr)
 };
 
 }  // namespace vanet::channel

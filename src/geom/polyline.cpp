@@ -17,37 +17,57 @@ Polyline::Polyline(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) 
     VANET_ASSERT(d > 0.0, "polyline has a zero-length segment");
     cumulative_.push_back(cumulative_.back() + d);
   }
-  const std::size_t segments = vertices_.size() - 1;
-  segAx_.reserve(segments);
-  segAy_.reserve(segments);
-  segDx_.reserve(segments);
-  segDy_.reserve(segments);
-  segLen2_.reserve(segments);
-  segArc0_.reserve(segments);
-  segArcLen_.reserve(segments);
-  for (std::size_t i = 0; i < segments; ++i) {
+  // Build the project() scan table. Two compactions keep the scan short
+  // for mobility-subdivided roads (subdivide() chops every street into
+  // maxSegment pieces, turning a 4-street loop into hundreds of slivers):
+  //
+  //  1. Exactly-collinear runs are merged back into one table entry. The
+  //     closest point on a straight run is the closest point on its span,
+  //     and since subdivision interpolates along axis-aligned streets the
+  //     sliver deltas match the span direction *exactly* (one coordinate
+  //     is bitwise constant), so the merge fires on every road we build.
+  //     The run is parameterised by its cumulative arc interval, which is
+  //     what pointAt() uses, so projected arcs stay consistent with the
+  //     rest of the class (they may differ from the unmerged scan in the
+  //     last ulp -- a sub-micrometre shift, far below the shadowing
+  //     field's 3 m grid).
+  //  2. Entries bitwise-identical to an earlier one are dropped: with
+  //     project()'s strict `<` the later twin can never become the
+  //     argmin. Multi-lap paths (the urban loop runs the block twice)
+  //     retrace the same streets, so after the collinear merge the whole
+  //     second lap dedups away.
+  const std::size_t lastVertex = vertices_.size() - 1;
+  std::size_t i = 0;
+  while (i < lastVertex) {
     const Vec2 a = vertices_[i];
-    const Vec2 ab = vertices_[i + 1] - a;
-    // Drop segments bitwise-identical to an earlier one: with project()'s
-    // strict `<` the later twin can never become the argmin, so the scan
-    // returns the same (earlier) arc with or without it. Multi-lap paths
-    // (the urban loop runs the block twice) halve their scan this way.
+    std::size_t j = i + 1;
+    Vec2 span = vertices_[j] - a;
+    while (j < lastVertex) {
+      const Vec2 next = vertices_[j + 1] - vertices_[j];
+      const bool collinear = span.x * next.y - span.y * next.x == 0.0 &&
+                             span.x * next.x + span.y * next.y > 0.0;
+      if (!collinear) break;
+      ++j;
+      span = vertices_[j] - a;
+    }
     bool duplicate = false;
-    for (std::size_t j = 0; j < segAx_.size(); ++j) {
-      if (segAx_[j] == a.x && segAy_[j] == a.y && segDx_[j] == ab.x &&
-          segDy_[j] == ab.y) {
+    for (std::size_t k = 0; k < segAx_.size(); ++k) {
+      if (segAx_[k] == a.x && segAy_[k] == a.y && segDx_[k] == span.x &&
+          segDy_[k] == span.y) {
         duplicate = true;
         break;
       }
     }
-    if (duplicate) continue;
-    segAx_.push_back(a.x);
-    segAy_.push_back(a.y);
-    segDx_.push_back(ab.x);
-    segDy_.push_back(ab.y);
-    segLen2_.push_back(ab.normSquared());
-    segArc0_.push_back(cumulative_[i]);
-    segArcLen_.push_back(cumulative_[i + 1] - cumulative_[i]);
+    if (!duplicate) {
+      segAx_.push_back(a.x);
+      segAy_.push_back(a.y);
+      segDx_.push_back(span.x);
+      segDy_.push_back(span.y);
+      segLen2_.push_back(span.normSquared());
+      segArc0_.push_back(cumulative_[i]);
+      segArcLen_.push_back(cumulative_[j] - cumulative_[i]);
+    }
+    i = j;
   }
 }
 

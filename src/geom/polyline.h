@@ -47,10 +47,11 @@ class Polyline {
 
   /// Arc length of the point on the path closest to `p`. Linear scan over
   /// a precomputed struct-of-arrays segment table (start, direction,
-  /// 1/len^2, cumulative arc) comparing *squared* distances, so the loop
-  /// is branch-light and vectorizable even for finely subdivided roads
-  /// (the highway path has hundreds of segments and this is the single
-  /// hottest call of the radio hot path).
+  /// len^2, cumulative arc) comparing *squared* distances. The table is
+  /// compacted at construction -- exactly-collinear runs merge into one
+  /// entry and repeated laps dedup away -- so mobility-subdivided roads
+  /// (hundreds of slivers) scan only their handful of distinct streets;
+  /// this is the single hottest call of the radio hot path.
   double project(Vec2 p) const noexcept;
 
  private:
@@ -61,11 +62,11 @@ class Polyline {
   std::vector<double> cumulative_;  // cumulative_[i] = arc length at vertex i
 
   // Parallel per-segment arrays for project(), filled once at
-  // construction: segment start, delta to the next vertex, its squared
-  // norm, and the segment's arc interval. Exact duplicates of an earlier
-  // segment (multi-lap paths retrace the same streets) are dropped: with
-  // the scan's strict `<` the later twin can never win, so the compacted
-  // scan returns bit-identical arcs at half the work.
+  // construction: run start, delta across the run, its squared norm, and
+  // the run's arc interval. Exactly-collinear runs are merged and exact
+  // duplicates of an earlier entry (multi-lap paths retrace the same
+  // streets) are dropped -- see the constructor for why both compactions
+  // preserve the projection.
   std::vector<double> segAx_, segAy_;
   std::vector<double> segDx_, segDy_;
   std::vector<double> segLen2_;

@@ -14,6 +14,12 @@ CsmaMac::CsmaMac(sim::Simulator& sim, RadioEnvironment& environment,
   VANET_ASSERT(config_.cwMin >= 0, "contention window must be non-negative");
 }
 
+CsmaMac::~CsmaMac() {
+  // Same lifetime convention as Radio::~Radio: the environment outlives
+  // the MACs attached to it.
+  if (listening_) environment_.removeMediumListener(this);
+}
+
 void CsmaMac::setRxHandler(Radio::RxCallback callback) {
   radio_.setRxCallback(std::move(callback));
 }
@@ -68,7 +74,7 @@ void CsmaMac::onDifsElapsed() {
     startTransmission();
     return;
   }
-  timer_ = sim_.scheduleAfter(config_.slot, [this] { onSlotElapsed(); });
+  beginBackoffWait();
 }
 
 void CsmaMac::onSlotElapsed() {
@@ -83,7 +89,44 @@ void CsmaMac::onSlotElapsed() {
     startTransmission();
     return;
   }
-  timer_ = sim_.scheduleAfter(config_.slot, [this] { onSlotElapsed(); });
+  // Idle again after a busy spell: go back to sleeping the residual
+  // countdown on one timer.
+  beginBackoffWait();
+}
+
+void CsmaMac::beginBackoffWait() {
+  backoffAnchor_ = sim_.now();
+  environment_.addMediumListener(this);
+  listening_ = true;
+  timer_ = sim_.scheduleAfter(config_.slot * slotsRemaining_,
+                              [this] { onBackoffElapsed(); });
+}
+
+void CsmaMac::onBackoffElapsed() {
+  // Nothing entered the air since the anchor (activity would have
+  // demoted this wait to per-slot stepping), so every slot boundary
+  // passed with an idle medium and the countdown is spent.
+  environment_.removeMediumListener(this);
+  listening_ = false;
+  slotsRemaining_ = 0;
+  startTransmission();
+}
+
+void CsmaMac::onMediumActivity() {
+  if (!listening_) return;
+  environment_.removeMediumListener(this);
+  listening_ = false;
+  sim_.cancel(timer_);
+  // Boundaries strictly before now passed an idle medium (this call is
+  // the first activity since the anchor): count them down, then resume
+  // per-slot stepping at the next boundary, which senses the new
+  // transmission exactly as the per-slot formulation would have.
+  const std::int64_t elapsedNs = (sim_.now() - backoffAnchor_).ns();
+  const std::int64_t slotNs = config_.slot.ns();
+  const std::int64_t passed = elapsedNs > 0 ? (elapsedNs - 1) / slotNs : 0;
+  slotsRemaining_ -= static_cast<int>(passed);
+  timer_ = sim_.scheduleAt(backoffAnchor_ + config_.slot * (passed + 1),
+                           [this] { onSlotElapsed(); });
 }
 
 void CsmaMac::startTransmission() {

@@ -30,10 +30,21 @@ struct MacConfig {
 
 /// Carrier-sense multiple access for one radio. Single transmit queue,
 /// strictly FIFO.
-class CsmaMac {
+///
+/// Backoff is *consolidated*: while the medium stays idle the whole
+/// residual countdown sleeps on one timer instead of one event per slot
+/// (the dominant event load of a round was idle slot ticks). Carrier
+/// sense of an idle radio can only flip when a transmission enters the
+/// air, so the environment wakes waiting MACs synchronously at that
+/// instant (MediumActivityListener); the MAC then falls back to the
+/// classic per-slot step at the next slot boundary, freezing there if
+/// the medium is still sensed busy. Slot-boundary arithmetic is exact
+/// integer SimTime, so transmit instants match the per-slot formulation.
+class CsmaMac : public MediumActivityListener {
  public:
   CsmaMac(sim::Simulator& sim, RadioEnvironment& environment, Radio& radio,
           MacConfig config, Rng rng);
+  ~CsmaMac();  // deregisters a pending medium-activity subscription
   CsmaMac(const CsmaMac&) = delete;
   CsmaMac& operator=(const CsmaMac&) = delete;
 
@@ -62,6 +73,9 @@ class CsmaMac {
   void retryLater();    // medium busy: re-kick when it frees up
   void onDifsElapsed();
   void onSlotElapsed();
+  void beginBackoffWait();  // sleep the residual countdown on one timer
+  void onBackoffElapsed();  // countdown ran its course over an idle medium
+  void onMediumActivity() override;
   void startTransmission();
 
   sim::Simulator& sim_;
@@ -73,6 +87,8 @@ class CsmaMac {
   State state_ = State::kIdle;
   int slotsRemaining_ = 0;
   bool backoffInProgress_ = false;  // freeze-and-resume across busy periods
+  bool listening_ = false;          // consolidated wait in progress
+  sim::SimTime backoffAnchor_{};    // slot boundaries = anchor + k*slot
   sim::EventId timer_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t sent_ = 0;

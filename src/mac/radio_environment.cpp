@@ -8,6 +8,7 @@
 #include "mac/radio.h"
 #include "obs/counters.h"
 #include "util/assert.h"
+#include "util/vmath.h"
 
 namespace vanet::mac {
 namespace {
@@ -16,10 +17,10 @@ namespace {
 /// Must exceed the longest frame airtime (1500 B at 1 Mbps is ~12.5 ms).
 constexpr sim::SimTime kOverlapWindow = sim::SimTime::millis(50.0);
 
-double dbmToMilliwatt(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
-double milliwattToDbm(double mw) noexcept {
-  return 10.0 * std::log10(std::max(mw, 1e-15));
-}
+// dB <-> mW through the shared vmath helpers (one kernel, one documented
+// 1e-15 floor) instead of per-call std::pow / std::log10.
+double dbmToMilliwatt(double dbm) noexcept { return vmath::dbToLinear(dbm); }
+double milliwattToDbm(double mw) noexcept { return vmath::linearToDb(mw); }
 
 }  // namespace
 
@@ -113,6 +114,15 @@ sim::SimTime RadioEnvironment::beginTransmission(Radio& src, Frame frame,
   }
 
   active_.push_back(tx);
+  // Wake consolidated-backoff MACs now that the sensed-busy state may
+  // have changed. Snapshot first: every listener removes itself from
+  // mediumListeners_ while reacting.
+  if (!mediumListeners_.empty()) {
+    listenerScratch_ = mediumListeners_;
+    for (MediumActivityListener* listener : listenerScratch_) {
+      listener->onMediumActivity();
+    }
+  }
   ++stats_.framesTransmitted;
   // Raw-pointer capture: fits std::function's small buffer (no per-event
   // allocation). The pool owns `tx` for the environment's lifetime, and
@@ -167,6 +177,22 @@ void RadioEnvironment::deliver(ActiveTx* tx) {
   std::erase(active_, tx);
   recent_.push_back(tx);
   pruneRecent();
+
+  // Batch-occupancy histogram: how many receiver plans this delivery
+  // processes at once, i.e. how full the SIMD lanes of the batched
+  // pipeline run. Visible in any campaign's counter snapshot.
+  {
+    const std::size_t occupancy = tx->plans.size();
+    if (occupancy <= 1) {
+      OBS_COUNT("mac.batch_size_1");
+    } else if (occupancy <= 4) {
+      OBS_COUNT("mac.batch_size_2_4");
+    } else if (occupancy <= 8) {
+      OBS_COUNT("mac.batch_size_5_8");
+    } else {
+      OBS_COUNT("mac.batch_size_9plus");
+    }
+  }
 
   const channel::LinkBudget& budget = link_.budget();
   const int bits = frameBits(tx->frame.bytes);
@@ -269,6 +295,15 @@ void RadioEnvironment::deliver(ActiveTx* tx) {
     rx->onFrameDelivered(tx->frame,
                          RxInfo{tx->src, plan.fadedDbm, sinrDb, sim_.now()});
   }
+}
+
+void RadioEnvironment::addMediumListener(MediumActivityListener* listener) {
+  mediumListeners_.push_back(listener);
+}
+
+void RadioEnvironment::removeMediumListener(
+    MediumActivityListener* listener) noexcept {
+  std::erase(mediumListeners_, listener);
 }
 
 bool RadioEnvironment::channelBusy(const Radio& sensor) const {

@@ -29,6 +29,20 @@ namespace vanet::mac {
 
 class Radio;
 
+/// Implemented by MACs that sleep through an idle backoff countdown on a
+/// single timer: the environment calls onMediumActivity() synchronously
+/// the moment any transmission enters the air, which is the only instant
+/// the sensed-busy state of an idle, non-transmitting radio can change
+/// (carrier sense reads the plans frozen at transmission start, never
+/// live positions). The callback must not start a transmission.
+class MediumActivityListener {
+ public:
+  virtual void onMediumActivity() = 0;
+
+ protected:
+  ~MediumActivityListener() = default;
+};
+
 /// Medium-level loss statistics (per simulation run).
 struct MediumStats {
   std::uint64_t framesTransmitted = 0;
@@ -75,6 +89,12 @@ class RadioEnvironment {
   /// (now when the channel is idle).
   sim::SimTime channelBusyUntil(const Radio& sensor) const;
 
+  /// Registers / removes a consolidated-backoff listener. Idempotence is
+  /// the caller's job: add exactly once per wait, remove before (or
+  /// while) reacting.
+  void addMediumListener(MediumActivityListener* listener);
+  void removeMediumListener(MediumActivityListener* listener) noexcept;
+
   const MediumStats& stats() const noexcept { return stats_; }
 
  private:
@@ -118,6 +138,9 @@ class RadioEnvironment {
   std::vector<ActiveTx*> freeTx_;        ///< recycled records
   std::vector<ActiveTx*> active_;        ///< airtime in progress
   std::vector<ActiveTx*> recent_;        ///< kept for overlap checks
+  std::vector<MediumActivityListener*> mediumListeners_;
+  /// Snapshot iterated during notification (listeners self-remove).
+  std::vector<MediumActivityListener*> listenerScratch_;
   // deliver() scratch (member so steady state does not allocate):
   std::vector<ActiveTx*> overlap_;  ///< per-delivery overlapping-tx scratch
   std::vector<std::uint32_t> survivorIdx_;  ///< plan indices past the gates

@@ -14,8 +14,6 @@
 namespace vanet::obs {
 namespace {
 
-std::atomic<bool> gEnabled{true};
-
 /// One thread's private accumulation cells. Cells are relaxed atomics so
 /// takeSnapshot() can read a live thread's slab without tearing; the
 /// owning thread is the only writer, so the adds themselves never
@@ -179,7 +177,13 @@ struct SlabHandle {
   SlabHandle() : slab(std::make_unique<Slab>()) {
     Registry::instance().registerSlab(slab.get());
   }
-  ~SlabHandle() { Registry::instance().retireSlab(slab.get()); }
+  ~SlabHandle() {
+    // Drop the header's cached cell pointers before the slab dies; a
+    // stray add() during thread teardown re-registers instead of
+    // touching freed memory.
+    detail::tCells = detail::ThreadCells{};
+    Registry::instance().retireSlab(slab.get());
+  }
   std::unique_ptr<Slab> slab;
 };
 
@@ -190,19 +194,22 @@ Slab& threadSlab() {
 
 }  // namespace
 
-void setEnabled(bool enabled) noexcept {
-  gEnabled.store(enabled, std::memory_order_relaxed);
+namespace detail {
+
+thread_local ThreadCells tCells;
+
+ThreadCells& initThreadCells() {
+  Slab& slab = threadSlab();
+  tCells.counters = slab.counters.data();
+  tCells.timerNanos = slab.timerNanos.data();
+  tCells.timerCounts = slab.timerCounts.data();
+  return tCells;
 }
 
-bool enabled() noexcept { return gEnabled.load(std::memory_order_relaxed); }
+}  // namespace detail
 
 Counter& Counter::get(const std::string& name) {
   return Registry::instance().internCounter(name);
-}
-
-void Counter::add(std::uint64_t n) noexcept {
-  if (!enabled()) return;
-  threadSlab().counters[id_].fetch_add(n, std::memory_order_relaxed);
 }
 
 const std::string& Counter::name() const {
@@ -211,13 +218,6 @@ const std::string& Counter::name() const {
 
 Timer& Timer::get(const std::string& name) {
   return Registry::instance().internTimer(name);
-}
-
-void Timer::record(std::uint64_t nanos) noexcept {
-  if (!enabled()) return;
-  Slab& slab = threadSlab();
-  slab.timerNanos[id_].fetch_add(nanos, std::memory_order_relaxed);
-  slab.timerCounts[id_].fetch_add(1, std::memory_order_relaxed);
 }
 
 const std::string& Timer::name() const {

@@ -12,7 +12,8 @@
 ///     identically whether the registry is enabled or not, and the
 ///     byte-diff determinism suite runs with it enabled.
 ///  2. *Cheap on the hot path.* A count is one relaxed fetch_add on a
-///     thread-local cell (plus one relaxed enabled-flag load); a scoped
+///     thread-local cell (plus one relaxed enabled-flag load), inlined
+///     at the call site through cached raw cell pointers; a scoped
 ///     timer adds two steady_clock reads. Worker threads never contend:
 ///     each thread owns a private slab, registered on first use and
 ///     folded into the retired totals when the thread exits.
@@ -40,6 +41,7 @@
 ///   OBS_COUNT_N("mac.link_evaluations", plans.size());
 ///   OBS_SCOPED_TIMER("round.kernel");
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <chrono>
@@ -53,12 +55,41 @@ namespace vanet::obs {
 constexpr std::size_t kMaxCounters = 96;
 constexpr std::size_t kMaxTimers = 48;
 
+namespace detail {
+
+/// The process-wide enable flag, inline so add()/record() read it with a
+/// single relaxed load instead of a cross-TU call.
+inline std::atomic<bool> gEnabled{true};
+
+/// The calling thread's accumulation cells, cached as raw pointers so
+/// the hot-path increment is a zero-guard TLS load plus one fetch_add.
+/// Null until the slow path registers this thread's slab.
+struct ThreadCells {
+  std::atomic<std::uint64_t>* counters = nullptr;
+  std::atomic<std::uint64_t>* timerNanos = nullptr;
+  std::atomic<std::uint64_t>* timerCounts = nullptr;
+};
+extern thread_local ThreadCells tCells;
+
+/// Slow path: allocates and registers this thread's slab, fills tCells.
+ThreadCells& initThreadCells();
+
+inline ThreadCells& threadCells() {
+  return tCells.counters != nullptr ? tCells : initThreadCells();
+}
+
+}  // namespace detail
+
 /// Globally enables / disables accumulation (snapshots still work).
 /// Enabled by default; the byte-invariance tests flip it both ways to
 /// prove results do not depend on it. Not meant to be toggled while
 /// worker threads are mid-count (counts may land on either side).
-void setEnabled(bool enabled) noexcept;
-bool enabled() noexcept;
+inline void setEnabled(bool enabled) noexcept {
+  detail::gEnabled.store(enabled, std::memory_order_relaxed);
+}
+inline bool enabled() noexcept {
+  return detail::gEnabled.load(std::memory_order_relaxed);
+}
 
 /// A named monotonic counter. Get once (interns the name), add anywhere;
 /// thread-safe and contention-free.
@@ -67,7 +98,11 @@ class Counter {
   /// Interns `name` (idempotent) and returns its process-wide handle.
   static Counter& get(const std::string& name);
 
-  void add(std::uint64_t n = 1) noexcept;
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    detail::threadCells().counters[id_].fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
 
   std::size_t id() const noexcept { return id_; }
   const std::string& name() const;
@@ -84,7 +119,12 @@ class Timer {
  public:
   static Timer& get(const std::string& name);
 
-  void record(std::uint64_t nanos) noexcept;
+  void record(std::uint64_t nanos) noexcept {
+    if (!enabled()) return;
+    detail::ThreadCells& cells = detail::threadCells();
+    cells.timerNanos[id_].fetch_add(nanos, std::memory_order_relaxed);
+    cells.timerCounts[id_].fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::size_t id() const noexcept { return id_; }
   const std::string& name() const;

@@ -1,9 +1,10 @@
 #include "util/rng.h"
 
 #include <cmath>
-#include <numbers>
+#include <vector>
 
 #include "util/assert.h"
+#include "util/vmath.h"
 
 namespace vanet {
 namespace {
@@ -68,21 +69,62 @@ bool Rng::bernoulli(double p) noexcept {
 }
 
 double Rng::normal(double mean, double stddev) noexcept {
+  // Box–Muller on two fresh uniforms; cache the second variate. Both the
+  // fresh and the cached return go through the same `mean + stddev * z`
+  // association, and the transform matches vmath::vnormalpair bit for bit,
+  // so batch paths can draw the uniforms here and vector-transform them.
+  double z;
   if (hasCachedGaussian_) {
     hasCachedGaussian_ = false;
-    return mean + stddev * cachedGaussian_;
+    z = cachedGaussian_;
+  } else {
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    double z1;
+    vmath::vnormalpair(u1, u2, z, z1);
+    cachedGaussian_ = z1;
+    hasCachedGaussian_ = true;
   }
-  // Box–Muller on two fresh uniforms; cache the second variate.
-  double u1 = uniform();
-  while (u1 <= 0.0) {
-    u1 = uniform();
+  return mean + stddev * z;
+}
+
+void Rng::normalBatch(double* z, std::size_t n) noexcept {
+  std::size_t i = 0;
+  if (n == 0) return;
+  if (hasCachedGaussian_) {
+    hasCachedGaussian_ = false;
+    z[i++] = cachedGaussian_;
   }
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
-  cachedGaussian_ = radius * std::sin(angle);
-  hasCachedGaussian_ = true;
-  return mean + stddev * radius * std::cos(angle);
+  const std::size_t rest = n - i;
+  if (rest == 0) return;
+  const std::size_t pairs = (rest + 1) / 2;
+  thread_local std::vector<double> u1, u2, z0, z1;
+  u1.resize(pairs);
+  u2.resize(pairs);
+  z0.resize(pairs);
+  z1.resize(pairs);
+  // Uniform draws stay scalar and in-order (the u1 <= 0 redraw makes the
+  // consumption data-dependent); only the transform is vectorized.
+  for (std::size_t p = 0; p < pairs; ++p) {
+    double a = uniform();
+    while (a <= 0.0) {
+      a = uniform();
+    }
+    u1[p] = a;
+    u2[p] = uniform();
+  }
+  vmath::vnormalpair(u1.data(), u2.data(), z0.data(), z1.data(), pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    z[i++] = z0[p];
+    if (i < n) z[i++] = z1[p];
+  }
+  if (rest % 2 == 1) {
+    cachedGaussian_ = z1[pairs - 1];
+    hasCachedGaussian_ = true;
+  }
 }
 
 double Rng::exponential(double rate) noexcept {

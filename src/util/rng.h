@@ -10,6 +10,7 @@
 /// (public domain, Blackman & Vigna) seeded through SplitMix64.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -41,6 +42,13 @@ class Rng {
 
   /// Gaussian with the given mean and standard deviation (Box–Muller).
   double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Fills `z` with `n` unit Gaussians, bit- and stream-identical to `n`
+  /// successive normal() calls (honours the Box–Muller cache on entry and
+  /// leaves the same cache state behind), but runs the transform through
+  /// the batched vmath Box–Muller kernel. Batch fading paths use this to
+  /// vectorize without moving any RNG stream position.
+  void normalBatch(double* z, std::size_t n) noexcept;
 
   /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
   double exponential(double rate) noexcept;

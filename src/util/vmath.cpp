@@ -1,0 +1,124 @@
+#include "util/vmath.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/vmath_kernels.h"
+
+namespace vanet::vmath {
+namespace {
+
+using detail::ScalarLane;
+
+bool simdEnvEnabled() {
+  const char* v = std::getenv("VANET_SIMD");
+  if (v == nullptr) {
+    return true;
+  }
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& simdFlag() {
+  static std::atomic<bool> flag{simdEnvEnabled()};
+  return flag;
+}
+
+/// True when the -mavx2 translation unit was really built with AVX2 *and*
+/// this machine has it; the baseline SSE2/NEON body is the fallback.
+bool useAvx2() noexcept {
+#if defined(VANET_VMATH_X86) && defined(__GNUC__)
+  static const bool ok =
+      detail::avx2BodyCompiled() && __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool simdEnabled() noexcept {
+  return simdFlag().load(std::memory_order_relaxed);
+}
+
+void setSimdEnabled(bool on) noexcept {
+  simdFlag().store(on, std::memory_order_relaxed);
+}
+
+const char* simdIsa() noexcept {
+  return useAvx2() ? "avx2" : detail::simdIsaName();
+}
+
+// --- batch bodies: dispatch to the widest available SIMD body unless the
+// --- runtime toggle forces the scalar one ---
+
+#if defined(VANET_VMATH_X86)
+#define VANET_VMATH_DISPATCH(fn, ...)                 \
+  do {                                                \
+    if (!simdEnabled()) {                             \
+      break;                                          \
+    }                                                 \
+    if (useAvx2()) {                                  \
+      detail::fn##Avx2(__VA_ARGS__);                  \
+    } else {                                          \
+      detail::fn##Simd(__VA_ARGS__);                  \
+    }                                                 \
+    return;                                           \
+  } while (false)
+#else
+#define VANET_VMATH_DISPATCH(fn, ...)                 \
+  do {                                                \
+    if (!simdEnabled()) {                             \
+      break;                                          \
+    }                                                 \
+    detail::fn##Simd(__VA_ARGS__);                    \
+    return;                                           \
+  } while (false)
+#endif
+
+void vexp(const double* x, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vexp, x, out, n);
+  detail::mapBody<ScalarLane>(x, out, n, detail::ExpOp{});
+}
+
+void vlog(const double* x, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vlog, x, out, n);
+  detail::mapBody<ScalarLane>(x, out, n, detail::LogOp{});
+}
+
+void vlog10(const double* x, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vlog10, x, out, n);
+  detail::mapBody<ScalarLane>(x, out, n, detail::Log10Op{});
+}
+
+void vlog1p(const double* x, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vlog1p, x, out, n);
+  detail::mapBody<ScalarLane>(x, out, n, detail::Log1pOp{});
+}
+
+void vpow10db(const double* db, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vpow10db, db, out, n);
+  detail::mapBody<ScalarLane>(db, out, n, detail::Pow10DbOp{});
+}
+
+void vlinear2db(const double* mw, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vlinear2db, mw, out, n);
+  detail::mapBody<ScalarLane>(mw, out, n, detail::Linear2DbOp{});
+}
+
+void verfc(const double* x, double* out, std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(verfc, x, out, n);
+  detail::mapBody<ScalarLane>(x, out, n, detail::ErfcOp{});
+}
+
+void vnormalpair(const double* u1, const double* u2, double* z0, double* z1,
+                 std::size_t n) noexcept {
+  VANET_VMATH_DISPATCH(vnormalpair, u1, u2, z0, z1, n);
+  detail::normalpairBody<ScalarLane>(u1, u2, z0, z1, n);
+}
+
+#undef VANET_VMATH_DISPATCH
+
+}  // namespace vanet::vmath

@@ -1,0 +1,55 @@
+/// The SIMD dispatch TU: picks the widest lane the compile supports and
+/// instantiates every batch body with it. Kept in its own translation unit
+/// so the choice is a link-time fact (reported via simdIsaName()) and the
+/// kernels in vmath.cpp stay pure scalar code.
+
+#include "util/vmath_kernels.h"
+
+namespace vanet::vmath::detail {
+namespace {
+
+#if VANET_VMATH_AVX2
+using BestLane = Avx2Lane;
+constexpr const char* kIsaName = "avx2";
+#elif VANET_VMATH_NEON
+using BestLane = NeonLane;
+constexpr const char* kIsaName = "neon";
+#elif VANET_VMATH_SSE2
+using BestLane = Sse2Lane;
+constexpr const char* kIsaName = "sse2";
+#else
+using BestLane = ScalarLane;
+constexpr const char* kIsaName = "scalar";
+#endif
+
+}  // namespace
+
+const char* simdIsaName() noexcept { return kIsaName; }
+
+void vexpSimd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, ExpOp{});
+}
+void vlogSimd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, LogOp{});
+}
+void vlog10Simd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, Log10Op{});
+}
+void vlog1pSimd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, Log1pOp{});
+}
+void vpow10dbSimd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, Pow10DbOp{});
+}
+void vlinear2dbSimd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, Linear2DbOp{});
+}
+void verfcSimd(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<BestLane>(x, out, n, ErfcOp{});
+}
+void vnormalpairSimd(const double* u1, const double* u2, double* z0,
+                     double* z1, std::size_t n) noexcept {
+  normalpairBody<BestLane>(u1, u2, z0, z1, n);
+}
+
+}  // namespace vanet::vmath::detail

@@ -1,0 +1,78 @@
+/// x86-64 AVX2 batch bodies (4 doubles per lane), compiled with -mavx2 via
+/// a per-source CMake flag and gated at *runtime* on cpuid by vmath.cpp --
+/// the rest of the binary stays baseline x86-64 and still runs on
+/// SSE2-only machines. Same element kernels as every other body; -mavx2
+/// does not enable FMA and -ffp-contract=off applies to this TU too, so
+/// the 4-wide results stay bit-identical to the scalar and SSE2 bodies.
+
+#include "util/vmath_kernels.h"
+
+#if defined(VANET_VMATH_X86)
+
+namespace vanet::vmath::detail {
+
+#if VANET_VMATH_AVX2
+
+bool avx2BodyCompiled() noexcept { return true; }
+
+void vexpAvx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, ExpOp{});
+}
+void vlogAvx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, LogOp{});
+}
+void vlog10Avx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, Log10Op{});
+}
+void vlog1pAvx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, Log1pOp{});
+}
+void vpow10dbAvx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, Pow10DbOp{});
+}
+void vlinear2dbAvx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, Linear2DbOp{});
+}
+void verfcAvx2(const double* x, double* out, std::size_t n) noexcept {
+  mapBody<Avx2Lane>(x, out, n, ErfcOp{});
+}
+void vnormalpairAvx2(const double* u1, const double* u2, double* z0,
+                     double* z1, std::size_t n) noexcept {
+  normalpairBody<Avx2Lane>(u1, u2, z0, z1, n);
+}
+
+#else  // the build system did not apply -mavx2; fall back to the baseline
+
+bool avx2BodyCompiled() noexcept { return false; }
+
+void vexpAvx2(const double* x, double* out, std::size_t n) noexcept {
+  vexpSimd(x, out, n);
+}
+void vlogAvx2(const double* x, double* out, std::size_t n) noexcept {
+  vlogSimd(x, out, n);
+}
+void vlog10Avx2(const double* x, double* out, std::size_t n) noexcept {
+  vlog10Simd(x, out, n);
+}
+void vlog1pAvx2(const double* x, double* out, std::size_t n) noexcept {
+  vlog1pSimd(x, out, n);
+}
+void vpow10dbAvx2(const double* x, double* out, std::size_t n) noexcept {
+  vpow10dbSimd(x, out, n);
+}
+void vlinear2dbAvx2(const double* x, double* out, std::size_t n) noexcept {
+  vlinear2dbSimd(x, out, n);
+}
+void verfcAvx2(const double* x, double* out, std::size_t n) noexcept {
+  verfcSimd(x, out, n);
+}
+void vnormalpairAvx2(const double* u1, const double* u2, double* z0,
+                     double* z1, std::size_t n) noexcept {
+  vnormalpairSimd(u1, u2, z0, z1, n);
+}
+
+#endif  // VANET_VMATH_AVX2
+
+}  // namespace vanet::vmath::detail
+
+#endif  // VANET_VMATH_X86

@@ -102,5 +102,38 @@ TEST(ErrorModelTest, NoUnderflowForHugeFrames) {
   EXPECT_LT(p, 1e-9);
 }
 
+TEST(ErrorModelTest, BatchMatchesScalarBitForBit) {
+  // The batched BER->PER chain runs the same vmath kernel and glue-op
+  // sequence per element as the scalar frameSuccessProbability; every mode
+  // across the whole SNR sweep must agree exactly, including the
+  // saturated p == 1.0 and p == 0.0 ends.
+  std::vector<double> sinr;
+  for (double s = -40.0; s <= 60.0; s += 0.25) sinr.push_back(s);
+  std::vector<double> batch(sinr.size());
+  for (PhyMode mode : kAllModes) {
+    for (int bits : {1, 368, 8224, 1 << 20}) {
+      frameSuccessProbabilityBatch(mode, sinr.data(), bits, batch.data(),
+                                   sinr.size());
+      for (std::size_t i = 0; i < sinr.size(); ++i) {
+        EXPECT_EQ(batch[i], frameSuccessProbability(mode, sinr[i], bits))
+            << modeName(mode) << " at " << sinr[i] << " dB, " << bits
+            << " bits";
+      }
+    }
+  }
+}
+
+TEST(ErrorModelTest, BatchAllowsExactAliasing) {
+  std::vector<double> buf = {-10.0, 0.0, 5.0, 12.0, 25.0};
+  std::vector<double> expected(buf.size());
+  frameSuccessProbabilityBatch(PhyMode::kCck11Mbps, buf.data(), 8224,
+                               expected.data(), buf.size());
+  frameSuccessProbabilityBatch(PhyMode::kCck11Mbps, buf.data(), 8224,
+                               buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], expected[i]);
+  }
+}
+
 }  // namespace
 }  // namespace vanet::channel

@@ -61,7 +61,7 @@ struct Stack {
   std::unique_ptr<CompositeLinkModel> model;
   Rng envRng;
 
-  Stack(bool urban, bool burst, std::uint64_t seed)
+  Stack(bool urban, bool burst, std::uint64_t seed, bool rician = false)
       : road(urban ? geom::makeRectangleLoop(200.0, 150.0)
                    : geom::Polyline({{0.0, 0.0}, {3000.0, 0.0}})),
         envRng(seed + 17) {
@@ -76,7 +76,9 @@ struct Stack {
           });
     }
     std::unique_ptr<FadingModel> fading;
-    if (urban) {
+    if (rician) {
+      fading = std::make_unique<RicianFading>(5.0);  // batched Box-Muller
+    } else if (urban) {
       fading = std::make_unique<RayleighFading>();
     } else {
       fading = std::make_unique<NakagamiFading>(3.0);  // draws normals
@@ -200,6 +202,46 @@ TEST(LinkBatchEquivalenceTest, ReceiverChurnKeepsStreamsAligned) {
   expectBatchMatchesScalar(scalar, batched, 1, {11.0, 0.0},
                            {{4, {55.0, 0.0}}, {5, {70.0, 0.0}}});
   expectSameRngPosition(scalar.envRng, batched.envRng);
+}
+
+TEST(LinkBatchEquivalenceTest, RicianConfigMatchesScalarReference) {
+  // Rician fading consumes two normals per receiver; the batched path
+  // draws the uniforms per receiver and runs the Box-Muller transform
+  // through the batched vmath kernel.
+  Stack scalar(/*urban=*/false, /*burst=*/false, 55, /*rician=*/true);
+  Stack batched(/*urban=*/false, /*burst=*/false, 55, /*rician=*/true);
+  const std::vector<Receiver> receivers = {{2, {250.0, 0.0}},
+                                           {kAp0, {500.0, 10.0}},
+                                           {3, {300.0, 3.0}},
+                                           {kAp1, {1500.0, 10.0}},
+                                           {4, {320.0, 0.0}}};
+  expectBatchMatchesScalar(scalar, batched, 1, {200.0, 0.0}, receivers);
+  // Dirty Box-Muller cache: consume one normal on both environment
+  // streams so the next batch enters with a cached spare variate -- the
+  // batched transform must honour it (offset-by-one pairing).
+  EXPECT_EQ(scalar.envRng.normal(), batched.envRng.normal());
+  expectBatchMatchesScalar(scalar, batched, kAp0, {500.0, 10.0}, receivers);
+  expectSameRngPosition(scalar.envRng, batched.envRng);
+}
+
+TEST(LinkBatchEquivalenceTest, NormalBatchMatchesScalarNormalDraws) {
+  // Rng::normalBatch is the primitive under the batched Rician path: it
+  // must be bit- and stream-identical to n scalar normal() calls through
+  // every cache state (clean entry, odd count leaving a spare, dirty
+  // entry, and the n=0 / n=1 edges).
+  Rng a{4242};
+  Rng b{4242};
+  std::vector<double> z(7);
+  a.normalBatch(z.data(), 7);  // clean entry, odd: leaves a cached spare
+  for (double v : z) EXPECT_EQ(v, b.normal());
+  std::vector<double> z2(6);
+  a.normalBatch(z2.data(), 6);  // dirty entry, even total: spare again
+  for (double v : z2) EXPECT_EQ(v, b.normal());
+  a.normalBatch(z.data(), 0);  // no-op: must not touch stream or cache
+  double one = 0.0;
+  a.normalBatch(&one, 1);  // served entirely from the cached spare
+  EXPECT_EQ(one, b.normal());
+  expectSameRngPosition(a, b);
 }
 
 TEST(LinkBatchEquivalenceTest, SuccessProbabilityBatchMatchesScalar) {

@@ -1,0 +1,334 @@
+#include "util/vmath.h"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vanet {
+namespace {
+
+std::uint64_t bitsOf(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+// ULP distance between two finite doubles of the same sign (monotone
+// mapping of the binary64 lattice onto integers).
+std::uint64_t ulpDistance(double a, double b) {
+  auto key = [](double x) {
+    std::uint64_t u = bitsOf(x);
+    return (u & 0x8000000000000000ull) ? (0x8000000000000000ull - (u << 1 >> 1))
+                                       : (0x8000000000000000ull + u);
+  };
+  const std::uint64_t ka = key(a);
+  const std::uint64_t kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+// Deterministic domain sweep: log-spaced magnitudes plus sign, denormals,
+// zeros and boundary values, filtered to [lo, hi].
+std::vector<double> sweep(double lo, double hi) {
+  std::vector<double> xs;
+  auto push = [&](double v) {
+    if (v >= lo && v <= hi) xs.push_back(v);
+  };
+  push(0.0);
+  push(-0.0);
+  push(DBL_MIN);
+  push(4.9e-324);          // smallest denormal
+  push(1e-310);            // mid denormal
+  push(DBL_MIN * 0.999);   // just below normal
+  for (int e = -320; e <= 308; e += 1) {
+    const double m = std::pow(10.0, e);
+    for (double f : {1.0, 1.7, 2.5, 3.9, 7.3, 9.99}) {
+      push(m * f);
+      push(-m * f);
+    }
+  }
+  Rng rng{20260807};
+  for (int i = 0; i < 20000; ++i) {
+    push(lo + (hi - lo) * rng.uniform());
+  }
+  return xs;
+}
+
+TEST(VmathTest, ExpMatchesLibmWithin2Ulp) {
+  for (double x : sweep(-745.0, 709.7)) {
+    const double got = vmath::vexp(x);
+    const double ref = std::exp(x);
+    ASSERT_LE(ulpDistance(got, ref), 2u) << "x=" << x;
+  }
+}
+
+TEST(VmathTest, ExpSaturatesInsteadOfOverflowing) {
+  // Below the clamp the result pins to exp(-745) (denormal, nonzero);
+  // above it pins to exp(709.7) (finite). No infs, no exact zeros, so a
+  // downstream 1/p or log(p) never sees a singularity the scalar path
+  // would not.
+  EXPECT_EQ(vmath::vexp(-800.0), vmath::vexp(-745.0));
+  EXPECT_EQ(vmath::vexp(-1e308), vmath::vexp(-745.0));
+  EXPECT_GT(vmath::vexp(-745.0), 0.0);
+  EXPECT_EQ(vmath::vexp(800.0), vmath::vexp(709.7));
+  EXPECT_TRUE(std::isfinite(vmath::vexp(1e308)));
+  EXPECT_EQ(vmath::vexp(0.0), 1.0);
+  EXPECT_EQ(vmath::vexp(-0.0), 1.0);
+}
+
+TEST(VmathTest, ExpClampRegionNearMinus700StaysAccurate) {
+  // The BER chain clamps Eb/N0 at 700 before exp(-x); the whole
+  // [-745, -690] strip is deep-denormal-adjacent and must stay tight.
+  for (double x = -745.0; x <= -690.0; x += 0.001) {
+    ASSERT_LE(ulpDistance(vmath::vexp(x), std::exp(x)), 2u) << "x=" << x;
+  }
+}
+
+TEST(VmathTest, LogMatchesLibmWithin3Ulp) {
+  for (double x : sweep(4.9e-324, 1e308)) {
+    if (x <= 0.0) continue;
+    ASSERT_LE(ulpDistance(vmath::vlog(x), std::log(x)), 3u) << "x=" << x;
+  }
+}
+
+TEST(VmathTest, Log10MatchesLibmWithin3Ulp) {
+  for (double x : sweep(4.9e-324, 1e308)) {
+    if (x <= 0.0) continue;
+    ASSERT_LE(ulpDistance(vmath::vlog10(x), std::log10(x)), 3u) << "x=" << x;
+  }
+}
+
+TEST(VmathTest, LogExactAnchors) {
+  EXPECT_EQ(vmath::vlog(1.0), 0.0);
+  EXPECT_EQ(vmath::vlog10(1.0), 0.0);
+  EXPECT_EQ(vmath::vlog10(10.0), 1.0);
+  EXPECT_EQ(vmath::vlog10(100.0), 2.0);
+  // log(0) saturates finite (callers floor at kLinearFloor anyway).
+  EXPECT_TRUE(std::isfinite(vmath::vlog(0.0)));
+  EXPECT_LT(vmath::vlog(0.0), -745.0);
+}
+
+TEST(VmathTest, Log1pMatchesLibmWithin3UlpOnItsDomain) {
+  for (double x : sweep(-0.5, 0.5)) {
+    ASSERT_LE(ulpDistance(vmath::vlog1p(x), std::log1p(x)), 3u) << "x=" << x;
+  }
+  EXPECT_EQ(vmath::vlog1p(0.0), 0.0);
+  EXPECT_EQ(vmath::vlog1p(-0.0), -0.0);
+}
+
+TEST(VmathTest, Pow10DbMatchesLibmWithinConditioningBudget) {
+  // Budget (0.5|x|+8)*2^-53 relative: the |x| term is the inherent rounding
+  // of the x*ln10/10 argument product, which std::pow pays for x/10 too.
+  for (double db : sweep(-320.0, 320.0)) {
+    const double got = vmath::vpow10db(db);
+    const double ref = std::pow(10.0, db / 10.0);
+    const double budget = (0.5 * std::fabs(db) + 8.0) * 0x1p-53;
+    ASSERT_LE(std::fabs(got - ref), budget * ref) << "db=" << db;
+  }
+  EXPECT_EQ(vmath::vpow10db(0.0), 1.0);
+}
+
+TEST(VmathTest, Pow10DbExtremeDbSaturates) {
+  // +4000 dB would overflow: clamps to a huge finite value. -4000 dB pins
+  // to a denormal instead of flushing to zero.
+  EXPECT_TRUE(std::isfinite(vmath::vpow10db(4000.0)));
+  EXPECT_GT(vmath::vpow10db(-4000.0), 0.0);
+}
+
+TEST(VmathTest, Linear2DbMatchesFlooredLog10) {
+  for (double mw : sweep(0.0, 1e300)) {
+    if (mw < 0.0) continue;
+    const double got = vmath::vlinear2db(mw);
+    const double floored = mw < vmath::kLinearFloor ? vmath::kLinearFloor : mw;
+    const double ref = 10.0 * std::log10(floored);
+    ASSERT_NEAR(got, ref, 1e-12) << "mw=" << mw;
+  }
+  EXPECT_EQ(vmath::vlinear2db(0.0), vmath::vlinear2db(vmath::kLinearFloor));
+  EXPECT_NEAR(vmath::vlinear2db(0.0), -150.0, 1e-12);
+}
+
+TEST(VmathTest, ErfcMatchesLibmWithinBudget) {
+  // Relative budget (2x^2+8)*2^-53 for x > 0 (the x^2 term is the rounding
+  // of -x*x feeding exp), absolute-ish 6e-16 for x <= 0 where erfc ~ 2.
+  for (double x : sweep(-30.0, 30.0)) {
+    const double got = vmath::verfc(x);
+    const double ref = std::erfc(x);
+    if (x > 0.0) {
+      if (ref == 0.0) {
+        EXPECT_EQ(got, 0.0) << "x=" << x;
+        continue;
+      }
+      const double budget = (2.0 * x * x + 8.0) * 0x1p-53;
+      ASSERT_LE(std::fabs(got - ref), budget * ref + 5e-324) << "x=" << x;
+    } else {
+      ASSERT_LE(std::fabs(got - ref), 6e-16 * 2.0) << "x=" << x;
+    }
+  }
+  EXPECT_EQ(vmath::verfc(0.0), 1.0);
+}
+
+TEST(VmathTest, Sincos2PiMatchesLibmAbsolutely) {
+  for (double u : sweep(0.0, 1.0)) {
+    if (u < 0.0) continue;
+    double s, c;
+    vmath::vsincos2pi(u, s, c);
+    // Reference computed through the same "angle in turns" definition.
+    const long double a = 2.0L * 3.14159265358979323846264338327950288L *
+                          static_cast<long double>(u);
+    ASSERT_NEAR(s, static_cast<double>(std::sin(a)), 2.5e-16) << "u=" << u;
+    ASSERT_NEAR(c, static_cast<double>(std::cos(a)), 2.5e-16) << "u=" << u;
+  }
+  double s, c;
+  vmath::vsincos2pi(0.0, s, c);
+  EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(c, 1.0);
+}
+
+TEST(VmathTest, NormalPairMatchesScalarComposition) {
+  Rng rng{7};
+  for (int i = 0; i < 5000; ++i) {
+    double u1 = rng.uniform();
+    if (u1 <= 0.0) u1 = 0.5;
+    const double u2 = rng.uniform();
+    double z0, z1;
+    vmath::vnormalpair(u1, u2, z0, z1);
+    const double radius = std::sqrt(-2.0 * vmath::vlog(u1));
+    double s, c;
+    vmath::vsincos2pi(u2, s, c);
+    EXPECT_EQ(bitsOf(z0), bitsOf(radius * c));
+    EXPECT_EQ(bitsOf(z1), bitsOf(radius * s));
+  }
+}
+
+// --- scalar vs SIMD bit identity over every vector length 0..67 ---
+
+class VmathBitIdentityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { vmath::setSimdEnabled(true); }
+
+  template <class Fn>
+  void checkLengths(Fn&& run, double lo, double hi) {
+    Rng rng{99};
+    for (std::size_t n = 0; n <= 67; ++n) {
+      std::vector<double> x(n), simd(n, 0.0), scalar(n, 0.0);
+      for (auto& v : x) v = lo + (hi - lo) * rng.uniform();
+      vmath::setSimdEnabled(true);
+      run(x.data(), simd.data(), n);
+      vmath::setSimdEnabled(false);
+      run(x.data(), scalar.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(bitsOf(simd[i]), bitsOf(scalar[i]))
+            << "n=" << n << " i=" << i << " x=" << x[i];
+      }
+    }
+  }
+};
+
+TEST_F(VmathBitIdentityTest, Exp) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::vexp(x, o, n);
+  }, -745.0, 710.0);
+}
+
+TEST_F(VmathBitIdentityTest, Log) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::vlog(x, o, n);
+  }, 1e-300, 1e300);
+}
+
+TEST_F(VmathBitIdentityTest, Log10) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::vlog10(x, o, n);
+  }, 1e-15, 1e12);
+}
+
+TEST_F(VmathBitIdentityTest, Log1p) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::vlog1p(x, o, n);
+  }, -0.5, 0.5);
+}
+
+TEST_F(VmathBitIdentityTest, Pow10Db) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::vpow10db(x, o, n);
+  }, -200.0, 100.0);
+}
+
+TEST_F(VmathBitIdentityTest, Linear2Db) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::vlinear2db(x, o, n);
+  }, 0.0, 1e6);
+}
+
+TEST_F(VmathBitIdentityTest, Erfc) {
+  checkLengths([](const double* x, double* o, std::size_t n) {
+    vmath::verfc(x, o, n);
+  }, -6.0, 30.0);
+}
+
+TEST_F(VmathBitIdentityTest, NormalPair) {
+  Rng rng{123};
+  for (std::size_t n = 0; n <= 67; ++n) {
+    std::vector<double> u1(n), u2(n);
+    std::vector<double> a0(n, 0.0), a1(n, 0.0), b0(n, 0.0), b1(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      u1[i] = 1.0 - rng.uniform();  // (0, 1]
+      u2[i] = rng.uniform();
+    }
+    vmath::setSimdEnabled(true);
+    vmath::vnormalpair(u1.data(), u2.data(), a0.data(), a1.data(), n);
+    vmath::setSimdEnabled(false);
+    vmath::vnormalpair(u1.data(), u2.data(), b0.data(), b1.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bitsOf(a0[i]), bitsOf(b0[i])) << "n=" << n << " i=" << i;
+      ASSERT_EQ(bitsOf(a1[i]), bitsOf(b1[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(VmathBitIdentityTest, ScalarElementMatchesBatch) {
+  // The scalar element overloads must equal the batch output elementwise —
+  // that is what keeps the scalar link-model reference paths bit-identical
+  // to the batched pipeline.
+  Rng rng{5};
+  std::vector<double> x(67);
+  for (auto& v : x) v = -140.0 + 280.0 * rng.uniform();
+  std::vector<double> batch(x.size());
+  vmath::vpow10db(x.data(), batch.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(bitsOf(vmath::vpow10db(x[i])), bitsOf(batch[i]));
+  }
+  vmath::verfc(x.data(), batch.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(bitsOf(vmath::verfc(x[i])), bitsOf(batch[i]));
+  }
+}
+
+TEST(VmathTest, InPlaceAliasingWorks) {
+  Rng rng{11};
+  std::vector<double> x(37), ref(37);
+  for (auto& v : x) v = rng.uniform() * 100.0;
+  ref = x;
+  std::vector<double> out(37);
+  vmath::vlog10(ref.data(), out.data(), ref.size());
+  vmath::vlog10(x.data(), x.data(), x.size());  // exact alias
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(bitsOf(x[i]), bitsOf(out[i]));
+  }
+}
+
+TEST(VmathTest, SimdIsaReportsSomething) {
+  const char* isa = vmath::simdIsa();
+  ASSERT_NE(isa, nullptr);
+  EXPECT_TRUE(std::strcmp(isa, "avx2") == 0 || std::strcmp(isa, "sse2") == 0 ||
+              std::strcmp(isa, "neon") == 0 || std::strcmp(isa, "scalar") == 0)
+      << isa;
+}
+
+}  // namespace
+}  // namespace vanet

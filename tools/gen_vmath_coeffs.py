@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""Generate and validate polynomial coefficients for util/vmath.
+
+Fits near-minimax polynomials (mpmath.chebyfit) for each vmath kernel,
+then *simulates the exact C++ double-precision op sequence* in Python
+(Python floats are IEEE-754 binary64 with correctly rounded ops) and
+reports the observed max error against a 50-digit mpmath reference.
+The printed constant block is pasted into src/util/vmath_kernels.h; the
+measured bounds are documented there and asserted (with margin) in
+tests/util/vmath_test.cpp.
+
+Run: python3 tools/gen_vmath_coeffs.py
+"""
+
+import math
+import random
+import struct
+
+import mpmath as mp
+
+mp.mp.dps = 50
+
+random.seed(20260807)
+
+
+def bits_of(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def from_bits(b: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", b & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def ulp_diff(got: float, want_mp) -> float:
+    """Error in units of the last place of the correctly rounded result."""
+    want = float(want_mp)  # round-to-nearest double
+    if want == got:
+        return 0.0
+    if want == 0.0 or not math.isfinite(want):
+        return float("inf") if got != want else 0.0
+    u = math.ulp(want)
+    return abs(mp.mpf(got) - want_mp) / mp.mpf(u)
+
+
+def horner(coeffs, x):
+    acc = coeffs[0]
+    for c in coeffs[1:]:
+        acc = acc * x + c  # each op correctly rounded in binary64
+    return acc
+
+
+def fit(f, lo, hi, max_deg, target, name, center=0.0):
+    """Chebyshev near-minimax fit; picks the lowest degree meeting target.
+
+    `center` shifts the polynomial variable (evaluate at x - center): on wide
+    intervals the monomial basis is ill-conditioned unless recentered around
+    the interval midpoint, which keeps Horner's rounding error ~1 ulp.
+    """
+    g = (lambda v: f(mp.mpf(v) + center)) if center else f
+    for deg in range(2, max_deg + 1):
+        coeffs, err = mp.chebyfit(g, [lo - center, hi - center], deg + 1,
+                                  error=True)
+        if err < target:
+            print(f"  {name}: degree {deg}, fit error {mp.nstr(err, 3)}")
+            return [float(c) for c in coeffs]
+    raise SystemExit(f"{name}: no fit under {target} up to degree {max_deg}")
+
+
+# ---------------------------------------------------------------- constants
+SHIFTER = 6755399441055744.0  # 1.5 * 2^52: round-to-even magic constant
+INVLN2 = float(mp.mpf(1) / mp.log(2))
+LN2HI = from_bits(0x3FE62E42FEE00000)  # 20 trailing zero bits: q*LN2HI exact
+LN2LO = float(mp.log(2) - mp.mpf(LN2HI))
+SQRT2 = float(mp.sqrt(2))
+LOG10E = float(1 / mp.log(10))
+LOG10_2HI = from_bits(bits_of(float(mp.log(2, 10))) & ~0x1FFFFF)
+LOG10_2LO = float(mp.log(2, 10) - mp.mpf(LOG10_2HI))
+LN10_10 = float(mp.log(10) / 10)
+TWO52 = 2.0**52
+EXP_LO = -745.0  # exp(-745) ~ 5e-324: saturates to the subnormal floor
+EXP_HI = 709.7  # exp(709.7) ~ 1.68e308: stays finite
+ERFC_SPLIT = 1.0
+ERFC_TMIN = 1.0 / 28.0  # erfc underflows to 0 well before x=28
+
+# ---------------------------------------------------------------- fits
+print("fitting:")
+
+HALF_LN2 = float(mp.log(2) / 2)
+
+
+def exp_q(r):
+    r = mp.mpf(r)
+    if abs(r) < mp.mpf("1e-8"):
+        return mp.mpf(0.5) + r / 6 + r**2 / 24
+    return (mp.expm1(r) - r) / r**2
+
+
+EXPQ = fit(exp_q, -HALF_LN2, HALF_LN2, 12, mp.mpf("1e-19"), "EXPQ")
+
+
+def log_p(w):
+    w = mp.mpf(w)
+    if w < mp.mpf("1e-12"):
+        return mp.mpf(2) / 3 + 2 * w / 5 + 2 * w**2 / 7
+    z = mp.sqrt(w)
+    return (2 * mp.atanh(z) / z - 2) / w
+
+
+ZMAX = (SQRT2 - 1.0) / (SQRT2 + 1.0)
+LOGP = fit(log_p, 0, ZMAX * ZMAX * 1.0001, 10, mp.mpf("1e-18"), "LOGP")
+# log1p on x in [-0.5, 0.5] -> z = x/(2+x) in [-1/3, 1/5] -> w <= 1/9
+LOG1PP = fit(log_p, 0, (1.0 / 9.0) * 1.0001, 14, mp.mpf("1e-18"), "LOG1PP")
+
+
+def erf_a(w):
+    w = mp.mpf(w)
+    if w < mp.mpf("1e-12"):
+        return 2 / mp.sqrt(mp.pi) * (1 - w / 3)
+    x = mp.sqrt(w)
+    return mp.erf(x) / x
+
+
+ERFA_CENTER = 0.5
+ERFA = fit(erf_a, 0, 1.0, 16, mp.mpf("5e-19"), "ERFA", center=ERFA_CENTER)
+
+
+def erfc_f(t):
+    # F(t) = x * exp(x^2) * erfc(x) with t = 1/x, x in [1, 28]
+    x = 1 / mp.mpf(t)
+    return x * mp.exp(x * x) * mp.erfc(x)
+
+
+ERFC_TSPLIT = 0.25  # x = 4: near poly on t in [0.25,1], far poly on [1/28,0.25]
+ERFB_NEAR_CENTER = 0.625
+ERFB_FAR_CENTER = 0.14453125  # 37/256, ~midpoint of [1/28, 1/4], exact binary
+ERFB_NEAR = fit(erfc_f, ERFC_TSPLIT, 1.0, 24, mp.mpf("2e-18"), "ERFB_NEAR",
+                center=ERFB_NEAR_CENTER)
+ERFB_FAR = fit(erfc_f, ERFC_TMIN, ERFC_TSPLIT, 24, mp.mpf("2e-18"), "ERFB_FAR",
+               center=ERFB_FAR_CENTER)
+
+
+def sin_s(w):
+    w = mp.mpf(w)
+    if w < mp.mpf("1e-12"):
+        return 2 * mp.pi * (1 - (2 * mp.pi) ** 2 * w / 6)
+    r = mp.sqrt(w)
+    return mp.sin(2 * mp.pi * r) / r
+
+
+SINP = fit(sin_s, 0, 1.0 / 64.0, 10, mp.mpf("5e-19"), "SINP")
+
+
+def cos_c(w):
+    w = mp.mpf(w)
+    if w < mp.mpf("1e-12"):
+        return -((2 * mp.pi) ** 2) / 2 * (1 - (2 * mp.pi) ** 2 * w / 12)
+    return (mp.cos(2 * mp.pi * mp.sqrt(w)) - 1) / w
+
+
+COSP = fit(cos_c, 0, 1.0 / 64.0, 10, mp.mpf("5e-19"), "COSP")
+
+# ------------------------------------------------- simulated double kernels
+
+
+def sim_exp(x: float) -> float:
+    if x < EXP_LO:
+        x = EXP_LO
+    if x > EXP_HI:
+        x = EXP_HI
+    kq = x * INVLN2 + SHIFTER
+    q = kq - SHIFTER
+    r = (x - q * LN2HI) - q * LN2LO
+    w = r * r
+    p = 1.0 + (r + w * horner(EXPQ, r))
+    qb = ((bits_of(kq) & 0xFFFFFFFF) + 2098) & 0xFFFFFFFF
+    q1b = qb >> 1
+    s1 = from_bits((q1b - 26) << 52)
+    s2 = from_bits((qb - q1b - 26) << 52)
+    return (p * s1) * s2
+
+
+DBL_MIN = 2.2250738585072014e-308
+TWO54 = 2.0**54
+MANT_MASK = 0x000FFFFFFFFFFFFF
+ONE_BITS = 0x3FF0000000000000
+
+
+def _log_core(x: float):
+    """Returns (e, logm) with log(x) = e*ln2 + logm, both doubles."""
+    e_adj = 0.0
+    if x < DBL_MIN:
+        x = x * TWO54
+        e_adj = -54.0
+    b = bits_of(x)
+    eb = b >> 52
+    m = from_bits((b & MANT_MASK) | ONE_BITS)
+    e = from_bits(eb | bits_of(TWO52)) - (TWO52 + 1023.0)
+    if m >= SQRT2:
+        m = m * 0.5
+        e = e + 1.0
+    e = e + e_adj
+    z = (m - 1.0) / (m + 1.0)
+    w = z * z
+    t = w * horner(LOGP, w)
+    logm = z * 2.0 + z * t
+    return e, logm
+
+
+def sim_log(x: float) -> float:
+    e, logm = _log_core(x)
+    return e * LN2HI + (logm + e * LN2LO)
+
+
+def sim_log10(x: float) -> float:
+    e, logm = _log_core(x)
+    return e * LOG10_2HI + (logm * LOG10E + e * LOG10_2LO)
+
+
+def sim_log1p(x: float) -> float:
+    z = x / (2.0 + x)
+    w = z * z
+    t = w * horner(LOG1PP, w)
+    return z * 2.0 + z * t
+
+
+def sim_pow10db(x: float) -> float:
+    return sim_exp(x * LN10_10)
+
+
+def sim_erfc(x: float) -> float:
+    ax = abs(x)
+    xx = ax * ax
+    if ax < ERFC_SPLIT:
+        p = 1.0 - ax * horner(ERFA, xx - ERFA_CENTER)
+    else:
+        t = 1.0 / ax
+        if t >= ERFC_TSPLIT:
+            poly = horner(ERFB_NEAR, t - ERFB_NEAR_CENTER)
+        else:
+            poly = horner(ERFB_FAR, t - ERFB_FAR_CENTER)
+        p = (t * poly) * sim_exp(-xx)
+    return 2.0 - p if x < 0.0 else p
+
+
+def sim_sincos2pi(u: float):
+    kq = u * 4.0 + SHIFTER
+    qf = kq - SHIFTER
+    r = u - qf * 0.25
+    w = r * r
+    s0 = r * horner(SINP, w)
+    c0 = 1.0 + w * horner(COSP, w)
+    q = bits_of(kq) & 3
+    s, c = (c0, s0) if (q & 1) else (s0, c0)
+    if q & 2:
+        s = -s
+    if (q & 1) ^ ((q >> 1) & 1):
+        c = -c
+    return s, c
+
+
+# ---------------------------------------------------------------- validation
+def report(name, samples, sim, ref, ulp_cap=None):
+    worst, worst_x = 0.0, None
+    for x in samples:
+        got = sim(x)
+        u = ulp_diff(got, ref(x))
+        if u > worst:
+            worst, worst_x = u, x
+    print(f"  {name}: max {float(worst):.2f} ulp (at {worst_x!r})")
+    if ulp_cap is not None and worst > ulp_cap:
+        raise SystemExit(f"{name} exceeds {ulp_cap} ulp")
+    return worst
+
+
+print("validating (max observed error, simulated binary64 pipeline):")
+N = 20000
+
+xs = [random.uniform(-745, 709.7) for _ in range(N)] + [
+    0.0, -0.0, -700.0, -745.0, 709.7, 1e-300, -1e-300, 0.5, -0.5]
+report("vexp", xs, sim_exp, lambda x: mp.exp(mp.mpf(x)), ulp_cap=2.0)
+
+xs = [from_bits(random.getrandbits(62) % bits_of(1.7e308) + 1) for _ in range(N)]
+xs += [from_bits(random.getrandbits(51) + 1) for _ in range(2000)]  # subnormals
+xs += [5e-324, DBL_MIN, 1.0, 2.0, 0.5, 1e300, 1e-300]
+report("vlog", xs, sim_log, lambda x: mp.log(mp.mpf(x)), ulp_cap=3.0)
+report("vlog10", xs, sim_log10, lambda x: mp.log(mp.mpf(x), 10), ulp_cap=3.0)
+
+xs = [random.uniform(-0.5, 0.5) for _ in range(N)] + [-0.5, 0.5, -1e-300, 1e-300]
+report("vlog1p", xs, sim_log1p, lambda x: mp.log1p(mp.mpf(x)), ulp_cap=3.0)
+
+xs = [random.uniform(-3100, 3070) for _ in range(N)] + [-3100.0, 3070.0, 0.0]
+worst = 0.0
+for x in xs:
+    got = sim_pow10db(x)
+    want = mp.power(10, mp.mpf(x) / 10)
+    if float(want) == 0.0 or float(want) == float("inf") or abs(float(want)) < 1e-290:
+        continue
+    rel = abs((mp.mpf(got) - want) / want)
+    # inherent conditioning: the rounded product x*ln10/10 perturbs the
+    # exponent by ~ulp(|x|*0.2303)/2 (std::pow(10, x/10) pays the same for
+    # rounding x/10); kernel error adds ~1 ulp on top.
+    budget = mp.mpf(2 ** -53) * (abs(x) * 0.5 + 8)
+    if rel > budget:
+        raise SystemExit(f"vpow10db rel {mp.nstr(rel, 3)} > budget at x={x!r}")
+    worst = max(worst, float(rel / budget))
+print(f"  vpow10db: worst rel-error/budget ratio {worst:.2f} "
+      f"(budget = (0.5|x|+8)*2^-53)")
+
+xs = [random.uniform(-6, 27.5) for _ in range(N)] + [0.0, -0.0, 1.0, -6.0, 26.5]
+worst = 0.0
+for x in xs:
+    got = sim_erfc(x)
+    want = mp.erfc(mp.mpf(x))
+    rel = abs((mp.mpf(got) - want) / want) if want != 0 else mp.mpf(0)
+    # budget: poly error + exp(-x^2) argument rounding ~ x^2 * 2^-53
+    budget = mp.mpf(2 ** -53) * (2 * x * x + 8) if x > 0 else mp.mpf("6e-16")
+    if float(want) != 0.0 and abs(float(want)) > 1e-290:
+        if rel > budget:
+            raise SystemExit(f"verfc rel {mp.nstr(rel, 3)} > budget at x={x!r}")
+        worst = max(worst, float(rel / budget))
+print(f"  verfc: worst rel-error/budget ratio {worst:.2f} "
+      f"(budget = (2x^2+8)*2^-53 for x>0, 6e-16 for x<=0)")
+
+xs = [random.uniform(0.0, 1.0 - 2**-53) for _ in range(N)] + [
+    0.0, 0.25, 0.5, 0.75, 0.125, 1.0 - 2**-53]
+worst_s = worst_c = 0.0
+for u in xs:
+    s, c = sim_sincos2pi(u)
+    ws = mp.sin(2 * mp.pi * mp.mpf(u))
+    wc = mp.cos(2 * mp.pi * mp.mpf(u))
+    worst_s = max(worst_s, abs(float(mp.mpf(s) - ws)))
+    worst_c = max(worst_c, abs(float(mp.mpf(c) - wc)))
+print(f"  vsincos2pi: max abs err sin {worst_s:.2e} cos {worst_c:.2e}")
+if worst_s > 3e-16 or worst_c > 3e-16:
+    raise SystemExit("vsincos2pi exceeds 3e-16 abs")
+
+# exactness anchors relied on by the pipeline
+assert sim_exp(0.0) == 1.0 and sim_exp(-0.0) == 1.0
+assert sim_log(1.0) == 0.0 and sim_log10(1.0) == 0.0
+assert sim_log1p(0.0) == 0.0
+assert sim_erfc(0.0) == 1.0
+assert sim_sincos2pi(0.0) == (0.0, 1.0)
+assert sim_pow10db(0.0) == 1.0
+assert abs(sim_log10(10.0) - 1.0) <= 2 * math.ulp(1.0), sim_log10(10.0)
+assert sim_exp(-745.9) >= 0.0 and sim_exp(-800.0) >= 0.0
+assert sim_exp(800.0) == sim_exp(EXP_HI) < float("inf")
+print("  exactness anchors OK "
+      f"(log10(10)={sim_log10(10.0)!r}, exp(-800)={sim_exp(-800.0)!r})")
+
+
+# ---------------------------------------------------------------- emit C++
+def emit(name, coeffs):
+    body = ",\n    ".join(f"{c!r}" for c in coeffs)
+    print(f"inline constexpr double {name}[] = {{  // degree {len(coeffs)-1}"
+          f"\n    {body}}};")
+
+
+print("\n// ---- generated by tools/gen_vmath_coeffs.py (highest degree first)")
+for n, v in [("kShifter", SHIFTER), ("kInvLn2", INVLN2), ("kLn2Hi", LN2HI),
+             ("kLn2Lo", LN2LO), ("kSqrt2", SQRT2), ("kLog10E", LOG10E),
+             ("kLog10_2Hi", LOG10_2HI), ("kLog10_2Lo", LOG10_2LO),
+             ("kLn10Over10", LN10_10), ("kExpLo", EXP_LO), ("kExpHi", EXP_HI)]:
+    print(f"inline constexpr double {n} = {v!r};")
+for n, v in [("kExpQ", EXPQ), ("kLogP", LOGP), ("kLog1pP", LOG1PP),
+             ("kErfA", ERFA), ("kErfBNear", ERFB_NEAR),
+             ("kErfBFar", ERFB_FAR), ("kSinP", SINP),
+             ("kCosP", COSP)]:
+    emit(n, v)
