@@ -12,8 +12,10 @@
 /// The delivered column answers the paper's question: with C-ARQ the
 /// best operating point moves to a faster mode than without.
 ///
-/// One campaign: three named cases (plain / c-arq / c-arq+fc) x the phy
-/// axis, --repl replications per point, in parallel on --threads workers.
+/// Spec-driven: the three named cases (plain / c-arq / c-arq+fc) x phy
+/// axis grid lives in specs/ablation_bitrate.json (--spec=PATH overrides)
+/// and runs --repl replications per point in parallel on --threads
+/// workers.
 
 #include <iomanip>
 #include <iostream>
@@ -23,22 +25,14 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Ablation: AP bit-rate sweep with C-ARQ and C-ARQ/FC",
-                     "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames()));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_bitrate");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/1);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  // Match the paper's channel duty: 15 frames/s of 1000 B at 1 Mbps,
-  // split across the platoon's flows (see the duty_frames param).
-  campaign.base.set("duty_frames", 15.0);
-  campaign.cases = {
-      {"plain", {{"coop", 0.0}, {"fc", 0.0}}},
-      {"c-arq", {{"coop", 1.0}, {"fc", 0.0}}},
-      {"c-arq/fc", {{"coop", 1.0}, {"fc", 1.0}}},
-  };
-  campaign.grid.add("phy", {0.0, 1.0, 2.0, 3.0});
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(13) << "variant" << std::setw(10)
@@ -62,6 +56,6 @@ int main(int argc, char** argv) {
                " shortfall that the delivered optimum sits at a\nfaster mode"
                " than without it, and frame combining adds a further margin"
                " at the\nfast end (corrupt copies become useful energy)\n";
-  bench::maybeWriteCampaign(flags, "ablation_bitrate", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

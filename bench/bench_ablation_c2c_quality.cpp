@@ -7,8 +7,9 @@
 /// near-zero gap for clean links, growing monotonically as the C2C channel
 /// degrades, with before-coop losses unchanged (the AP link is untouched).
 ///
-/// The sweep is one campaign-engine grid (c2c_ref_loss axis x --repl
-/// replications) executed in parallel on --threads workers.
+/// Spec-driven: the c2c_ref_loss axis lives in
+/// specs/ablation_c2c_quality.json (--spec=PATH overrides) and runs
+/// x --repl replications in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
@@ -17,14 +18,14 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Ablation: car-to-car channel quality sweep",
-                     "Morillo-Pozo et al., ICDCS'08 W, Figs. 6-8 optimality");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames()));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_c2c_quality");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/15, /*defaultReplications=*/1);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  campaign.grid.add("c2c_ref_loss", {40.0, 70.0, 85.0, 90.0, 95.0, 100.0});
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(16) << "c2c refloss" << std::right
@@ -48,6 +49,6 @@ int main(int argc, char** argv) {
                " for tens of seconds) and snaps open once car-to-car links"
                " fall below\nsensitivity (~90+ dB reference loss at platoon"
                " distances)\n";
-  bench::maybeWriteCampaign(flags, "ablation_c2c_quality", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

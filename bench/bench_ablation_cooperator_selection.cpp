@@ -8,8 +8,9 @@
 /// RSSI costs recovery; random-K preserves more diversity. Optimal
 /// selection should weigh reception diversity, not link strength.
 ///
-/// One campaign: three named cases (policy + cap pairs) x --repl
-/// replications, in parallel on --threads workers.
+/// Spec-driven: the three named cases (policy + cap pairs) live in
+/// specs/ablation_cooperator_selection.json (--spec=PATH overrides) and
+/// run x --repl replications in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
@@ -18,19 +19,14 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Ablation: cooperator selection policy",
-                     "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames()));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_cooperator_selection");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/15, /*defaultReplications=*/1);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  campaign.base.set("cars", flags.getInt("cars", 5));
-  campaign.cases = {
-      {"all-one-hop", {{"selection", 0.0}, {"max_coop", 8.0}}},
-      {"best-rssi k=2", {{"selection", 1.0}, {"max_coop", 2.0}}},
-      {"random k=2", {{"selection", 2.0}, {"max_coop", 2.0}}},
-  };
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(16) << "policy" << std::right
@@ -52,6 +48,6 @@ int main(int argc, char** argv) {
                " trails random-k because the strongest\nneighbours are the"
                " closest, most-correlated ones -- selection should optimise"
                "\ndiversity, not RSSI (the paper's open question)\n";
-  bench::maybeWriteCampaign(flags, "ablation_cooperator_selection", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

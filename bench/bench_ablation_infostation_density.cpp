@@ -8,8 +8,10 @@
 /// C-ARQ the platoon fills its gaps between APs and completes the file
 /// one-to-several AP visits earlier.
 ///
-/// The on/off comparison is one campaign-engine grid (coop axis x --repl
-/// replications) executed in parallel on --threads workers.
+/// Spec-driven: the on/off grid lives in
+/// specs/ablation_infostation_density.json (--spec=PATH overrides;
+/// --aps/--spacing/--speed-kmh/--file tweak the scene) and is executed in
+/// parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
@@ -18,18 +20,22 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader(
-      "Ablation: Infostation density / file download (AP visits to finish)",
-      "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
+  flags.allowOnly(
+      bench::benchFlagNames({"aps", "spacing", "speed-kmh", "file"}));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_infostation_density");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "highway_file", /*defaultRounds=*/5, /*defaultReplications=*/2);
-  campaign.base.set("aps", flags.getInt("aps", 8));
-  campaign.base.set("spacing", flags.getDouble("spacing", 700.0));
-  campaign.base.set("speed_kmh", flags.getDouble("speed-kmh", 50.0));
-  campaign.base.set("file", flags.getInt("file", 220));
-  campaign.grid.add("coop", {0.0, 1.0});
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
+  if (flags.has("aps")) campaign.base.set("aps", flags.getInt("aps", 8));
+  if (flags.has("spacing")) {
+    campaign.base.set("spacing", flags.getDouble("spacing", 700.0));
+  }
+  if (flags.has("speed-kmh")) {
+    campaign.base.set("speed_kmh", flags.getDouble("speed-kmh", 50.0));
+  }
+  if (flags.has("file")) campaign.base.set("file", flags.getInt("file", 220));
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << "file size: " << campaign.base.getInt("file", 220)
@@ -51,6 +57,6 @@ int main(int argc, char** argv) {
   bench::printThroughput(result);
   std::cout << "\nexpected shape: cooperation completes the same file with"
                " fewer AP visits and earlier\n";
-  bench::maybeWriteCampaign(flags, "ablation_infostation_density", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

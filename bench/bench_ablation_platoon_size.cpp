@@ -6,8 +6,10 @@
 /// losses fall monotonically (with diminishing returns) as the platoon
 /// grows; a lone car gains nothing.
 ///
-/// The sweep is one campaign-engine grid (cars axis x --repl
-/// replications) executed in parallel on --threads workers.
+/// Spec-driven: the sweep definition lives in
+/// specs/ablation_platoon_size.json (--spec=PATH overrides; --max-cars=N
+/// rebuilds the axis as 1..N); grid points run in parallel on --threads
+/// workers.
 
 #include <iomanip>
 #include <iostream>
@@ -17,18 +19,23 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Ablation: platoon size sweep",
-                     "Morillo-Pozo et al., ICDCS'08 W, §6 (future work)");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames(), {"max-cars"}));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_platoon_size");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/5, /*defaultReplications=*/3);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  std::vector<double> sizes;
-  for (int cars = 1; cars <= flags.getInt("max-cars", 6); ++cars) {
-    sizes.push_back(cars);
+  if (flags.has("max-cars")) {
+    std::vector<double> sizes;
+    for (int cars = 1; cars <= flags.getInt("max-cars", 6); ++cars) {
+      sizes.push_back(cars);
+    }
+    runner::SweepGrid grid;
+    grid.add("cars", sizes);
+    campaign.grid = grid;
   }
-  campaign.grid.add("cars", sizes);
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(8) << "cars" << std::right
@@ -49,6 +56,6 @@ int main(int argc, char** argv) {
   bench::printThroughput(result);
   std::cout << "\nexpected shape: after-coop and joint columns fall with"
                " platoon size, flattening after 3-4 cars\n";
-  bench::maybeWriteCampaign(flags, "ablation_platoon_size", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

@@ -5,8 +5,10 @@
 /// and response traffic. Expected: batching preserves the loss reduction
 /// while cutting REQUEST frames by roughly the batch factor.
 ///
-/// The comparison is one campaign-engine grid (batched axis x --repl
-/// replications) executed in parallel on --threads workers.
+/// Spec-driven: the batched on/off grid lives in
+/// specs/ablation_request_batching.json (--spec=PATH overrides; --batch=N
+/// tweaks the list capacity) and is executed in parallel on --threads
+/// workers.
 
 #include <iomanip>
 #include <iostream>
@@ -15,16 +17,17 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader(
-      "Ablation: per-packet vs batched REQUESTs",
-      "Morillo-Pozo et al., ICDCS'08 W, §3.3 (proposed optimisation)");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames(), {"batch"}));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_request_batching");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  campaign.base.set("batch", flags.getInt("batch", 16));
-  campaign.grid.add("batched", {0.0, 1.0});
+  if (flags.has("batch")) {
+    campaign.base.set("batch", flags.getInt("batch", 16));
+  }
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(14) << "mode" << std::right
@@ -48,6 +51,6 @@ int main(int argc, char** argv) {
   bench::printThroughput(result);
   std::cout << "\nexpected shape: equal loss columns, REQ/round shrinking by"
                " ~ the batch factor in batched mode\n";
-  bench::maybeWriteCampaign(flags, "ablation_request_batching", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

@@ -12,8 +12,9 @@
 /// blind repetition lowers loss but halves/thirds the offered window;
 /// C-ARQ delivers the most unique packets.
 ///
-/// One campaign: five named cases (repeat + coop combos) x --repl
-/// replications, in parallel on --threads workers.
+/// Spec-driven: the five named cases (repeat + coop combos) live in
+/// specs/ablation_retransmission.json (--spec=PATH overrides) and run
+/// x --repl replications in parallel on --threads workers.
 
 #include <iomanip>
 #include <iostream>
@@ -22,20 +23,14 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Ablation: AP blind retransmissions vs Cooperative ARQ",
-                     "Morillo-Pozo et al., ICDCS'08 W, §3.2 (future work)");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames()));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_retransmission");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/15, /*defaultReplications=*/1);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  campaign.cases = {
-      {"plain", {{"repeat", 1.0}, {"coop", 0.0}}},
-      {"blind-retx x2", {{"repeat", 2.0}, {"coop", 0.0}}},
-      {"blind-retx x3", {{"repeat", 3.0}, {"coop", 0.0}}},
-      {"c-arq", {{"repeat", 1.0}, {"coop", 1.0}}},
-      {"retx x2 + c-arq", {{"repeat", 2.0}, {"coop", 1.0}}},
-  };
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(18) << "variant" << std::right
@@ -52,6 +47,6 @@ int main(int argc, char** argv) {
   bench::printThroughput(result);
   std::cout << "\nexpected shape: blind repeats cut loss but shrink the"
                " offered window; c-arq tops the delivered column\n";
-  bench::maybeWriteCampaign(flags, "ablation_retransmission", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

@@ -6,8 +6,10 @@
 /// speed packets offered, losses before/after cooperation and the joint
 /// bound, averaged over the platoon.
 ///
-/// The sweep is one campaign-engine grid (speed_kmh axis x --repl
-/// replications), so the six speeds run concurrently on --threads workers.
+/// Spec-driven: the sweep definition lives in specs/ablation_speed.json
+/// (--spec=PATH overrides); the six speeds run concurrently on --threads
+/// workers, and `vanet_campaign run specs/ablation_speed.json` produces
+/// byte-identical artefacts.
 
 #include <iomanip>
 #include <iostream>
@@ -16,17 +18,13 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Ablation: drive-thru speed sweep (single highway AP)",
-                     "Morillo-Pozo et al., ICDCS'08 W, §1/§4 via ref [1]");
+  flags.allowOnly(bench::benchFlagNames());
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_speed");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "highway", /*defaultRounds=*/5, /*defaultReplications=*/3);
-  campaign.base.set("aps", 1);
-  campaign.base.set("road_length", 2400.0);
-  campaign.base.set("first_ap_arc", 1200.0);
-  campaign.base.set("gap_seconds", 1.2);
-  campaign.grid.add("speed_kmh", {20.0, 40.0, 60.0, 80.0, 100.0, 120.0});
+  const runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(10) << "km/h" << std::right
@@ -51,6 +49,6 @@ int main(int argc, char** argv) {
                " urban\nscenario: a tight platoon crosses the same coverage"
                " edges together, so open-road\ndiversity is limited -- the"
                " staggered urban entries/exits are where C-ARQ shines\n";
-  bench::maybeWriteCampaign(flags, "ablation_speed", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

@@ -9,8 +9,11 @@
 /// request window. Expected: car 1's after-coop loss drops towards its
 /// joint bound; cars 2 and 3 (already near-optimal) barely change.
 ///
-/// The on/off comparison is one campaign-engine grid (gossip axis x
-/// --repl replications) executed in parallel on --threads workers.
+/// Spec-driven: the gossip on/off grid lives in
+/// specs/ablation_window_gossip.json (--spec=PATH overrides), whose emit
+/// list leads with the per-car figure series (the tail gap of Figure 6
+/// closing is the point of this study), and runs in parallel on
+/// --threads workers.
 
 #include <iomanip>
 #include <iostream>
@@ -20,15 +23,14 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader(
-      "Ablation: request-window gossip (extension closing Figure 6's tail)",
-      "Morillo-Pozo et al., ICDCS'08 W, §3.3 direction + Figure 6");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames()));
+  const runner::CampaignSpec spec =
+      bench::loadBenchSpec(flags, "ablation_window_gossip");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
-  campaign.grid.add("gossip", {0.0, 1.0});
   const runner::CampaignResult result = runner::runCampaign(campaign);
 
   std::cout << std::left << std::setw(10) << "gossip" << std::right
@@ -50,9 +52,6 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape: with gossip on, each car's after-coop loss"
                " sits on its joint\nbound; the largest win is the lead car"
                " (it leaves coverage first)\n";
-  // The per-car figure series are the point of this study (the tail gap
-  // of Figure 6 closes with gossip on): emit them per grid point.
-  bench::maybeWriteFigures(flags, "ablation_window_gossip", result);
-  bench::maybeWriteCampaign(flags, "ablation_window_gossip", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

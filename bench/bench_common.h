@@ -35,13 +35,16 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/csv.h"
 #include "analysis/experiment.h"
 #include "analysis/figures.h"
 #include "analysis/table1.h"
+#include "obs/manifest.h"
 #include "runner/campaign.h"
 #include "runner/emit.h"
+#include "runner/spec.h"
 #include "util/flags.h"
 
 namespace vanet::bench {
@@ -220,6 +223,127 @@ inline void printHeader(const std::string& title, const std::string& paperRef) {
   std::cout << "reproduces: " << paperRef << "\n";
   std::cout << "==============================================================="
                "=========\n";
+}
+
+/// The full flag vocabulary of a spec-backed bench: the shared engine
+/// flags, the experiment overrides every bench keeps (--rounds / --cars /
+/// --repl), --csv / --spec, plus `extra` bench-specific names. Pass the
+/// result to Flags::allowOnly() right after parsing.
+inline std::vector<std::string> benchFlagNames(
+    std::vector<std::string> extra = {}, std::vector<std::string> more = {}) {
+  std::vector<std::string> names = campaignFlagNames();
+  names.insert(names.end(), {"rounds", "cars", "repl", "csv", "spec"});
+  names.insert(names.end(), extra.begin(), extra.end());
+  names.insert(names.end(), more.begin(), more.end());
+  return names;
+}
+
+/// The applyUrbanFlags() vocabulary, for benches on the urban scenario.
+inline std::vector<std::string> urbanFlagNames() {
+  return {"speed-kmh", "no-coop", "batched", "gossip",
+          "fc",        "repeat",  "phy",     "nakagami"};
+}
+
+/// Loads the bench's committed campaign spec -- specs/<name>.json under
+/// the source tree (VANET_SPEC_DIR), overridable per run with
+/// --spec=PATH -- records the spec identity for every manifest sidecar,
+/// and prints the spec's title / paper-reference header. A ported bench
+/// main is then a thin wrapper: spec -> config -> flag overrides ->
+/// runCampaign -> its custom console table.
+inline runner::CampaignSpec loadBenchSpec(const Flags& flags,
+                                          const std::string& name) {
+  const std::string path = flags.getString(
+      "spec", std::string(VANET_SPEC_DIR "/") + name + ".json");
+  runner::CampaignSpec spec;
+  try {
+    spec = runner::loadCampaignSpec(path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(1);
+  }
+  obs::setRunSpec(path, runner::campaignSpecDigest(spec));
+  printHeader(spec.title, spec.paperRef);
+  return spec;
+}
+
+/// CampaignConfig from a bench spec plus the traditional flag overrides.
+/// The committed spec is the source of truth for the experiment
+/// definition; --seed / --repl / --rounds / --cars and the adaptive knobs
+/// still tweak it for one-off runs (same validation and semantics as the
+/// flag-first campaignFromFlags), and the engine flags apply unchanged.
+inline runner::CampaignConfig campaignFromSpec(const Flags& flags,
+                                               const runner::CampaignSpec& spec) {
+  const CampaignRunFlags run = campaignRunFlags(flags, spec.seed);
+  runner::CampaignConfig config = runner::campaignConfigFromSpec(spec);
+  runner::applyEngineFlags(run, config);
+  config.masterSeed = run.seed;  // defaults to the spec's seed
+  if (flags.has("repl")) {
+    config.replications = flags.getInt("repl", config.replications);
+  }
+  if (flags.has("rounds")) {
+    config.base.set("rounds", flags.getInt("rounds", 0));
+  }
+  if (flags.has("cars")) config.base.set("cars", flags.getInt("cars", 0));
+
+  const auto usage = [](const char* message) {
+    std::fprintf(stderr, "%s\n", message);
+    std::exit(2);
+  };
+  if (flags.has("target-ci") && run.targetCi <= 0.0) {
+    usage("flag --target-ci: must be > 0 (a relative CI95 half-width)");
+  }
+  if (flags.has("target-ci")) {
+    config.targetRelativeCi95 = run.targetCi;
+    config.targetMetric = run.targetMetric;
+    if (spec.targetCi <= 0.0) {
+      // Flags switched adaptive mode on: historical defaults -- the
+      // replication count is the wave-0 floor, the cap at least 64.
+      config.minReplications = config.replications;
+      config.maxReplications = std::max(64, config.minReplications);
+    }
+  }
+  if (config.targetRelativeCi95 > 0.0) {
+    if (flags.has("min-reps")) {
+      if (run.minReps < 1) usage("flag --min-reps: must be >= 1");
+      config.minReplications = run.minReps;
+    }
+    if (flags.has("max-reps")) {
+      if (run.maxReps < 1) usage("flag --max-reps: must be >= 1");
+      config.maxReplications = run.maxReps;
+    }
+    if (flags.has("target-metric")) config.targetMetric = run.targetMetric;
+    if (config.minReplications < 1) {
+      usage("flag --repl: the adaptive floor must be >= 1 (or pass "
+            "--min-reps)");
+    }
+    if (config.maxReplications < config.minReplications) {
+      usage("flags --min-reps/--max-reps (or --repl as the floor): need "
+            "min <= max replications");
+    }
+  } else if (flags.has("min-reps") || flags.has("max-reps") ||
+             flags.has("target-metric")) {
+    usage("flags --min-reps/--max-reps/--target-metric need "
+          "--target-ci=X to enable adaptive replication");
+  }
+  return config;
+}
+
+/// Writes the spec's emit list into --csv=DIR (when given) and the shard
+/// partial when --partial-out is given. Halted runs skip both: their
+/// state lives in the checkpoint file. A failed artefact write exits
+/// non-zero, same contract as maybeWritePartial.
+inline void maybeWriteSpecArtifacts(const Flags& flags,
+                                    const runner::CampaignSpec& spec,
+                                    const runner::CampaignResult& result) {
+  maybeWritePartial(flags, result);
+  const std::string dir = flags.getString("csv", "");
+  if (dir.empty() || result.halted) return;
+  std::vector<std::string> written;
+  const bool ok = runner::writeSpecArtifacts(spec, result, dir, written);
+  for (const std::string& path : written) {
+    std::cout << "wrote " << path << "\n";
+  }
+  if (!ok) std::exit(1);
 }
 
 }  // namespace vanet::bench

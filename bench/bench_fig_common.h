@@ -19,6 +19,13 @@ inline int runFigureBench(int argc, char** argv, FlowId flow,
                           FigureKind kind, const std::string& title,
                           const std::string& paperRef) {
   const Flags flags(argc, argv);
+  {
+    std::vector<std::string> names = campaignFlagNames();
+    names.insert(names.end(), {"rounds", "cars", "repl", "csv"});
+    const std::vector<std::string> urban = urbanFlagNames();
+    names.insert(names.end(), urban.begin(), urban.end());
+    flags.allowOnly(names);
+  }
   printHeader(title, paperRef);
 
   runner::CampaignConfig campaign = campaignFromFlags(

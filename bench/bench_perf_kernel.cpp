@@ -429,6 +429,11 @@ std::string benchJson(const std::vector<KernelResult>& kernels,
 int main(int argc, char** argv) {
   vanet::obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
+  {
+    std::vector<std::string> names = campaignFlagNames();
+    names.insert(names.end(), {"iters", "laps", "json"});
+    flags.allowOnly(names);
+  }
   const CampaignRunFlags run = campaignRunFlags(flags, /*defaultSeed=*/11);
   const int iters = flags.getInt("iters", 10);
   const int laps = flags.getInt("laps", 8);

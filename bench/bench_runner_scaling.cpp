@@ -241,6 +241,8 @@ int runRoundsMode(const vanet::Flags& flags) {
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
+  flags.allowOnly(bench::benchFlagNames(
+      {"figures", "batched", "adaptive", "laps", "max-threads"}));
   const bool figures = flags.getBool("figures", false);
   const bool batched = flags.getBool("batched", false);
   const bool adaptive = flags.getBool("adaptive", false);

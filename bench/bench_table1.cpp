@@ -3,9 +3,11 @@
 /// packets transmitted by the AP in the car's association window, packets
 /// lost before cooperation and packets lost after cooperation.
 ///
-/// Runs on the campaign engine: --repl independent replications of
-/// --rounds laps each (default 3 x 10, merging to the paper's 30 rounds)
-/// execute in parallel on --threads workers and merge deterministically.
+/// Spec-driven: the study definition lives in specs/table1.json
+/// (--spec=PATH overrides); this main loads it, applies the traditional
+/// flag overrides (--rounds/--repl/--seed/... still work for one-off
+/// runs) and renders the console table. `vanet_campaign run
+/// specs/table1.json` produces byte-identical artefacts.
 ///
 /// Paper reference values (ICDCS 2008, Table 1):
 ///   car 1: 130.4 tx, 30.5 lost (23.4 %) -> 13.7 (10.5 %)
@@ -21,12 +23,12 @@
 
 int main(int argc, char** argv) {
   using namespace vanet;
+  obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
-  bench::printHeader("Table 1: packets received and lost per car",
-                     "Morillo-Pozo et al., ICDCS'08 W, Table 1");
+  flags.allowOnly(bench::benchFlagNames(bench::urbanFlagNames()));
+  const runner::CampaignSpec spec = bench::loadBenchSpec(flags, "table1");
 
-  runner::CampaignConfig campaign = bench::campaignFromFlags(
-      flags, "urban", /*defaultRounds=*/10, /*defaultReplications=*/3);
+  runner::CampaignConfig campaign = bench::campaignFromSpec(flags, spec);
   bench::applyUrbanFlags(flags, campaign.base);
   const runner::CampaignResult result = runner::runCampaign(campaign);
   if (result.halted) {  // --halt-after-waves: fold state is in the checkpoint
@@ -45,10 +47,6 @@ int main(int argc, char** argv) {
             << point.totals.bufferedPerRound.mean() << " buffered\n";
   bench::printThroughput(result);
 
-  const std::string dir = flags.getString("csv", "");
-  if (!dir.empty() && analysis::writeTable1Csv(dir + "/table1.csv", point.table1)) {
-    std::cout << "wrote " << dir << "/table1.csv\n";
-  }
-  bench::maybeWriteCampaign(flags, "table1", result);
+  bench::maybeWriteSpecArtifacts(flags, spec, result);
   return 0;
 }

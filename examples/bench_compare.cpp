@@ -138,6 +138,7 @@ void writeMarkdown(const std::string& path, const BenchDoc& base,
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
+  flags.allowOnly({"threshold", "markdown", "gate-campaign", "log-level"});
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare BASELINE.json CURRENT.json"

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   using namespace vanet;
   obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
+  flags.allowOnly(
+      {"csv", "json", "figures-dir", "figures-base", "log-level"});
   if (flags.positional().empty()) {
     std::cerr << "usage: campaign_merge SHARD... [--csv=FILE]"
                  " [--json=FILE] [--figures-dir=DIR --figures-base=B]\n";

@@ -27,17 +27,14 @@ int main(int argc, char** argv) {
   using namespace vanet;
   obs::setRunIdentity(argc, argv);
   const Flags flags(argc, argv);
+  {
+    std::vector<std::string> names = campaignFlagNames();
+    names.insert(names.end(), {"list", "scenario", "repl", "rounds", "out"});
+    flags.allowOnly(names);
+  }
 
   if (flags.getBool("list", false)) {
-    for (const std::string& name : runner::ScenarioRegistry::global().names()) {
-      const runner::ScenarioInfo* info =
-          runner::ScenarioRegistry::global().find(name);
-      std::cout << name << ": " << info->description << "\n";
-      for (const runner::ParamSpec& spec : info->params) {
-        std::cout << "    " << spec.name << " = " << spec.defaultValue << "  ("
-                  << spec.help << ")\n";
-      }
-    }
+    std::cout << runner::renderScenarioList();
     return 0;
   }
 

@@ -18,6 +18,8 @@
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
+  flags.allowOnly({"file", "rounds", "aps", "spacing", "cars", "speed-kmh",
+                   "seed", "round-threads", "log-level"});
 
   const SeqNo fileSize = static_cast<SeqNo>(flags.getInt("file", 220));
   const int rounds = flags.getInt("rounds", 5);

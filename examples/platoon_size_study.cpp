@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
+  flags.allowOnly({"max-cars", "rounds", "seed", "log-level"});
   const int maxCars = flags.getInt("max-cars", 6);
   const int rounds = flags.getInt("rounds", 10);
 

@@ -19,6 +19,9 @@
 int main(int argc, char** argv) {
   using namespace vanet;
   const Flags flags(argc, argv);
+  flags.allowOnly({"rounds", "seed", "cars", "speed-kmh", "gap",
+                   "round-threads", "no-coop", "batched", "figures", "csv",
+                   "log-level"});
 
   analysis::UrbanExperimentConfig config;
   config.rounds = flags.getInt("rounds", 30);

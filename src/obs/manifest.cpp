@@ -59,6 +59,48 @@ RunIdentity& identity() {
   return id;
 }
 
+struct RunSpecIdentity {
+  std::string path;
+  std::uint64_t digest = 0;
+};
+
+RunSpecIdentity& specIdentity() {
+  static RunSpecIdentity spec;
+  return spec;
+}
+
+/// `digest` as exactly 16 lowercase hex digits -- the sidecar encoding
+/// of the spec digest (a JSON number would round through a double).
+std::string hexDigest(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parseHexDigest(const std::string& text) {
+  if (text.empty() || text.size() > 16) {
+    throw std::runtime_error("manifest: malformed spec_digest \"" + text +
+                             "\"");
+  }
+  std::uint64_t digest = 0;
+  for (const char c : text) {
+    digest <<= 4;
+    if (c >= '0' && c <= '9') {
+      digest |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digest |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw std::runtime_error("manifest: malformed spec_digest \"" + text +
+                               "\"");
+    }
+  }
+  return digest;
+}
+
 }  // namespace
 
 void setRunIdentity(int argc, const char* const* argv) {
@@ -79,6 +121,15 @@ const std::string& runTool() { return identity().tool; }
 
 const std::vector<std::string>& runArgs() { return identity().args; }
 
+void setRunSpec(const std::string& specPath, std::uint64_t specDigest) {
+  specIdentity().path = specPath;
+  specIdentity().digest = specDigest;
+}
+
+const std::string& runSpecPath() { return specIdentity().path; }
+
+std::uint64_t runSpecDigest() { return specIdentity().digest; }
+
 std::string buildGitRevision() { return VANET_GIT_REV; }
 
 std::string buildFlagsString() { return VANET_BUILD_FLAGS; }
@@ -90,6 +141,8 @@ RunManifest manifestForArtifact(const std::string& artifactPath) {
   manifest.args = runArgs();
   manifest.gitRev = buildGitRevision();
   manifest.buildFlags = buildFlagsString();
+  manifest.specPath = runSpecPath();
+  manifest.specDigest = runSpecDigest();
   return manifest;
 }
 
@@ -123,6 +176,8 @@ std::string manifestJson(const RunManifest& manifest) {
   out += "\"target_metric\":" + quote(manifest.targetMetric) + ",\n";
   out += "\"wall_seconds\":" + num(manifest.wallSeconds) + ",\n";
   out += "\"jobs_per_second\":" + num(manifest.jobsPerSecond) + ",\n";
+  out += "\"spec_path\":" + quote(manifest.specPath) + ",\n";
+  out += "\"spec_digest\":" + quote(hexDigest(manifest.specDigest)) + ",\n";
   out += "\"points\":[";
   first = true;
   for (const ManifestPoint& point : manifest.points) {
@@ -161,6 +216,14 @@ RunManifest manifestFromJson(const std::string& text) {
   manifest.targetMetric = doc.at("target_metric").asString();
   manifest.wallSeconds = doc.at("wall_seconds").asDouble();
   manifest.jobsPerSecond = doc.at("jobs_per_second").asDouble();
+  // Spec identity arrived with format v1 sidecars of spec-driven runs;
+  // find() keeps older sidecars (no such keys) parseable.
+  if (const json::Value* specPath = doc.find("spec_path")) {
+    manifest.specPath = specPath->asString();
+  }
+  if (const json::Value* specDigest = doc.find("spec_digest")) {
+    manifest.specDigest = parseHexDigest(specDigest->asString());
+  }
   for (const json::Value& point : doc.at("points").asArray()) {
     ManifestPoint row;
     row.gridIndex =

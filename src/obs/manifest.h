@@ -51,6 +51,12 @@ struct RunManifest {
   std::string targetMetric;
   double wallSeconds = 0.0;
   double jobsPerSecond = 0.0;
+  /// Spec identity of a spec-driven run (vanet_campaign / spec-backed
+  /// bench): the spec path as given on the command line and the
+  /// FNV-1a-64 digest of the normalized rendering
+  /// (runner::campaignSpecDigest). Empty / 0 for flag-assembled runs.
+  std::string specPath;
+  std::uint64_t specDigest = 0;
   std::vector<ManifestPoint> points;  ///< in grid order
 };
 
@@ -66,6 +72,17 @@ const std::string& runTool();
 
 /// argv[1..] of the captured identity.
 const std::vector<std::string>& runArgs();
+
+/// Records the campaign spec driving this process (call right after
+/// loading it); manifestForArtifact() then stamps every sidecar with the
+/// pair, so each artefact names the exact study that produced it.
+/// Process-global like setRunIdentity, for the same reason: the emitters
+/// sit below the code that knows about spec files.
+void setRunSpec(const std::string& specPath, std::uint64_t specDigest);
+
+/// The recorded spec identity ("" / 0 before setRunSpec).
+const std::string& runSpecPath();
+std::uint64_t runSpecDigest();
 
 /// The git revision / build flags this binary was configured with
 /// ("unknown" when built outside the CMake tree).

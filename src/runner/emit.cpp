@@ -50,12 +50,10 @@ bool anyCaseNames(const CampaignResult& result) {
   return false;
 }
 
-/// Drops the provenance sidecar next to an emitted artefact. Best
-/// effort by contract: a failed sidecar write warns (inside
-/// writeManifestSidecar) without failing the artefact write, and the
-/// artefact bytes themselves are untouched either way.
-void writeResultManifest(const std::string& path,
-                         const CampaignResult& result) {
+}  // namespace
+
+void writeCampaignArtifactManifest(const std::string& path,
+                                   const CampaignResult& result) {
   obs::RunManifest manifest = obs::manifestForArtifact(path);
   manifest.scenario = result.scenario;
   manifest.masterSeed = result.masterSeed;
@@ -74,8 +72,6 @@ void writeResultManifest(const std::string& path,
   }
   obs::writeManifestSidecar(manifest);
 }
-
-}  // namespace
 
 std::string campaignCsv(const CampaignResult& result) {
   const std::set<std::string> metrics = metricNames(result);
@@ -143,7 +139,7 @@ bool writeCampaignCsv(const std::string& path, const CampaignResult& result) {
   }
   out << campaignCsv(result);
   if (!out) return false;
-  writeResultManifest(path, result);
+  writeCampaignArtifactManifest(path, result);
   return true;
 }
 
@@ -232,7 +228,7 @@ bool writeCampaignJson(const std::string& path, const CampaignResult& result) {
   }
   out << campaignJson(result);
   if (!out) return false;
-  writeResultManifest(path, result);
+  writeCampaignArtifactManifest(path, result);
   return true;
 }
 
@@ -334,7 +330,8 @@ bool writeFigureCsv(const std::string& path, const trace::FlowFigure& figure) {
 
 std::size_t writeCampaignFigureCsvs(const std::string& dir,
                                     const std::string& base,
-                                    const CampaignResult& result) {
+                                    const CampaignResult& result,
+                                    std::vector<std::string>* writtenPaths) {
   std::size_t written = 0;
   for (const GridPointSummary& point : result.points) {
     for (const auto& [flow, figure] : point.figures) {
@@ -344,7 +341,8 @@ std::size_t writeCampaignFigureCsvs(const std::string& dir,
       }
       path += "_flow" + std::to_string(flow) + ".csv";
       if (!writeFigureCsv(path, figure)) return written;
-      writeResultManifest(path, result);
+      writeCampaignArtifactManifest(path, result);
+      if (writtenPaths != nullptr) writtenPaths->push_back(path);
       ++written;
     }
   }

@@ -58,8 +58,20 @@ bool writeFigureCsv(const std::string& path, const trace::FlowFigure& figure);
 ///   dir/<base>_flow<F>.csv            for single-point campaigns,
 ///   dir/<base>_p<G>_flow<F>.csv       otherwise.
 /// Returns the number of files written; stops and logs on I/O failure.
+/// When `writtenPaths` is non-null, every path successfully written is
+/// appended to it (spec-driven runs report their artefact list).
 std::size_t writeCampaignFigureCsvs(const std::string& dir,
                                     const std::string& base,
-                                    const CampaignResult& result);
+                                    const CampaignResult& result,
+                                    std::vector<std::string>* writtenPaths =
+                                        nullptr);
+
+/// Drops the provenance sidecar (obs::writeManifestSidecar) next to an
+/// artefact of `result` at `path`. The CSV/JSON writers above call it
+/// themselves; exposed for emitters outside this file (per-point Table 1
+/// CSVs of spec-driven runs). Best effort: a failed sidecar write warns
+/// without failing the artefact, and the artefact bytes are untouched.
+void writeCampaignArtifactManifest(const std::string& path,
+                                   const CampaignResult& result);
 
 }  // namespace vanet::runner

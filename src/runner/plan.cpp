@@ -46,15 +46,8 @@ CampaignPlan buildPlan(const CampaignConfig& config) {
       ScenarioRegistry::global().find(config.scenario);
   if (scenario == nullptr) {
     throw std::invalid_argument("unknown scenario: \"" + config.scenario +
-                                "\" (registered: " + [] {
-                                  std::string all;
-                                  for (const auto& name :
-                                       ScenarioRegistry::global().names()) {
-                                    if (!all.empty()) all += ", ";
-                                    all += name;
-                                  }
-                                  return all;
-                                }() + ")");
+                                "\" (registered: " + registeredScenarioList() +
+                                ")");
   }
   const bool adaptive = config.targetRelativeCi95 > 0.0;
   if (adaptive) {

@@ -1,5 +1,8 @@
 #include "runner/registry.h"
 
+#include <sstream>
+#include <stdexcept>
+
 #include "util/assert.h"
 
 namespace vanet::runner {
@@ -36,13 +39,48 @@ std::vector<std::string> ScenarioRegistry::names() const {
 }
 
 ParamSet ScenarioRegistry::defaults(const std::string& name) const {
+  const ScenarioInfo* info = find(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown scenario \"" + name +
+                                "\" (registered: " + registeredScenarioList() +
+                                ")");
+  }
   ParamSet params;
-  if (const ScenarioInfo* info = find(name)) {
-    for (const ParamSpec& spec : info->params) {
-      params.set(spec.name, spec.defaultValue);
-    }
+  for (const ParamSpec& spec : info->params) {
+    params.set(spec.name, spec.defaultValue);
   }
   return params;
+}
+
+std::string registeredScenarioList() {
+  std::string out;
+  for (const std::string& name : ScenarioRegistry::global().names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::string renderScenarioList() {
+  std::ostringstream out;
+  for (const std::string& name : ScenarioRegistry::global().names()) {
+    const ScenarioInfo& info = *ScenarioRegistry::global().find(name);
+    out << info.name << ": " << info.description << "\n";
+    if (!info.defaultTargetMetric.empty()) {
+      out << "  default target metric: " << info.defaultTargetMetric << "\n";
+    }
+    if (!info.defaultEmit.empty()) {
+      out << "  default emit:";
+      for (const std::string& kind : info.defaultEmit) out << " " << kind;
+      out << "\n";
+    }
+    for (const ParamSpec& param : info.params) {
+      out << "    " << param.name << " = " << param.defaultValue;
+      if (!param.help.empty()) out << "  " << param.help;
+      out << "\n";
+    }
+  }
+  return out.str();
 }
 
 ScenarioRegistrar::ScenarioRegistrar(ScenarioInfo info) {

@@ -76,6 +76,11 @@ struct ScenarioInfo {
   /// "completed_fraction" for highway_file). Empty means adaptive
   /// campaigns must name their metric explicitly.
   std::string defaultTargetMetric = {};
+  /// Emit kinds (see runner/spec.h specEmitKinds()) a spec-driven run
+  /// produces when its spec declares no `emit` list. The initializer is
+  /// the sensible plug-in default -- summary CSV + JSON; scenarios with
+  /// richer artefacts (per-point Table 1 CSVs, figure series) override.
+  std::vector<std::string> defaultEmit = {"campaign_csv", "campaign_json"};
 };
 
 /// Name -> scenario map. The built-in scenarios ("urban", "highway",
@@ -95,18 +100,51 @@ class ScenarioRegistry {
   /// Registered names, sorted.
   std::vector<std::string> names() const;
 
-  /// The defaults of `name` as a ParamSet; empty set when unknown.
+  /// The defaults of `name` as a ParamSet. Throws std::invalid_argument
+  /// naming the sorted registered scenarios when `name` is unknown -- a
+  /// silent empty set here used to let a typo'd scenario plan a 0-param
+  /// grid and run garbage.
   ParamSet defaults(const std::string& name) const;
 
  private:
   std::map<std::string, ScenarioInfo> scenarios_;
 };
 
-/// Registers a scenario at static-initialisation time:
-///   static ScenarioRegistrar r{{ "mine", "...", {...}, runFn }};
-/// Note: inside a static library, self-registration only fires when the
-/// translation unit is linked in; the built-ins are therefore pulled in
-/// explicitly by ScenarioRegistry::global().
+/// "urban, highway, ..." -- the sorted registered names of the global
+/// registry as one comma-separated list, for unknown-scenario error
+/// messages (buildPlan, ScenarioRegistry::defaults, resolvedEmits all
+/// quote the same list).
+std::string registeredScenarioList();
+
+/// Human rendering of every registered scenario: name, description,
+/// default target metric, default emit kinds, and each ParamSpec as
+///   name = default  help
+/// -- what `vanet_campaign list` and `campaign_sweep --list` print.
+std::string renderScenarioList();
+
+/// Registers a scenario at static-initialisation time -- the plug-in
+/// path: a new experiment family is one self-contained translation unit
+///
+///   #include "runner/registry.h"
+///   namespace {
+///   vanet::runner::JobResult runMine(const vanet::runner::JobContext& ctx) {
+///     ...  // ctx.params, ctx.seed, ctx.roundThreads
+///   }
+///   vanet::runner::ScenarioRegistrar registerMine{{
+///       "mine",
+///       "one-line description",
+///       {{"rounds", 10, "simulated rounds"}, ...},  // ParamSpecs
+///       runMine,
+///       "pdr",                                // defaultTargetMetric
+///       {"campaign_csv", "campaign_json"},    // defaultEmit
+///   }};
+///   }  // namespace
+///
+/// linked into the binary; campaigns and spec files then refer to it
+/// purely by name. Note: inside a static library, self-registration only
+/// fires when the translation unit is linked in (or force-linked); the
+/// built-ins are therefore pulled in explicitly by
+/// ScenarioRegistry::global().
 struct ScenarioRegistrar {
   explicit ScenarioRegistrar(ScenarioInfo info);
 };

@@ -307,7 +307,10 @@ void registerBuiltinScenarios(ScenarioRegistry& registry) {
           {"repeat", 1, "AP blind retransmissions"},
       }),
       runUrban,
-      /*defaultTargetMetric=*/"pdr"});
+      /*defaultTargetMetric=*/"pdr",
+      // The urban loop is the Table 1 testbed: spec-driven runs without
+      // an emit list get the per-point Table 1 CSV alongside the summary.
+      /*defaultEmit=*/{"campaign_csv", "campaign_json", "table1_csv"}});
   registry.add(ScenarioInfo{
       "highway",
       "Drive-thru: a platoon passes roadside infostations at speed "

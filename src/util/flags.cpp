@@ -1,10 +1,12 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/text.h"
 
 namespace vanet {
 namespace {
@@ -129,6 +131,24 @@ ShardSpec Flags::getShard(const std::string& name, ShardSpec fallback) const {
 std::string Flags::getString(const std::string& name, std::string fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+void Flags::allowOnly(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    std::string message = "unknown flag --" + name;
+    const std::string hint = util::nearestName(name, known);
+    if (!hint.empty()) message += " (did you mean --" + hint + "?)";
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::exit(2);
+  }
+}
+
+std::vector<std::string> campaignFlagNames() {
+  return {"seed",        "threads",      "round-threads",    "shard",
+          "partial-out", "partial-format", "checkpoint",     "resume",
+          "halt-after-waves", "streaming", "target-ci",      "min-reps",
+          "max-reps",    "target-metric", "progress",        "log-level"};
 }
 
 bool Flags::getBool(const std::string& name, bool fallback) const {

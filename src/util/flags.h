@@ -47,10 +47,22 @@ class Flags {
 
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
+  /// Rejects (exit 2) any parsed flag whose name is not in `known`, with
+  /// a did-you-mean nearest-name hint -- a typo'd `--target-cl=0.05`
+  /// must not silently run a study with the default. Every binary calls
+  /// this once, right after parsing, with its full flag vocabulary
+  /// (typically campaignFlagNames() plus its own additions).
+  void allowOnly(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The names campaignRunFlags() reads -- the shared engine vocabulary
+/// every campaign binary accepts. Append binary-specific names to a copy
+/// and pass the result to Flags::allowOnly().
+std::vector<std::string> campaignFlagNames();
 
 /// The campaign CLI vocabulary shared by every bench and example (one
 /// parser instead of per-binary copies):

@@ -28,6 +28,8 @@ RunManifest fullManifest() {
   manifest.targetMetric = "pct_lost_after";
   manifest.wallSeconds = 1.25;
   manifest.jobsPerSecond = 12.5;
+  manifest.specPath = "specs/table1.json";
+  manifest.specDigest = 0xdeadbeefcafef00dULL;
   manifest.points = {{0, 4, 0.031}, {1, 8, 0.049}};
   return manifest;
 }
@@ -51,6 +53,8 @@ TEST(ObsManifestTest, RoundTripsEveryField) {
   EXPECT_EQ(parsed.targetMetric, original.targetMetric);
   EXPECT_DOUBLE_EQ(parsed.wallSeconds, original.wallSeconds);
   EXPECT_DOUBLE_EQ(parsed.jobsPerSecond, original.jobsPerSecond);
+  EXPECT_EQ(parsed.specPath, original.specPath);
+  EXPECT_EQ(parsed.specDigest, original.specDigest);
   ASSERT_EQ(parsed.points.size(), 2u);
   EXPECT_EQ(parsed.points[1].gridIndex, 1u);
   EXPECT_EQ(parsed.points[1].replications, 8);
@@ -112,6 +116,63 @@ TEST(ObsManifestTest, WriteSidecarLandsNextToArtifactAndParses) {
   // artefact write must not fail because its provenance could not land.
   manifest.artifact = ::testing::TempDir() + "/no_such_dir/x.json";
   EXPECT_FALSE(writeManifestSidecar(manifest));
+}
+
+TEST(ObsManifestTest, SetRunSpecFlowsIntoEveryManifest) {
+  setRunSpec("specs/ablation_speed.json", 0x0123456789abcdefULL);
+  EXPECT_EQ(runSpecPath(), "specs/ablation_speed.json");
+  EXPECT_EQ(runSpecDigest(), 0x0123456789abcdefULL);
+
+  const RunManifest manifest = manifestForArtifact("b.csv");
+  EXPECT_EQ(manifest.specPath, "specs/ablation_speed.json");
+  EXPECT_EQ(manifest.specDigest, 0x0123456789abcdefULL);
+
+  // The digest renders as a 16-hex-digit string (not a JSON number:
+  // 64-bit values do not survive double rounding) and parses back.
+  const std::string text = manifestJson(manifest);
+  EXPECT_NE(text.find("\"spec_path\":\"specs/ablation_speed.json\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"spec_digest\":\"0123456789abcdef\""),
+            std::string::npos);
+  const RunManifest parsed = manifestFromJson(text);
+  EXPECT_EQ(parsed.specDigest, 0x0123456789abcdefULL);
+
+  setRunSpec("", 0);  // reset for the other tests in this binary
+}
+
+TEST(ObsManifestTest, ManifestsWithoutSpecKeysStillParse) {
+  // Sidecars written before the spec layer carry no spec_path or
+  // spec_digest; they parse with the flag-assembled defaults.
+  RunManifest old = fullManifest();
+  old.specPath.clear();
+  old.specDigest = 0;
+  std::string text = manifestJson(old);
+  // The normalized form always renders the keys; simulate an archived
+  // pre-spec sidecar by removing them line by line.
+  std::string pruned;
+  for (std::size_t start = 0; start < text.size();) {
+    const std::size_t end = text.find('\n', start);
+    const std::string line = text.substr(start, end - start + 1);
+    if (line.find("\"spec_path\"") == std::string::npos &&
+        line.find("\"spec_digest\"") == std::string::npos) {
+      pruned += line;
+    }
+    start = end + 1;
+  }
+  const RunManifest parsed = manifestFromJson(pruned);
+  EXPECT_EQ(parsed.specPath, "");
+  EXPECT_EQ(parsed.specDigest, 0u);
+  EXPECT_EQ(parsed.scenario, old.scenario);
+}
+
+TEST(ObsManifestTest, MalformedSpecDigestIsRejected) {
+  RunManifest manifest = fullManifest();
+  std::string text = manifestJson(manifest);
+  const std::string needle = "\"spec_digest\":\"";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size() + 16, needle + "not-hexadecimal!");
+  EXPECT_THROW(manifestFromJson(text), std::runtime_error);
 }
 
 }  // namespace

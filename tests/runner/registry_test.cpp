@@ -38,8 +38,14 @@ TEST(ScenarioRegistryTest, DefaultsComeFromParamSpecs) {
   EXPECT_EQ(defaults.getInt("rounds", -1), 30);
   EXPECT_EQ(defaults.getInt("cars", -1), 3);
   EXPECT_TRUE(defaults.getBool("coop", false));
-  // Unknown scenario -> empty set.
-  EXPECT_EQ(ScenarioRegistry::global().defaults("nope").size(), 0u);
+  // Unknown scenario -> a throw naming the registered scenarios.
+  try {
+    ScenarioRegistry::global().defaults("nope");
+    FAIL() << "defaults(\"nope\") should throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("nope"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("urban"), std::string::npos);
+  }
 }
 
 TEST(ScenarioRegistryTest, EveryBuiltinParamHasHelpText) {

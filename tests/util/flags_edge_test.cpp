@@ -101,5 +101,24 @@ TEST(FlagsTest, CampaignRunFlagsReadAdaptiveVocabulary) {
   EXPECT_TRUE(fixed.targetMetric.empty());
 }
 
+TEST(FlagsEdgeDeathTest, AllowOnlyRejectsUnknownFlagsWithDidYouMean) {
+  // A typo within editing distance of a legal flag names it in the hint.
+  EXPECT_EXIT(parse({"--thread=4"}).allowOnly({"threads", "seed"}),
+              ::testing::ExitedWithCode(2),
+              "unknown flag --thread \\(did you mean --threads\\?\\)");
+  // Nothing close: the bare rejection, no misleading hint.
+  EXPECT_EXIT(parse({"--zzzzzzzz=1"}).allowOnly({"threads", "seed"}),
+              ::testing::ExitedWithCode(2), "unknown flag --zzzzzzzz");
+}
+
+TEST(FlagsTest, AllowOnlyAcceptsTheFullVocabulary) {
+  // Every name in the shared campaign vocabulary passes its own check,
+  // and positional arguments are never flagged.
+  const Flags flags = parse({"--seed=1", "--threads=2", "--streaming",
+                             "--target-ci=0.1", "pos0", "pos1"});
+  flags.allowOnly(campaignFlagNames());
+  EXPECT_EQ(flags.positional().size(), 2u);
+}
+
 }  // namespace
 }  // namespace vanet
